@@ -1,0 +1,66 @@
+"""Ablation — Allreduce vs Allgather exchange for A2SGD's two means.
+
+§4.4 observes that Gaussian-K's Allgather-based exchange is slightly faster
+than A2SGD's Allreduce on the 100 Gbps fabric and lists an Allgather-based
+A2SGD as future work.  This ablation prices both exchange strategies for the
+two-scalar payload with the α–β model across worker counts, and also verifies
+numerically that an Allgather exchange (each worker averaging the gathered
+mean pairs itself) produces exactly the same reconstructed gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_figure_series
+from repro.comm import CollectiveTimeModel, InProcessWorld, infiniband_100gbps
+from repro.compress import A2SGDCompressor
+
+WORKER_COUNTS = (2, 4, 8, 16, 32, 64)
+PAYLOAD_BYTES = 8.0  # two float32 means
+
+
+def price_exchanges() -> dict:
+    model = CollectiveTimeModel(infiniband_100gbps())
+    return {
+        "allreduce (paper)": [model.allreduce(PAYLOAD_BYTES, p) for p in WORKER_COUNTS],
+        "allgather (future work)": [model.allgather(PAYLOAD_BYTES, p) for p in WORKER_COUNTS],
+    }
+
+
+def test_ablation_allgather_pricing(benchmark, emit):
+    series = benchmark.pedantic(price_exchanges, rounds=1, iterations=1)
+    text = format_figure_series(
+        {name: [round(v * 1e6, 3) for v in values] for name, values in series.items()},
+        WORKER_COUNTS, x_label="workers",
+        title="Ablation — A2SGD exchange strategy, microseconds per synchronization")
+    emit("ablation_allgather_pricing", text)
+
+    # Both are latency-bound microsecond-scale operations for an 8-byte
+    # payload; the latency-optimal allreduce scales as log2(P) while the ring
+    # allgather scales linearly, so allreduce wins at large worker counts.
+    assert series["allreduce (paper)"][-1] < series["allgather (future work)"][-1]
+    assert max(series["allgather (future work)"]) < 1e-3
+
+
+def test_ablation_allgather_equivalence(benchmark):
+    """Averaging gathered mean pairs equals the Allreduce-mean result."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        world = InProcessWorld(4)
+        gradients = [(rng.standard_normal(5000) * 0.01).astype(np.float32) for _ in range(4)]
+        compressors = [A2SGDCompressor() for _ in range(4)]
+        payloads, contexts = zip(*(c.compress(g) for c, g in zip(compressors, gradients)))
+
+        allreduced = world.allreduce(list(payloads))
+        gathered = world.allgather(list(payloads))
+        reconstructed_allreduce = [c.decompress(allreduced[r], contexts[r])
+                                   for r, c in enumerate(compressors)]
+        reconstructed_allgather = [c.decompress(np.mean(np.stack(gathered[r]), axis=0),
+                                                contexts[r])
+                                   for r, c in enumerate(compressors)]
+        return reconstructed_allreduce, reconstructed_allgather
+
+    allreduce_result, allgather_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    for a, b in zip(allreduce_result, allgather_result):
+        np.testing.assert_allclose(a, b, atol=1e-6)

@@ -1,0 +1,67 @@
+"""Figure 5 — total training time vs number of workers.
+
+Total time = iteration time × iterations/epoch × the paper's epoch budget
+(30 / 150 / 150 / 100).  The paper's observations that must hold here:
+
+* every algorithm gets faster with more workers (data parallelism wins);
+* for VGG-16 and LSTM-PTB, A2SGD and Gaussian-K are the fastest overall and
+  QSGD the slowest;
+* the headline §1 ratios for LSTM-PTB point the right way: A2SGD beats dense
+  SGD (paper: 1.72×), Top-K (3.2×) and QSGD (23.2×).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_iteration_time_figure
+
+MODELS = ("fnn3", "vgg16", "resnet20", "lstm_ptb")
+ALGORITHMS = ("dense", "topk", "qsgd", "gaussiank", "a2sgd")
+WORKER_COUNTS = (2, 4, 8, 16)
+
+
+def build_panel(cost_model, model: str) -> dict:
+    return {algorithm: [cost_model.total_training_time(model, algorithm, p)
+                        for p in WORKER_COUNTS]
+            for algorithm in ALGORITHMS}
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_figure5_total_time(benchmark, emit, cost_model, model):
+    panel = benchmark.pedantic(build_panel, args=(cost_model, model), rounds=1, iterations=1)
+    text = render_iteration_time_figure(
+        {name: [round(v, 1) for v in values] for name, values in panel.items()},
+        WORKER_COUNTS, model, figure_name="Figure 5 (total training seconds)")
+    emit(f"fig5_total_time_{model}", text)
+
+    # Data parallelism reduces total time for every algorithm.
+    for name, values in panel.items():
+        assert values[-1] < values[0], name
+
+    at16 = {name: values[-1] for name, values in panel.items()}
+    if model in ("vgg16", "lstm_ptb"):
+        assert at16["a2sgd"] < at16["dense"]
+        assert at16["qsgd"] == max(at16.values())
+
+
+def test_figure5_headline_ratios(benchmark, emit, cost_model):
+    """The §1 headline: A2SGD's total-time advantage on LSTM-PTB."""
+
+    def ratios():
+        a2sgd = cost_model.total_training_time("lstm_ptb", "a2sgd", 16)
+        return {
+            "dense / a2sgd (paper: 1.72x)": cost_model.total_training_time(
+                "lstm_ptb", "dense", 16) / a2sgd,
+            "topk / a2sgd (paper: 3.2x)": cost_model.total_training_time(
+                "lstm_ptb", "topk", 16) / a2sgd,
+            "qsgd / a2sgd (paper: 23.2x)": cost_model.total_training_time(
+                "lstm_ptb", "qsgd", 16) / a2sgd,
+        }
+
+    values = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    lines = ["LSTM-PTB total-training-time ratios at 16 workers:"]
+    lines += [f"  {label:30s} {value:6.2f}x" for label, value in values.items()]
+    emit("fig5_headline_ratios", "\n".join(lines))
+
+    assert values["dense / a2sgd (paper: 1.72x)"] > 1.3
+    assert values["topk / a2sgd (paper: 3.2x)"] > 2.0
+    assert values["qsgd / a2sgd (paper: 23.2x)"] > 10.0

@@ -1,0 +1,75 @@
+"""Table 2, columns 2–3 — computation complexity and communication traffic.
+
+Regenerates the analytic part of Table 2 for every algorithm and checks the
+headline numbers: 32n bits for dense SGD, 32k for the sparsifiers, 2.8n + 32
+for QSGD and 64 bits — independent of n — for A2SGD.  The benchmarked kernel
+is a full compress + reconstruct round-trip at 1 M parameters, i.e. the
+computation whose asymptotic order the table reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.compress import get_compressor
+from repro.compress.base import ExchangeKind
+from repro.models.registry import PAPER_PARAMETER_COUNTS
+
+ALGORITHMS = ("dense", "qsgd", "topk", "gaussiank", "a2sgd")
+
+
+def traffic_expression(name: str) -> str:
+    return {
+        "dense": "32n",
+        "qsgd": "2.8n + 32",
+        "topk": "32k",
+        "gaussiank": "32k",
+        "a2sgd": "64",
+    }[name]
+
+
+def render_table2_analytic() -> str:
+    n = PAPER_PARAMETER_COUNTS["lstm_ptb"]
+    rows = []
+    for name in ALGORITHMS:
+        compressor = get_compressor(name)
+        rows.append([
+            name,
+            compressor.computation_complexity(n),
+            traffic_expression(name),
+            f"{compressor.wire_bits(n):,.0f}",
+            compressor.exchange.value,
+        ])
+    return format_table(
+        ["Algorithm", "Computation", "Communication (bits)", "Bits @ n=66,034,000",
+         "Exchange"],
+        rows, title="Table 2 (columns 2-3) — gradient synchronization complexities")
+
+
+def test_table2_complexity_columns(benchmark, emit):
+    text = benchmark.pedantic(render_table2_analytic, rounds=1, iterations=1)
+    emit("table2_complexity", text)
+
+    n = PAPER_PARAMETER_COUNTS["lstm_ptb"]
+    k = max(1, round(0.001 * n))
+    assert get_compressor("dense").wire_bits(n) == 32 * n
+    assert get_compressor("topk").wire_bits(n) == 32 * k
+    assert get_compressor("gaussiank").wire_bits(n) == 32 * k
+    assert get_compressor("qsgd").wire_bits(n) == pytest.approx(2.8 * n + 32)
+    assert get_compressor("a2sgd").wire_bits(n) == 64
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_compress_reconstruct_roundtrip(benchmark, algorithm):
+    """Benchmark the full per-iteration gradient processing of each algorithm."""
+    gradient = (np.random.default_rng(0).standard_normal(1_000_000) * 0.01).astype(np.float32)
+    compressor = get_compressor(algorithm)
+
+    def roundtrip():
+        payload, ctx = compressor.compress(gradient)
+        if compressor.exchange is ExchangeKind.ALLREDUCE:
+            return compressor.decompress(payload, ctx)
+        return compressor.decompress_gathered([payload], ctx)
+
+    result = benchmark(roundtrip)
+    assert result.shape == gradient.shape

@@ -1,0 +1,68 @@
+"""Table 2, column 4 — scaling efficiency at 8 workers.
+
+The paper defines scaling efficiency as each algorithm's throughput at 8
+workers normalized by dense SGD's throughput at 2 workers.  This benchmark
+regenerates the column from the analytic cost model (paper-size models on the
+100 Gbps fabric) and asserts the orderings the paper reports: A2SGD and
+Gaussian-K scale best, QSGD worst (catastrophically so for VGG-16 and
+LSTM-PTB), with dense SGD and Top-K in between.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table2
+from repro.analysis.scaling import scaling_efficiency_table
+from repro.compress import get_compressor
+from repro.models.registry import PAPER_PARAMETER_COUNTS
+
+MODELS = ("fnn3", "vgg16", "resnet20", "lstm_ptb")
+ALGORITHMS = ("dense", "qsgd", "topk", "gaussiank", "a2sgd")
+
+#: The paper's reported scaling efficiencies (Table 2, last column) for
+#: reference in the emitted artefact.
+PAPER_SCALING = {
+    "dense": (1.83, 2.34, 2.52, 2.34),
+    "qsgd": (1.73, 0.66, 2.34, 0.26),
+    "topk": (1.76, 2.40, 1.92, 1.50),
+    "gaussiank": (1.79, 2.97, 2.40, 6.58),
+    "a2sgd": (1.80, 3.06, 2.50, 6.37),
+}
+
+
+def render(cost_model) -> tuple[str, dict]:
+    scaling = scaling_efficiency_table(cost_model, models=MODELS, algorithms=ALGORITHMS,
+                                       world_size=8)
+    complexities = {name: get_compressor(name).computation_complexity(
+        PAPER_PARAMETER_COUNTS["lstm_ptb"]) for name in ALGORITHMS}
+    traffic = {"dense": "32n", "qsgd": "2.8n+32", "topk": "32k", "gaussiank": "32k",
+               "a2sgd": "64"}
+    table = render_table2(complexities, traffic, scaling, models=MODELS)
+    reference_lines = ["", "Paper-reported scaling efficiencies for comparison:"]
+    for name, values in PAPER_SCALING.items():
+        reference_lines.append(f"  {name:10s} " + " / ".join(f"{v:.2f}" for v in values))
+    return table + "\n" + "\n".join(reference_lines), scaling
+
+
+def test_table2_scaling_efficiency(benchmark, emit, cost_model):
+    text, scaling = benchmark.pedantic(render, args=(cost_model,), rounds=1, iterations=1)
+    emit("table2_scaling", text)
+
+    # Orderings the paper reports for the two large models.
+    for model in ("vgg16", "lstm_ptb"):
+        per_model = {name: scaling[name][model] for name in ALGORITHMS}
+        assert per_model["qsgd"] == min(per_model.values())
+        assert per_model["a2sgd"] > per_model["dense"]
+        assert per_model["gaussiank"] > per_model["dense"]
+        assert per_model["a2sgd"] == pytest.approx(per_model["gaussiank"], rel=0.25)
+
+    # For the small models all algorithms except QSGD are within ~10 % of
+    # each other (the paper's "immaterial difference" observation).
+    for model in ("fnn3", "resnet20"):
+        values = [scaling[name][model] for name in ("dense", "topk", "gaussiank", "a2sgd")]
+        assert max(values) / min(values) < 1.4
+
+
+def test_throughput_kernel(benchmark, cost_model):
+    """Benchmark the cost-model evaluation itself (used by sweep scripts)."""
+    value = benchmark(cost_model.scaling_efficiency, "lstm_ptb", "a2sgd", 8)
+    assert value > 0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation.  The rendered text is printed (visible with ``pytest -s``) and
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference
+the generated artefacts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow "from tests.conftest import ..." style imports to fail gracefully and
+# make the benchmarks runnable from the repository root.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where rendered tables/figures are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Callable that prints a rendered artefact and persists it to disk."""
+
+    def _emit(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    """One analytic cost model shared by the Figure 4/5 and Table 2 benches."""
+    from repro.core.cost_model import CostModel
+
+    return CostModel()

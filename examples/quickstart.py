@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: compress one gradient with A2SGD and run a tiny distributed job.
+
+This script shows the two levels of the public API:
+
+1. the compressor level — how Algorithm 1 turns a gradient into two scalars,
+   what travels over the network, and how the gradient is reconstructed;
+2. the experiment level — training one of the paper's models with simulated
+   data-parallel workers and comparing A2SGD against dense SGD.
+
+Run with ``python examples/quickstart.py``.  It finishes in well under a
+minute on a laptop.
+"""
+
+import numpy as np
+
+from repro import A2SGDCompressor, DenseCompressor, ExperimentConfig, run_experiment
+from repro.analysis.reporting import format_table
+
+
+def compressor_walkthrough() -> None:
+    """Step through Algorithm 1 on a synthetic gradient."""
+    print("=" * 72)
+    print("Part 1 — A2SGD on a single gradient (Algorithm 1, lines 3-6)")
+    print("=" * 72)
+
+    rng = np.random.default_rng(0)
+    gradient = (rng.standard_normal(1_000_000) * 0.01).astype(np.float32)
+
+    compressor = A2SGDCompressor()
+    payload, ctx = compressor.compress(gradient)
+    print(f"model gradient size            : {gradient.size:,} float32 values "
+          f"({gradient.nbytes / 1e6:.1f} MB)")
+    print(f"wire payload                   : {payload.size} values -> "
+          f"{compressor.wire_bits(gradient.size):.0f} bits")
+    print(f"positive / negative means      : mu+ = {payload[0]:.6f}, mu- = {payload[1]:.6f}")
+
+    # Pretend three other workers produced slightly different means and the
+    # Allreduce averaged them.
+    global_means = payload * np.array([1.03, 0.97])
+    reconstructed = compressor.decompress(global_means, ctx)
+    print(f"reconstruction error vs local  : "
+          f"{np.linalg.norm(reconstructed - gradient) / np.linalg.norm(gradient):.4f} "
+          "(relative)")
+    print(f"variance ratio (reconstructed / original): "
+          f"{reconstructed.var() / gradient.var():.4f}")
+
+    dense_bits = DenseCompressor().wire_bits(gradient.size)
+    print(f"traffic reduction vs dense SGD : {dense_bits / compressor.wire_bits(gradient.size):,.0f}x")
+    print()
+
+
+def distributed_quickstart() -> None:
+    """Train the tiny FNN-3 preset with 4 simulated workers."""
+    print("=" * 72)
+    print("Part 2 — distributed training with 4 simulated workers")
+    print("=" * 72)
+
+    rows = []
+    for algorithm in ("dense", "a2sgd"):
+        config = ExperimentConfig(model="fnn3", preset="tiny", algorithm=algorithm,
+                                  world_size=4, epochs=4, batch_size=16,
+                                  max_iterations_per_epoch=20,
+                                  num_train=512, num_test=128, seed=0)
+        result = run_experiment(config)
+        rows.append([
+            algorithm,
+            f"{result.final_metric:.1f}%",
+            f"{result.wire_bits_per_iteration:,.0f}",
+            f"{result.timeline.communication_s * 1e3:.3f}",
+            f"{result.wall_time_s:.1f}",
+        ])
+
+    print(format_table(
+        ["algorithm", "final top-1", "bits/worker/iter", "simulated comm (ms)", "wall time (s)"],
+        rows,
+        title="Tiny FNN-3, 4 workers, 4 epochs (synthetic MNIST)"))
+    print()
+    print("A2SGD reaches essentially the same accuracy as dense SGD while")
+    print("exchanging 64 bits per worker per iteration instead of 32n.")
+
+
+if __name__ == "__main__":
+    compressor_walkthrough()
+    distributed_quickstart()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without network access to build
+backends (``pip install -e . --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of A2SGD: O(1) Communication for Distributed SGD "
+                 "through Two-Level Gradient Averaging"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,90 @@
+"""repro — reproduction of A2SGD (two-level gradient averaging for distributed SGD).
+
+The package is organised as a stack of subsystems:
+
+``repro.tensor``
+    A from-scratch reverse-mode autograd engine on top of NumPy.
+``repro.nn``
+    Neural-network layers (Linear, Conv2d, BatchNorm, LSTM, ...) built on the
+    tensor engine.
+``repro.optim``
+    SGD / LARS optimizers and the learning-rate policies used in the paper
+    (linear scaling, gradual warmup, polynomial decay).
+``repro.models``
+    The four evaluation models: FNN-3, VGG-16, ResNet-20 and LSTM-PTB.
+``repro.data``
+    Synthetic stand-ins for MNIST, CIFAR-10 and Penn Treebank plus data
+    loading / per-worker sharding.
+``repro.comm``
+    The communication substrate: an in-process multi-worker world with real
+    collective algorithms (ring Allreduce, Allgather, ...) and an analytic
+    latency/bandwidth network model for a 100 Gbps InfiniBand cluster.
+``repro.compress``
+    Gradient compression algorithms: the paper's contribution (A2SGD) and the
+    baselines it compares against (Dense, Top-K, Gaussian-K, QSGD) plus a few
+    extensions (Rand-K, TernGrad, SignSGD).
+``repro.core``
+    The distributed trainer, gradient synchronizer, metrics, cost model and
+    experiment runner that tie everything together.
+``repro.analysis``
+    Gradient statistics, convergence diagnostics, scaling-efficiency
+    calculations and text renderers for the paper's tables and figures.
+"""
+
+from repro.version import __version__
+
+from repro.compress import (
+    A2SGDCompressor,
+    Compressor,
+    DenseCompressor,
+    GaussianKCompressor,
+    QSGDCompressor,
+    RandKCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+    get_compressor,
+)
+from repro.core import (
+    CostModel,
+    DistributedTrainer,
+    ExperimentConfig,
+    ExperimentResult,
+    GradientSynchronizer,
+    IterationTimeline,
+    TrainingMetrics,
+    run_experiment,
+)
+from repro.comm import (
+    InProcessWorld,
+    NetworkModel,
+    infiniband_100gbps,
+)
+
+__all__ = [
+    "__version__",
+    # compressors
+    "Compressor",
+    "A2SGDCompressor",
+    "DenseCompressor",
+    "TopKCompressor",
+    "GaussianKCompressor",
+    "QSGDCompressor",
+    "RandKCompressor",
+    "TernGradCompressor",
+    "SignSGDCompressor",
+    "get_compressor",
+    # core
+    "DistributedTrainer",
+    "GradientSynchronizer",
+    "CostModel",
+    "IterationTimeline",
+    "TrainingMetrics",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    # comm
+    "InProcessWorld",
+    "NetworkModel",
+    "infiniband_100gbps",
+]

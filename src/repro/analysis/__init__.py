@@ -1,0 +1,36 @@
+"""Analysis utilities: gradient statistics, convergence diagnostics, scaling, reporting."""
+
+from repro.analysis.gradient_stats import GradientDistributionTracker, gradient_histogram
+from repro.analysis.convergence import (
+    assumption3_bound_estimate,
+    empirical_gradient_bound_holds,
+    reconstruction_preserves_mean,
+    variance_ratio,
+)
+from repro.analysis.scaling import scaling_efficiency_table, speedup_curve
+from repro.analysis.sweeps import convergence_sweep, cost_sweep
+from repro.analysis.reporting import (
+    format_figure_series,
+    format_table,
+    render_convergence_figure,
+    render_iteration_time_figure,
+    render_table2,
+)
+
+__all__ = [
+    "GradientDistributionTracker",
+    "gradient_histogram",
+    "assumption3_bound_estimate",
+    "empirical_gradient_bound_holds",
+    "variance_ratio",
+    "reconstruction_preserves_mean",
+    "scaling_efficiency_table",
+    "speedup_curve",
+    "convergence_sweep",
+    "cost_sweep",
+    "format_table",
+    "format_figure_series",
+    "render_table2",
+    "render_convergence_figure",
+    "render_iteration_time_figure",
+]

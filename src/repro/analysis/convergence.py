@@ -1,0 +1,96 @@
+"""Convergence diagnostics tied to the paper's theoretical analysis (§3.2).
+
+The analysis rests on three ingredients that can be checked numerically:
+
+* **Assumption 3 (gradient bound)** — ``E‖g_t + ∇µ_t‖² ≤ A + B‖w − w*‖²``.
+  :func:`assumption3_bound_estimate` fits the smallest ``(A, B)`` consistent
+  with observed samples; :func:`empirical_gradient_bound_holds` checks that a
+  run's samples admit finite constants.
+* **Variance preservation** — the reason A2SGD keeps local errors is so the
+  reconstructed gradient has (almost) the variance of the dense gradient.
+  :func:`variance_ratio` measures it.
+* **Mean preservation** — averaging the reconstructed gradients over workers
+  should equal averaging the raw gradients up to the difference between
+  local and global means; :func:`reconstruction_preserves_mean` quantifies
+  the gap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.a2sgd import A2SGDCompressor
+
+
+def assumption3_bound_estimate(gradient_norms_sq: Sequence[float],
+                               distances_sq: Sequence[float]) -> Tuple[float, float]:
+    """Smallest (A, B) with ``‖g + ∇µ‖² ≤ A + B·‖w − w*‖²`` on the samples.
+
+    A simple robust fit: B is the slope that covers the upper envelope of the
+    scatter, A the residual intercept.  Finite values mean the finite-sample
+    proxy of Assumption 3 holds for the observed run.
+    """
+    norms = np.asarray(list(gradient_norms_sq), dtype=np.float64)
+    dists = np.asarray(list(distances_sq), dtype=np.float64)
+    if norms.size == 0 or norms.size != dists.size:
+        raise ValueError("need equally many gradient norms and distances")
+    positive = dists > 1e-12
+    if positive.any():
+        slope = float(np.max(norms[positive] / dists[positive]))
+    else:
+        slope = 0.0
+    intercept = float(np.max(norms - slope * dists))
+    return max(0.0, intercept), max(0.0, slope)
+
+
+def empirical_gradient_bound_holds(gradient_norms_sq: Sequence[float],
+                                   distances_sq: Sequence[float],
+                                   max_constant: float = 1e9) -> bool:
+    """True when finite constants (A, B) below ``max_constant`` exist."""
+    a, b = assumption3_bound_estimate(gradient_norms_sq, distances_sq)
+    return np.isfinite(a) and np.isfinite(b) and a <= max_constant and b <= max_constant
+
+
+def variance_ratio(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Var(reconstructed) / Var(original) — should stay near 1 for A2SGD."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    denom = float(original.var())
+    if denom == 0.0:
+        return 1.0 if float(reconstructed.var()) == 0.0 else float("inf")
+    return float(reconstructed.var()) / denom
+
+
+def reconstruction_preserves_mean(gradients: Sequence[np.ndarray]) -> float:
+    """Relative gap between dense averaging and A2SGD reconstruction averaging.
+
+    Runs one full A2SGD exchange over ``gradients`` (one per worker) and
+    compares the across-worker mean of the reconstructed gradients with the
+    plain mean of the raw gradients.  The gap stems only from the ∇µ term and
+    should be small relative to the gradient norm.
+    """
+    gradients = [np.asarray(g, dtype=np.float32).reshape(-1) for g in gradients]
+    compressors = [A2SGDCompressor() for _ in gradients]
+    payloads, contexts = [], []
+    for compressor, gradient in zip(compressors, gradients):
+        payload, ctx = compressor.compress(gradient)
+        payloads.append(payload)
+        contexts.append(ctx)
+    global_means = np.mean(np.stack(payloads), axis=0)
+    reconstructed = [compressor.decompress(global_means, ctx)
+                     for compressor, ctx in zip(compressors, contexts)]
+    dense_average = np.mean(np.stack(gradients), axis=0)
+    a2sgd_average = np.mean(np.stack(reconstructed), axis=0)
+    scale = float(np.linalg.norm(dense_average)) or 1.0
+    return float(np.linalg.norm(a2sgd_average - dense_average)) / scale
+
+
+def track_gradient_bound_samples(weights: Sequence[np.ndarray],
+                                 gradients: Sequence[np.ndarray],
+                                 optimum: np.ndarray) -> Tuple[List[float], List[float]]:
+    """Build the (‖g‖², ‖w − w*‖²) sample lists Assumption 3 is checked on."""
+    norms = [float(np.linalg.norm(g) ** 2) for g in gradients]
+    distances = [float(np.linalg.norm(np.asarray(w) - optimum) ** 2) for w in weights]
+    return norms, distances

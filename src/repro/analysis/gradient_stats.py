@@ -1,0 +1,83 @@
+"""Gradient distribution statistics (Figure 1 of the paper).
+
+Figure 1 plots the frequency distribution of a representative worker's
+gradient values at several points during training, showing that (i) the
+values form a roughly symmetric bell around zero and (ii) the distribution
+tightens as training progresses.  Those two observations motivate A2SGD's
+two-mean summary.  :class:`GradientDistributionTracker` collects exactly that
+data from a training run; :func:`gradient_histogram` builds one snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def gradient_histogram(gradient: np.ndarray, bins: int = 61,
+                       value_range: Optional[Tuple[float, float]] = None
+                       ) -> Dict[str, np.ndarray]:
+    """Histogram of gradient values plus the summary statistics Figure 1 implies.
+
+    Returns a dict with ``edges``, ``counts`` and the scalar statistics used
+    by the tests and the figure renderer (mean, std, skewness proxy, fraction
+    of near-zero values, and the two A2SGD means).
+    """
+    gradient = np.asarray(gradient, dtype=np.float64).reshape(-1)
+    if gradient.size == 0:
+        raise ValueError("cannot histogram an empty gradient")
+    if value_range is None:
+        limit = max(1e-12, float(np.percentile(np.abs(gradient), 99.5)))
+        value_range = (-limit, limit)
+    counts, edges = np.histogram(gradient, bins=bins, range=value_range)
+
+    positive = gradient[gradient >= 0]
+    negative = gradient[gradient < 0]
+    std = float(gradient.std())
+    return {
+        "edges": edges,
+        "counts": counts,
+        "mean": float(gradient.mean()),
+        "std": std,
+        "near_zero_fraction": float((np.abs(gradient) < 0.1 * (std or 1.0)).mean()),
+        "mu_plus": float(positive.mean()) if positive.size else 0.0,
+        "mu_minus": float(np.abs(negative).mean()) if negative.size else 0.0,
+        "positive_fraction": float((gradient >= 0).mean()),
+    }
+
+
+@dataclass
+class GradientDistributionTracker:
+    """Collect gradient histograms at chosen iterations of a training run.
+
+    Used by the Figure 1 benchmark: the trainer (or a manual loop) calls
+    :meth:`observe` with the flat gradient of a representative worker; the
+    tracker stores snapshots only at the requested iteration numbers so memory
+    stays bounded.
+    """
+
+    snapshot_iterations: Tuple[int, ...] = (0, 50, 100, 200)
+    bins: int = 61
+    snapshots: Dict[int, Dict[str, np.ndarray]] = field(default_factory=dict)
+    _iteration: int = 0
+
+    def observe(self, gradient: np.ndarray) -> None:
+        """Record the gradient if the current iteration is a snapshot point."""
+        if self._iteration in self.snapshot_iterations:
+            self.snapshots[self._iteration] = gradient_histogram(gradient, bins=self.bins)
+        self._iteration += 1
+
+    @property
+    def iterations_seen(self) -> int:
+        return self._iteration
+
+    def concentration_progression(self) -> List[Tuple[int, float]]:
+        """(iteration, std) pairs — should be non-increasing as training converges."""
+        return [(it, float(snap["std"])) for it, snap in sorted(self.snapshots.items())]
+
+    def near_zero_progression(self) -> List[Tuple[int, float]]:
+        """(iteration, fraction near zero) pairs — should grow as training converges."""
+        return [(it, float(snap["near_zero_fraction"]))
+                for it, snap in sorted(self.snapshots.items())]

@@ -1,0 +1,82 @@
+"""Plain-text renderers for the paper's tables and figure data.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent (and testable) across benchmarks.
+Figures are rendered as aligned numeric series rather than plots, since the
+reproduction runs headless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None, float_format: str = "{:.4g}") -> str:
+    """Render an aligned plain-text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_figure_series(series: Mapping[str, Sequence[float]], x_values: Sequence[object],
+                         x_label: str, title: str, float_format: str = "{:.4g}") -> str:
+    """Render a figure's data as one column per plotted line."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def render_table2(complexities: Mapping[str, str], traffic_bits: Mapping[str, str],
+                  scaling: Mapping[str, Mapping[str, float]],
+                  models: Sequence[str] = ("fnn3", "vgg16", "resnet20", "lstm_ptb")) -> str:
+    """Render the reproduction of Table 2."""
+    headers = ["Algorithm", "Computation", "Communication (bits)",
+               f"Scaling Efficiency @8 ({'/'.join(models)})"]
+    rows = []
+    for algorithm in complexities:
+        eff = scaling.get(algorithm, {})
+        eff_text = " / ".join(f"{eff.get(m, float('nan')):.2f}" for m in models)
+        rows.append([algorithm, complexities[algorithm], traffic_bits[algorithm], eff_text])
+    return format_table(headers, rows,
+                        title="Table 2 — Gradient synchronization complexities and scaling efficiency")
+
+
+def render_convergence_figure(results: Mapping[str, Sequence[float]], epochs: Sequence[int],
+                              metric_name: str, model: str, world_size: int) -> str:
+    """Render one panel of Figure 3 (metric vs epoch for every algorithm)."""
+    return format_figure_series(results, list(epochs), x_label="epoch",
+                                title=f"Figure 3 ({model}, {world_size} workers) — {metric_name} per epoch")
+
+
+def render_iteration_time_figure(times: Mapping[str, Sequence[float]],
+                                 world_sizes: Sequence[int], model: str,
+                                 figure_name: str = "Figure 4") -> str:
+    """Render one panel of Figure 4/5 (time vs worker count for every algorithm)."""
+    return format_figure_series(times, list(world_sizes), x_label="workers",
+                                title=f"{figure_name} ({model}) — seconds")

@@ -1,0 +1,30 @@
+"""Scaling-efficiency computations (Table 2, last column)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.cost_model import CostModel
+
+
+def scaling_efficiency_table(cost_model: CostModel,
+                             models: Sequence[str] = ("fnn3", "vgg16", "resnet20", "lstm_ptb"),
+                             algorithms: Sequence[str] = ("dense", "qsgd", "topk",
+                                                          "gaussiank", "a2sgd"),
+                             world_size: int = 8) -> Dict[str, Dict[str, float]]:
+    """Scaling efficiency (throughput vs dense@2) for every model × algorithm."""
+    table: Dict[str, Dict[str, float]] = {}
+    for algorithm in algorithms:
+        table[algorithm] = {
+            model: cost_model.scaling_efficiency(model, algorithm, world_size=world_size)
+            for model in models
+        }
+    return table
+
+
+def speedup_curve(cost_model: CostModel, model: str, algorithm: str,
+                  world_sizes: Sequence[int] = (2, 4, 8, 16)) -> List[float]:
+    """Total-training-time speedup relative to the smallest worker count."""
+    times = [cost_model.total_training_time(model, algorithm, p) for p in world_sizes]
+    baseline = times[0]
+    return [baseline / t for t in times]

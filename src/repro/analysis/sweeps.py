@@ -1,0 +1,90 @@
+"""Grid-sweep helpers used by the CLI and the figure benchmarks.
+
+A sweep is a grid over (models × algorithms × worker counts).  Two kinds are
+provided:
+
+* :func:`convergence_sweep` — actually trains the tiny presets with the
+  simulated trainer (the Figure 3 data path);
+* :func:`cost_sweep` — evaluates the analytic cost model at paper scale (the
+  Figure 4/5 and Table 2 data path).
+
+Both return plain nested dicts so results can be serialized with
+:func:`repro.utils.serialization.save_json` and rendered with the helpers in
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.cost_model import CostModel
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+DEFAULT_ALGORITHMS = ("dense", "topk", "qsgd", "gaussiank", "a2sgd")
+
+
+def convergence_sweep(model: str, algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                      world_sizes: Sequence[int] = (2, 4, 8), epochs: int = 3,
+                      max_iterations_per_epoch: int = 12, seed: int = 0,
+                      sparsifier_ratio: float = 0.05,
+                      base_lr: Optional[float] = None) -> Dict[str, Dict]:
+    """Train ``model`` (tiny preset) for every (algorithm, world size) cell.
+
+    Returns ``{world_size: {algorithm: {"epochs": [...], "metric": [...],
+    "final": float, "wire_bits": float}}}`` (keys stringified for JSON).
+    """
+    results: Dict[str, Dict] = {}
+    for world_size in world_sizes:
+        row: Dict[str, Dict] = {}
+        for algorithm in algorithms:
+            kwargs = ({"ratio": sparsifier_ratio}
+                      if algorithm in ("topk", "gaussiank", "randk", "dgc") else {})
+            config = ExperimentConfig(
+                model=model, preset="tiny", algorithm=algorithm, world_size=world_size,
+                epochs=epochs, batch_size=16, max_iterations_per_epoch=max_iterations_per_epoch,
+                num_train=384, num_test=96, seed=seed, compressor_kwargs=kwargs,
+                base_lr=base_lr, seq_len=10,
+            )
+            result = run_experiment(config)
+            row[algorithm] = {
+                "epochs": list(result.metrics.epochs),
+                "metric": [float(v) for v in result.metrics.metric],
+                "final": float(result.final_metric),
+                "metric_name": result.metric_name,
+                "wire_bits": float(result.wire_bits_per_iteration),
+                "simulated_comm_s": float(result.timeline.communication_s),
+            }
+        results[str(world_size)] = row
+    return results
+
+
+def cost_sweep(models: Sequence[str] = ("fnn3", "vgg16", "resnet20", "lstm_ptb"),
+               algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+               world_sizes: Sequence[int] = (2, 4, 8, 16),
+               cost_model: Optional[CostModel] = None) -> Dict[str, Dict]:
+    """Evaluate iteration/total time and scaling efficiency at paper scale."""
+    cost_model = cost_model if cost_model is not None else CostModel()
+    sweep: Dict[str, Dict] = {}
+    for model in models:
+        per_model: Dict[str, Dict] = {}
+        for algorithm in algorithms:
+            per_model[algorithm] = {
+                "iteration_s": [cost_model.iteration_time(model, algorithm, p)
+                                for p in world_sizes],
+                "total_s": [cost_model.total_training_time(model, algorithm, p)
+                            for p in world_sizes],
+                "scaling_efficiency_at_8": cost_model.scaling_efficiency(model, algorithm, 8),
+                "communication_bits": cost_model.communication_bits(
+                    algorithm, cost_model.model_parameters(model)),
+            }
+        sweep[model] = {"world_sizes": list(world_sizes), "algorithms": per_model}
+    return sweep
+
+
+def best_algorithm_by_total_time(sweep: Dict[str, Dict], model: str,
+                                 world_size: int) -> str:
+    """Name of the fastest algorithm for (model, world size) in a cost sweep."""
+    entry = sweep[model]
+    index = entry["world_sizes"].index(world_size)
+    totals = {name: data["total_s"][index] for name, data in entry["algorithms"].items()}
+    return min(totals, key=totals.get)

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List the registered models, compressors and the Table-1 hyperparameters.
+``run``
+    Train one (model, algorithm, world-size) configuration with the simulated
+    distributed trainer and print its convergence curve.
+``sweep``
+    Run a Figure-3-style convergence sweep (several algorithms × worker
+    counts) and write the results to JSON.
+``cost``
+    Evaluate the paper-scale cost model: iteration time, total training time
+    and scaling efficiency (Figures 4/5, Table 2).
+``compare``
+    Compare every registered compressor on one synthetic gradient (traffic,
+    measured kernel time, compression error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_figure_series, format_table
+from repro.analysis.sweeps import DEFAULT_ALGORITHMS, convergence_sweep, cost_sweep
+from repro.compress import get_compressor, list_compressors
+from repro.core.cost_model import CostModel
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.models.registry import PAPER_HYPERPARAMETERS, PAPER_PARAMETER_COUNTS, list_models
+from repro.utils.serialization import save_json
+from repro.utils.timer import median_time
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="A2SGD reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list models, compressors and paper hyperparameters")
+
+    run = sub.add_parser("run", help="train one configuration with the simulated trainer")
+    run.add_argument("--model", default="fnn3", choices=list_models())
+    run.add_argument("--algorithm", default="a2sgd", choices=list_compressors())
+    run.add_argument("--workers", type=int, default=4)
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--iterations", type=int, default=12, help="iterations per epoch")
+    run.add_argument("--batch-size", type=int, default=16)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--output", default=None, help="optional JSON output path")
+
+    sweep = sub.add_parser("sweep", help="Figure-3-style convergence sweep")
+    sweep.add_argument("--model", default="fnn3", choices=list_models())
+    sweep.add_argument("--workers", type=int, nargs="+", default=[2, 4, 8])
+    sweep.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
+    sweep.add_argument("--epochs", type=int, default=3)
+    sweep.add_argument("--output", default=None, help="optional JSON output path")
+
+    cost = sub.add_parser("cost", help="paper-scale cost model (Figures 4/5, Table 2)")
+    cost.add_argument("--models", nargs="+", default=["fnn3", "vgg16", "resnet20", "lstm_ptb"])
+    cost.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
+    cost.add_argument("--workers", type=int, nargs="+", default=[2, 4, 8, 16])
+    cost.add_argument("--output", default=None, help="optional JSON output path")
+
+    compare = sub.add_parser("compare", help="compare compressors on one gradient")
+    compare.add_argument("--size", type=int, default=1_000_000)
+    compare.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# command implementations (each returns the text it printed, for testing)
+# ---------------------------------------------------------------------- #
+def cmd_info() -> str:
+    rows = []
+    for name in list_models():
+        hp = PAPER_HYPERPARAMETERS[name]
+        rows.append([name, f"{PAPER_PARAMETER_COUNTS[name]:,}", hp["dataset"],
+                     hp["batch_size"], hp["base_lr"], hp["lr_policy"], hp["epochs"]])
+    models_table = format_table(
+        ["model", "#params (paper)", "dataset", "batch", "base LR", "LR policy", "epochs"],
+        rows, title="Models (Table 1)")
+    compressors_table = format_table(
+        ["compressor", "exchange", "bits @ 1M params", "complexity"],
+        [[name, get_compressor(name).exchange.value,
+          f"{get_compressor(name).wire_bits(1_000_000):,.0f}",
+          get_compressor(name).computation_complexity(1_000_000)]
+         for name in list_compressors()],
+        title="Gradient compressors")
+    text = models_table + "\n\n" + compressors_table
+    print(text)
+    return text
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(model=args.model, preset="tiny", algorithm=args.algorithm,
+                              world_size=args.workers, epochs=args.epochs,
+                              batch_size=args.batch_size,
+                              max_iterations_per_epoch=args.iterations, seed=args.seed)
+    result = run_experiment(config)
+    rows = [[epoch, f"{loss:.4f}", f"{metric:.2f}"]
+            for epoch, loss, metric in zip(result.metrics.epochs, result.metrics.train_loss,
+                                           result.metrics.metric)]
+    text = format_table(
+        ["epoch", "train loss", result.metric_name],
+        rows,
+        title=(f"{args.model} / {args.algorithm} / {args.workers} workers — "
+               f"{result.wire_bits_per_iteration:,.0f} bits/worker/iteration, "
+               f"{result.wall_time_s:.1f}s wall time"))
+    print(text)
+    if args.output:
+        path = save_json(result.as_dict(), args.output)
+        print(f"results written to {path}")
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    results = convergence_sweep(args.model, algorithms=args.algorithms,
+                                world_sizes=args.workers, epochs=args.epochs)
+    sections: List[str] = []
+    for world_size, row in results.items():
+        series = {name: data["metric"] for name, data in row.items()}
+        epochs = next(iter(row.values()))["epochs"]
+        metric_name = next(iter(row.values()))["metric_name"]
+        sections.append(format_figure_series(
+            series, epochs, x_label="epoch",
+            title=f"{args.model}, {world_size} workers — {metric_name} per epoch"))
+    text = "\n\n".join(sections)
+    print(text)
+    if args.output:
+        path = save_json(results, args.output)
+        print(f"results written to {path}")
+    return text
+
+
+def cmd_cost(args: argparse.Namespace) -> str:
+    sweep = cost_sweep(models=args.models, algorithms=args.algorithms,
+                       world_sizes=args.workers, cost_model=CostModel())
+    sections: List[str] = []
+    for model, entry in sweep.items():
+        series = {name: [round(v * 1e3, 2) for v in data["iteration_s"]]
+                  for name, data in entry["algorithms"].items()}
+        sections.append(format_figure_series(series, entry["world_sizes"], x_label="workers",
+                                             title=f"{model} — ms per iteration (Figure 4)"))
+        efficiency_rows = [[name, f"{data['scaling_efficiency_at_8']:.2f}",
+                            f"{data['communication_bits']:,.0f}"]
+                           for name, data in entry["algorithms"].items()]
+        sections.append(format_table(["algorithm", "scaling efficiency @8", "bits/worker/iter"],
+                                     efficiency_rows, title=f"{model} — Table 2 quantities"))
+    text = "\n\n".join(sections)
+    print(text)
+    if args.output:
+        path = save_json(sweep, args.output)
+        print(f"results written to {path}")
+    return text
+
+
+def cmd_compare(args: argparse.Namespace) -> str:
+    gradient = (np.random.default_rng(args.seed).standard_normal(args.size) * 0.01
+                ).astype(np.float32)
+    rows = []
+    for name in list_compressors():
+        compressor = get_compressor(name)
+        seconds = median_time(lambda c=compressor: c.compress(gradient.copy()), repeats=3)
+        fresh = get_compressor(name)
+        fresh.compress(gradient.copy())
+        rows.append([name, compressor.exchange.value,
+                     f"{compressor.wire_bits(args.size):,.0f}",
+                     f"{seconds * 1e3:.2f}",
+                     f"{fresh.stats.last_compression_error:.3f}"])
+    text = format_table(
+        ["compressor", "exchange", "bits/worker", "compress (ms)", "single-shot error"],
+        rows, title=f"Compressor comparison on an n={args.size:,} gradient")
+    print(text)
+    return text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        cmd_info()
+    elif args.command == "run":
+        cmd_run(args)
+    elif args.command == "sweep":
+        cmd_sweep(args)
+    elif args.command == "cost":
+        cmd_cost(args)
+    elif args.command == "compare":
+        cmd_compare(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

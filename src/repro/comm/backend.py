@@ -1,0 +1,68 @@
+"""Abstract communicator interface.
+
+The trainer is written against this interface so the in-process simulated
+world could later be swapped for a real MPI backend (mpi4py) without touching
+the algorithm code — the same layering Horovod provides in the paper's
+implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+
+class CollectiveOp(enum.Enum):
+    """Reduction operators supported by allreduce / reduce-scatter."""
+
+    SUM = "sum"
+    MEAN = "average"
+    MAX = "max"
+
+    def combine(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Apply the reduction across a sequence of equal-shape arrays."""
+        if not arrays:
+            raise ValueError("cannot reduce an empty sequence")
+        stacked = np.stack([np.asarray(a) for a in arrays])
+        if self is CollectiveOp.SUM:
+            return stacked.sum(axis=0)
+        if self is CollectiveOp.MEAN:
+            return stacked.mean(axis=0)
+        if self is CollectiveOp.MAX:
+            return stacked.max(axis=0)
+        raise NotImplementedError(self)
+
+
+class Communicator:
+    """Per-rank view of a communication world.
+
+    The synchronous collectives take this rank's contribution and return this
+    rank's result; implementations coordinate across ranks however they like
+    (in-process staging here; MPI in a real deployment).
+    """
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def world_size(self) -> int:
+        raise NotImplementedError
+
+    def allreduce(self, array: np.ndarray, op: CollectiveOp = CollectiveOp.MEAN) -> np.ndarray:
+        """Reduce ``array`` across all ranks and return the result to every rank."""
+        raise NotImplementedError
+
+    def allgather(self, array: np.ndarray) -> List[np.ndarray]:
+        """Gather every rank's ``array``; returns the list indexed by rank."""
+        raise NotImplementedError
+
+    def broadcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        """Broadcast ``root``'s array to every rank."""
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (no data movement)."""
+        raise NotImplementedError

@@ -1,0 +1,149 @@
+"""Analytic α–β network cost model.
+
+The standard Hockney model charges ``α + m/β`` seconds to move an ``m``-byte
+message over a link, where ``α`` is the per-message latency and ``β`` the link
+bandwidth in bytes/second.  Collective costs follow Thakur, Rabenseifner &
+Gropp (2005) — the same reference the paper cites ([46]) when discussing
+Allreduce vs Allgather behaviour on its 100 Gbps fabric.
+
+The model produces the *communication* component of iteration time for
+Figures 4/5 and the scaling-efficiency column of Table 2.  Compute and
+compression components are measured on the host running the benchmark, so
+absolute times differ from the paper's V100 testbed while the relative
+ordering (the figure "shape") is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth description of the interconnect.
+
+    Parameters
+    ----------
+    latency_s:
+        Per-message latency α in seconds.
+    bandwidth_Bps:
+        Link bandwidth β in bytes per second.
+    name:
+        Human-readable label used in reports.
+    """
+
+    latency_s: float
+    bandwidth_Bps: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+
+    def point_to_point(self, message_bytes: float) -> float:
+        """Time to move one message of ``message_bytes`` over one link."""
+        return self.latency_s + max(0.0, message_bytes) / self.bandwidth_Bps
+
+
+def infiniband_100gbps() -> NetworkModel:
+    """The paper's fabric: 100 Gbps InfiniBand (EDR), ~1.5 µs MPI latency."""
+    return NetworkModel(latency_s=1.5e-6, bandwidth_Bps=100e9 / 8.0, name="100Gbps InfiniBand")
+
+
+def ethernet_10gbps() -> NetworkModel:
+    """A slower commodity fabric used for what-if comparisons."""
+    return NetworkModel(latency_s=25e-6, bandwidth_Bps=10e9 / 8.0, name="10Gbps Ethernet")
+
+
+@dataclass(frozen=True)
+class CollectiveTimeModel:
+    """Closed-form collective costs on top of a :class:`NetworkModel`.
+
+    All formulas are per-collective wall-clock estimates assuming a flat,
+    full-bisection network (every rank has one NIC of the given bandwidth).
+    """
+
+    network: NetworkModel
+
+    # ------------------------------------------------------------------ #
+    # allreduce
+    # ------------------------------------------------------------------ #
+    def allreduce_ring(self, message_bytes: float, world_size: int) -> float:
+        """Ring allreduce: 2(P−1) steps of ``m/P`` bytes each.
+
+        Bandwidth-optimal for large messages; this is what Horovod/NCCL use
+        for dense gradient exchange.
+        """
+        p = max(1, int(world_size))
+        if p == 1:
+            return 0.0
+        chunk = message_bytes / p
+        steps = 2 * (p - 1)
+        return steps * self.network.point_to_point(chunk)
+
+    def allreduce_recursive_doubling(self, message_bytes: float, world_size: int) -> float:
+        """Recursive-doubling allreduce: log2(P) rounds of the full message.
+
+        Latency-optimal; the right choice for A2SGD's 8-byte payload.
+        """
+        p = max(1, int(world_size))
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return rounds * self.network.point_to_point(message_bytes)
+
+    def allreduce(self, message_bytes: float, world_size: int,
+                  small_message_threshold: float = 4096.0) -> float:
+        """Dispatch between latency- and bandwidth-optimal allreduce.
+
+        MPI implementations switch algorithms by message size; we mimic that
+        so A2SGD's two-scalar exchange is charged the latency-bound cost and
+        dense exchanges the bandwidth-bound cost.
+        """
+        if message_bytes <= small_message_threshold:
+            return self.allreduce_recursive_doubling(message_bytes, world_size)
+        return self.allreduce_ring(message_bytes, world_size)
+
+    # ------------------------------------------------------------------ #
+    # allgather / broadcast / reduce-scatter
+    # ------------------------------------------------------------------ #
+    def allgather(self, per_rank_bytes: float, world_size: int) -> float:
+        """Ring allgather: (P−1) steps, each moving one rank's contribution."""
+        p = max(1, int(world_size))
+        if p == 1:
+            return 0.0
+        return (p - 1) * self.network.point_to_point(per_rank_bytes)
+
+    def broadcast(self, message_bytes: float, world_size: int) -> float:
+        """Binomial-tree broadcast: ceil(log2 P) rounds of the full message."""
+        p = max(1, int(world_size))
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        return rounds * self.network.point_to_point(message_bytes)
+
+    def reduce_scatter(self, message_bytes: float, world_size: int) -> float:
+        """Ring reduce-scatter: (P−1) steps of ``m/P`` bytes."""
+        p = max(1, int(world_size))
+        if p == 1:
+            return 0.0
+        chunk = message_bytes / p
+        return (p - 1) * self.network.point_to_point(chunk)
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def collective_time(self, kind: str, message_bytes: float, world_size: int) -> float:
+        """Time for a named collective (used by the traffic replayer)."""
+        dispatch = {
+            "allreduce": self.allreduce,
+            "allreduce_ring": self.allreduce_ring,
+            "allreduce_recursive_doubling": self.allreduce_recursive_doubling,
+            "allgather": self.allgather,
+            "broadcast": self.broadcast,
+            "reduce_scatter": self.reduce_scatter,
+        }
+        if kind not in dispatch:
+            raise KeyError(f"unknown collective {kind!r}")
+        return dispatch[kind](message_bytes, world_size)

@@ -1,0 +1,60 @@
+"""Cluster topology descriptions.
+
+The paper's testbed is 16 nodes, each with one V100 GPU and a 100 Gbps
+InfiniBand NIC.  The topology object records per-node compute throughput
+relative to the benchmark host so the cost model can translate measured
+compute times into "paper testbed" estimates if desired, and exposes the
+network model of the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.comm.network_model import NetworkModel, infiniband_100gbps
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A single node of the cluster."""
+
+    name: str = "node"
+    gpus_per_node: int = 1
+    gpu_memory_gb: float = 16.0
+    cpu_memory_gb: float = 256.0
+    #: Relative compute speed versus the machine running the simulation (1.0
+    #: means "assume the simulation host's measured compute time").
+    relative_compute_speed: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster of ``num_nodes`` nodes on one fabric."""
+
+    num_nodes: int = 16
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkModel = field(default_factory=infiniband_100gbps)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+
+    @property
+    def total_workers(self) -> int:
+        """One worker per GPU, as in the paper's Horovod setup."""
+        return self.num_nodes * self.node.gpus_per_node
+
+    def validate_world_size(self, world_size: int) -> None:
+        """Check that a requested worker count fits on this cluster."""
+        if world_size > self.total_workers:
+            raise ValueError(f"world size {world_size} exceeds cluster capacity "
+                             f"{self.total_workers}")
+
+
+def paper_testbed() -> ClusterTopology:
+    """The evaluation cluster from §4.1: 16 × (1 V100, 256 GB RAM), 100 Gbps IB."""
+    return ClusterTopology(num_nodes=16,
+                           node=NodeSpec(name="v100-node", gpus_per_node=1,
+                                         gpu_memory_gb=16.0, cpu_memory_gb=256.0),
+                           network=infiniband_100gbps())

@@ -1,0 +1,132 @@
+"""Compressor interface shared by A2SGD and every baseline.
+
+A compressor lives on one worker and participates in gradient
+synchronization in three steps (mirroring §3.1 / Algorithm 1 of the paper):
+
+1. ``compress(gradient)`` — turn the flat local gradient into the *wire
+   payload* this worker contributes to the collective, plus a context dict
+   holding whatever the worker must remember locally (sign masks, error
+   vector, selected indices, ...).
+2. The synchronizer exchanges the payloads: compressors declare whether they
+   want an Allreduce (payloads averaged elementwise — Dense, A2SGD) or an
+   Allgather (every worker receives every payload — Top-K, Gaussian-K, QSGD,
+   whose payloads cannot be averaged on the wire).
+3. ``decompress(global_payload, ctx)`` or ``decompress_gathered(payloads,
+   ctx)`` — reconstruct the gradient this worker feeds to its optimizer.
+
+Two analytic methods report the quantities in Table 2 of the paper:
+``wire_bits(n)`` (communication traffic per worker per iteration) and
+``computation_complexity(n)`` (asymptotic cost of the compression step).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ExchangeKind(enum.Enum):
+    """How a compressor's payloads are exchanged across workers."""
+
+    ALLREDUCE = "allreduce"
+    ALLGATHER = "allgather"
+
+
+@dataclass
+class CompressionStats:
+    """Running statistics a compressor keeps about its own behaviour."""
+
+    iterations: int = 0
+    total_wire_bits: float = 0.0
+    last_wire_bits: float = 0.0
+    last_compression_error: float = 0.0
+
+    def record(self, wire_bits: float, compression_error: float) -> None:
+        self.iterations += 1
+        self.total_wire_bits += float(wire_bits)
+        self.last_wire_bits = float(wire_bits)
+        self.last_compression_error = float(compression_error)
+
+
+class Compressor:
+    """Base class for gradient compressors.
+
+    Subclasses must set :attr:`name` and :attr:`exchange`, and implement
+    :meth:`compress`, one of the decompress methods, :meth:`wire_bits` and
+    :meth:`computation_complexity`.
+    """
+
+    #: Registry / display name.
+    name: str = "base"
+    #: Which collective the synchronizer should run for this compressor.
+    exchange: ExchangeKind = ExchangeKind.ALLREDUCE
+    #: Whether the compressor keeps a persistent residual across iterations.
+    uses_error_feedback: bool = False
+
+    def __init__(self) -> None:
+        self.stats = CompressionStats()
+
+    # ------------------------------------------------------------------ #
+    # core protocol
+    # ------------------------------------------------------------------ #
+    def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        """Compress a flat gradient into (wire payload, local context)."""
+        raise NotImplementedError
+
+    def decompress(self, global_payload: np.ndarray, ctx: Dict) -> np.ndarray:
+        """Reconstruct the update gradient from an Allreduce result."""
+        raise NotImplementedError
+
+    def decompress_gathered(self, payloads: Sequence[np.ndarray], ctx: Dict) -> np.ndarray:
+        """Reconstruct the update gradient from Allgather results."""
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Clear any persistent state (error-feedback memory, statistics)."""
+        self.stats = CompressionStats()
+
+    # ------------------------------------------------------------------ #
+    # analytic properties (Table 2)
+    # ------------------------------------------------------------------ #
+    def wire_bits(self, n: int, world_size: int = 1) -> float:
+        """Bits this worker puts on the wire per iteration for an n-parameter model."""
+        raise NotImplementedError
+
+    def computation_complexity(self, n: int) -> str:
+        """Asymptotic compression cost as reported in Table 2 (e.g. ``"O(n)"``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _flatten(gradient: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(gradient)
+        if gradient.ndim != 1:
+            raise ValueError("compressors operate on flat (1-D) gradient vectors")
+        return gradient
+
+    def _record(self, wire_bits: float, original: np.ndarray,
+                transmitted_estimate: np.ndarray) -> None:
+        """Track wire traffic and the relative compression error."""
+        denom = float(np.linalg.norm(original)) or 1.0
+        error = float(np.linalg.norm(original - transmitted_estimate)) / denom
+        self.stats.record(wire_bits, error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r}, exchange={self.exchange.value})"
+
+
+def sparsity_k(n: int, ratio: float, minimum: int = 1) -> int:
+    """Number of retained coordinates for a sparsification ratio.
+
+    The paper uses "0.001d" (0.1 % of the parameters) for Top-K and
+    Gaussian-K; this helper centralises the rounding so every sparsifier and
+    the cost model agree on ``k``.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("sparsification ratio must be in (0, 1]")
+    return max(minimum, int(round(ratio * n)))

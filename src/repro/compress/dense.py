@@ -1,0 +1,35 @@
+"""Dense SGD: the default algorithm that exchanges full 32-bit gradients."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compress.base import Compressor, ExchangeKind
+
+
+class DenseCompressor(Compressor):
+    """No compression: each worker Allreduces its full gradient.
+
+    Table 2: 32n bits of traffic per worker, O(1) local processing (there is
+    nothing to compute before the exchange).
+    """
+
+    name = "dense"
+    exchange = ExchangeKind.ALLREDUCE
+    uses_error_feedback = False
+
+    def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        gradient = self._flatten(gradient)
+        self._record(32.0 * gradient.size, gradient, gradient)
+        return gradient, {}
+
+    def decompress(self, global_payload: np.ndarray, ctx: Dict) -> np.ndarray:
+        return np.asarray(global_payload)
+
+    def wire_bits(self, n: int, world_size: int = 1) -> float:
+        return 32.0 * n
+
+    def computation_complexity(self, n: int) -> str:
+        return "O(1)"

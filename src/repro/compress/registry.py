@@ -1,0 +1,56 @@
+"""Compressor registry.
+
+Maps the algorithm names used throughout the paper's figures ("Dense",
+"TopK", "GaussianK", "QSGD", "A2SGD") to constructors, so experiments and
+benchmarks can be parameterised by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compress.a2sgd import A2SGDCompressor
+from repro.compress.base import Compressor
+from repro.compress.dense import DenseCompressor
+from repro.compress.dgc import DGCCompressor
+from repro.compress.gaussiank import GaussianKCompressor
+from repro.compress.qsgd import QSGDCompressor
+from repro.compress.randk import RandKCompressor
+from repro.compress.signsgd import SignSGDCompressor
+from repro.compress.terngrad import TernGradCompressor
+from repro.compress.topk import TopKCompressor
+
+COMPRESSOR_REGISTRY: Dict[str, Callable[..., Compressor]] = {
+    "dense": DenseCompressor,
+    "a2sgd": A2SGDCompressor,
+    "topk": TopKCompressor,
+    "gaussiank": GaussianKCompressor,
+    "qsgd": QSGDCompressor,
+    "randk": RandKCompressor,
+    "terngrad": TernGradCompressor,
+    "signsgd": SignSGDCompressor,
+    "dgc": DGCCompressor,
+}
+
+#: The five algorithms compared in every figure of the paper's evaluation.
+PAPER_ALGORITHMS: List[str] = ["dense", "topk", "qsgd", "gaussiank", "a2sgd"]
+
+
+def list_compressors() -> List[str]:
+    """Registered compressor names."""
+    return sorted(COMPRESSOR_REGISTRY)
+
+
+def get_compressor(name: str, **kwargs) -> Compressor:
+    """Construct a compressor by (case-insensitive) name.
+
+    Extra keyword arguments are forwarded to the constructor, e.g.
+    ``get_compressor("topk", ratio=0.01)``.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {"top_k": "topk", "gaussian_k": "gaussiank", "rand_k": "randk",
+               "a2": "a2sgd", "densesgd": "dense"}
+    key = aliases.get(key, key)
+    if key not in COMPRESSOR_REGISTRY:
+        raise KeyError(f"unknown compressor {name!r}; available: {list_compressors()}")
+    return COMPRESSOR_REGISTRY[key](**kwargs)

@@ -1,0 +1,67 @@
+"""SignSGD / 1-bit SGD with error feedback (Seide et al., 2014; Karimireddy et al., 2019).
+
+Each coordinate is reduced to its sign, scaled by the mean magnitude of the
+(error-corrected) gradient so the update is on the right scale; the
+quantization residual is kept locally and added to the next gradient
+(the EF-signSGD fix that restores convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.base import Compressor, ExchangeKind
+
+
+class SignSGDCompressor(Compressor):
+    """1-bit sign compression with mean-magnitude scaling and error feedback."""
+
+    name = "signsgd"
+    exchange = ExchangeKind.ALLGATHER
+    uses_error_feedback = True
+
+    def __init__(self, error_feedback: bool = True):
+        super().__init__()
+        self.error_feedback = bool(error_feedback)
+        self._residual: np.ndarray | None = None
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._residual = None
+
+    def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        gradient = self._flatten(gradient)
+        if self.error_feedback:
+            if self._residual is None or self._residual.shape != gradient.shape:
+                self._residual = np.zeros_like(gradient)
+            corrected = self._residual + gradient
+        else:
+            corrected = gradient
+
+        scale = float(np.abs(corrected).mean())
+        signs = np.sign(corrected)
+        estimate = (scale * signs).astype(gradient.dtype)
+        if self.error_feedback:
+            self._residual = corrected - estimate
+
+        payload = np.concatenate([[scale], signs.astype(np.float64)])
+        wire = self.wire_bits(gradient.size)
+        self._record(wire, corrected, estimate)
+        return payload, {"n": gradient.size}
+
+    def decompress_gathered(self, payloads: Sequence[np.ndarray], ctx: Dict) -> np.ndarray:
+        n = int(ctx["n"])
+        total = np.zeros(n, dtype=np.float64)
+        for payload in payloads:
+            payload = np.asarray(payload, dtype=np.float64)
+            total += payload[0] * payload[1:]
+        return (total / len(payloads)).astype(np.float32)
+
+    def wire_bits(self, n: int, world_size: int = 1) -> float:
+        """One bit per coordinate plus one 32-bit scale."""
+        return float(n) + 32.0
+
+    def computation_complexity(self, n: int) -> str:
+        return "O(n)"

@@ -1,0 +1,68 @@
+"""TernGrad — ternary gradient quantization (Wen et al., 2017; extension baseline).
+
+Each coordinate is quantized to ``s_t · {-1, 0, +1}`` where ``s_t = max|g|``
+and the ternary value is drawn so the encoding is unbiased:
+``P(b_i = 1) = |g_i| / s_t``.  The wire cost is roughly 2 bits per coordinate
+plus one scalar for ``s_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.base import Compressor, ExchangeKind
+from repro.utils.rng import new_rng
+
+
+class TernGradCompressor(Compressor):
+    """Unbiased ternary quantization with a shared per-tensor scale."""
+
+    name = "terngrad"
+    exchange = ExchangeKind.ALLGATHER
+    uses_error_feedback = False
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 clip_std: Optional[float] = 2.5):
+        super().__init__()
+        self.rng = rng if rng is not None else new_rng("terngrad")
+        #: Optional gradient clipping (in standard deviations) recommended by
+        #: the TernGrad paper to bound the scale; ``None`` disables it.
+        self.clip_std = clip_std
+
+    def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
+        gradient = self._flatten(gradient).astype(np.float64)
+        work = gradient
+        if self.clip_std is not None and gradient.size > 1:
+            sigma = gradient.std()
+            if sigma > 0:
+                bound = self.clip_std * sigma
+                work = np.clip(gradient, -bound, bound)
+        scale = float(np.abs(work).max())
+        if scale == 0.0:
+            ternary = np.zeros(gradient.size, dtype=np.int8)
+        else:
+            probability = np.abs(work) / scale
+            ternary = (np.sign(work) * (self.rng.random(gradient.size) < probability)
+                       ).astype(np.int8)
+        estimate = (ternary.astype(np.float64) * scale).astype(np.float32)
+        payload = np.concatenate([[scale], ternary.astype(np.float64)])
+        wire = self.wire_bits(gradient.size)
+        self._record(wire, gradient, estimate)
+        return payload, {"n": gradient.size}
+
+    def decompress_gathered(self, payloads: Sequence[np.ndarray], ctx: Dict) -> np.ndarray:
+        n = int(ctx["n"])
+        total = np.zeros(n, dtype=np.float64)
+        for payload in payloads:
+            payload = np.asarray(payload, dtype=np.float64)
+            total += payload[0] * payload[1:]
+        return (total / len(payloads)).astype(np.float32)
+
+    def wire_bits(self, n: int, world_size: int = 1) -> float:
+        """Two bits per coordinate (three levels) plus one 32-bit scale."""
+        return 2.0 * n + 32.0
+
+    def computation_complexity(self, n: int) -> str:
+        return "O(n)"

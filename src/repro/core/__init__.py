@@ -1,0 +1,37 @@
+"""Core orchestration: distributed trainer, synchronizer, cost model, experiments."""
+
+from repro.core.flatten import flatten_gradients, flatten_parameters, unflatten_into_gradients, unflatten_into_parameters
+from repro.core.metrics import TrainingMetrics, evaluate_classifier, evaluate_language_model, top1_accuracy
+from repro.core.timeline import IterationTimeline, SyncReport
+from repro.core.synchronizer import GradientSynchronizer
+from repro.core.trainer import DistributedTrainer, TrainerConfig
+from repro.core.cost_model import CompressionTimingEstimator, CostModel, IterationCostBreakdown
+from repro.core.algorithm1 import a2sgd_quadratic_descent, dense_quadratic_descent
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = [
+    "flatten_gradients",
+    "flatten_parameters",
+    "unflatten_into_gradients",
+    "unflatten_into_parameters",
+    "TrainingMetrics",
+    "top1_accuracy",
+    "evaluate_classifier",
+    "evaluate_language_model",
+    "IterationTimeline",
+    "SyncReport",
+    "GradientSynchronizer",
+    "DistributedTrainer",
+    "TrainerConfig",
+    "CostModel",
+    "CompressionTimingEstimator",
+    "IterationCostBreakdown",
+    "a2sgd_quadratic_descent",
+    "dense_quadratic_descent",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,104 @@
+"""Checkpointing for distributed training runs.
+
+Long sweeps (the paper's 150-epoch VGG runs) need to survive interruption.
+A checkpoint captures, for every simulated worker: the replica parameters,
+the optimizer state (momentum buffers), and the compressor's error-feedback
+residual — plus the trainer's progress counters and metric history.  Loading
+restores bit-identical training state so a resumed run continues exactly
+where it stopped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.core.flatten import flatten_parameters, unflatten_into_parameters
+from repro.core.trainer import DistributedTrainer
+
+
+def _compressor_state(compressor) -> Dict[str, np.ndarray]:
+    state: Dict[str, np.ndarray] = {}
+    residual = getattr(compressor, "_residual", None)
+    if residual is not None:
+        state["residual"] = residual
+    velocity = getattr(compressor, "_velocity", None)
+    if velocity is not None:
+        state["velocity"] = velocity
+    return state
+
+
+def _restore_compressor_state(compressor, state: Dict[str, np.ndarray]) -> None:
+    if "residual" in state:
+        compressor._residual = np.array(state["residual"], copy=True)
+    if "velocity" in state:
+        compressor._velocity = np.array(state["velocity"], copy=True)
+
+
+def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
+    """Write the trainer's full state to an ``.npz`` checkpoint."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    for rank, replica in enumerate(trainer.replicas):
+        arrays[f"params_{rank}"] = flatten_parameters(replica)
+        optimizer_state = trainer.optimizers[rank].state_dict() if hasattr(
+            trainer.optimizers[rank], "state_dict") else {"lr": trainer.optimizers[rank].lr,
+                                                          "velocity": {}}
+        arrays[f"opt_lr_{rank}"] = np.array([optimizer_state["lr"]], dtype=np.float64)
+        for index, buffer in optimizer_state.get("velocity", {}).items():
+            arrays[f"opt_velocity_{rank}_{index}"] = buffer
+        for key, value in _compressor_state(trainer.compressors[rank]).items():
+            arrays[f"compressor_{key}_{rank}"] = value
+
+    arrays["progress"] = np.array([trainer._global_iteration, len(trainer.metrics.epochs)],
+                                  dtype=np.int64)
+    arrays["metric_history"] = np.array(trainer.metrics.metric, dtype=np.float64)
+    arrays["loss_history"] = np.array(trainer.metrics.train_loss, dtype=np.float64)
+    arrays["epoch_history"] = np.array(trainer.metrics.epochs, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> DistributedTrainer:
+    """Restore a trainer's state from :func:`save_checkpoint` output.
+
+    The trainer must have been constructed with the same configuration
+    (model, preset, world size); shape mismatches raise.
+    """
+    data = np.load(Path(path), allow_pickle=False)
+
+    for rank, replica in enumerate(trainer.replicas):
+        key = f"params_{rank}"
+        if key not in data:
+            raise KeyError(f"checkpoint is missing {key!r}; was it saved with "
+                           f"world_size={len(trainer.replicas)}?")
+        unflatten_into_parameters(replica, data[key])
+
+        optimizer = trainer.optimizers[rank]
+        optimizer.set_lr(float(data[f"opt_lr_{rank}"][0]))
+        if hasattr(optimizer, "load_state_dict"):
+            velocity = {}
+            prefix = f"opt_velocity_{rank}_"
+            for name in data.files:
+                if name.startswith(prefix):
+                    velocity[int(name[len(prefix):])] = data[name]
+            optimizer.load_state_dict({"lr": optimizer.lr, "momentum": optimizer.momentum,
+                                       "velocity": velocity})
+
+        state = {}
+        for kind in ("residual", "velocity"):
+            key = f"compressor_{kind}_{rank}"
+            if key in data:
+                state[kind] = data[key]
+        _restore_compressor_state(trainer.compressors[rank], state)
+
+    progress = data["progress"]
+    trainer._global_iteration = int(progress[0])
+    trainer.metrics.epochs = [int(v) for v in data["epoch_history"]]
+    trainer.metrics.metric = [float(v) for v in data["metric_history"]]
+    trainer.metrics.train_loss = [float(v) for v in data["loss_history"]]
+    return trainer

@@ -1,0 +1,379 @@
+"""Analytic cost model for iteration time, scaling efficiency and traffic.
+
+Figures 4/5 and the scaling column of Table 2 evaluate the paper's full-size
+models (up to 66 M parameters) on a 16-node V100 cluster.  Training those
+models end-to-end in NumPy is not feasible, so the reproduction rebuilds the
+figures from a per-iteration cost breakdown:
+
+``iteration_time = compute + compression + communication``
+
+* **compute** — the forward/backward time of the model on its share of the
+  global batch.  Modelled as ``flops / effective_flops`` with the paper's
+  parameter counts; the default ``effective_flops`` approximates one V100.
+  This term is identical across algorithms, exactly as in the paper, so it
+  only sets the baseline each algorithm's overhead is added to.
+* **compression** — an analytic model of each algorithm's gradient-processing
+  cost *on the paper's hardware*: the GPU-implemented algorithms (A2SGD,
+  Top-K, Gaussian-K) are charged a few memory passes over the gradient at GPU
+  memory bandwidth (plus a selection term for Top-K), while QSGD is charged
+  the throughput of the CPU/NumPy reference implementation the paper
+  benchmarks (§4.1/[42]).  The constants are documented on
+  :class:`AnalyticCompressionModel`.  (The *measured* kernel times of this
+  repository's own implementations are still available through
+  :class:`CompressionTimingEstimator`; the Figure 2 benchmark uses those
+  directly because Figure 2 is precisely a measurement of compression
+  kernels.)
+* **communication** — the α–β model of the collective the algorithm uses,
+  with the analytic wire size from Table 2 (32n, 32k, 2.8n+32 or 64 bits).
+
+Absolute numbers therefore differ from the paper's testbed, but the ordering,
+ratios and crossovers — which algorithm wins for which model size and worker
+count — are determined by the same structural quantities the paper analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.comm.network_model import CollectiveTimeModel, NetworkModel, infiniband_100gbps
+from repro.compress.base import ExchangeKind, sparsity_k
+from repro.compress.registry import get_compressor
+from repro.models.registry import PAPER_HYPERPARAMETERS, PAPER_PARAMETER_COUNTS
+from repro.utils.rng import new_rng
+from repro.utils.timer import median_time
+
+
+@dataclass
+class IterationCostBreakdown:
+    """Per-iteration time components for one (model, algorithm, P) point."""
+
+    model: str
+    algorithm: str
+    world_size: int
+    compute_s: float
+    compression_s: float
+    communication_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.compression_s + self.communication_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute_s": self.compute_s,
+            "compression_s": self.compression_s,
+            "communication_s": self.communication_s,
+            "total_s": self.total_s,
+        }
+
+
+class CompressionTimingEstimator:
+    """Measure compressor kernels on a sample vector and extrapolate to size n.
+
+    Measuring at the full 66 M parameters for every algorithm would dominate
+    benchmark runtime, so kernels are timed at ``sample_size`` coordinates and
+    scaled by the algorithm's complexity model:
+
+    * linear algorithms (A2SGD, Gaussian-K, TernGrad, SignSGD): time ∝ n;
+    * Top-K: time ∝ n + k·log n  (argpartition + selection);
+    * QSGD reference implementation: time ∝ n² (per the paper's Table 2 the
+      benchmarked implementation quantizes coordinates in a Python loop), with
+      the quadratic term damped by ``qsgd_python_overhead`` to keep the
+      extrapolation within the order of magnitude Figure 2 reports;
+    * Dense: zero (nothing to compute).
+    """
+
+    #: Exponent model per algorithm: time(n) = measured * (n / sample)^exponent.
+    COMPLEXITY_EXPONENT: Dict[str, float] = {
+        "dense": 0.0,
+        "a2sgd": 1.0,
+        "gaussiank": 1.0,
+        "terngrad": 1.0,
+        "signsgd": 1.0,
+        "randk": 1.0,
+        "topk": 1.05,
+        "qsgd": 1.25,
+    }
+
+    def __init__(self, sample_size: int = 1_000_000, repeats: int = 3,
+                 seed: int = 0):
+        if sample_size < 1:
+            raise ValueError("sample_size must be positive")
+        self.sample_size = int(sample_size)
+        self.repeats = int(repeats)
+        self.seed = int(seed)
+        self._cache: Dict[str, float] = {}
+
+    def _measure(self, algorithm: str) -> float:
+        """Seconds to compress one ``sample_size`` gradient with ``algorithm``."""
+        if algorithm in self._cache:
+            return self._cache[algorithm]
+        if algorithm == "dense":
+            self._cache[algorithm] = 0.0
+            return 0.0
+        gradient = new_rng("cost_model_sample", seed=self.seed).standard_normal(
+            self.sample_size).astype(np.float32)
+        compressor = get_compressor(algorithm)
+        measured = median_time(lambda: compressor.compress(gradient), repeats=self.repeats)
+        self._cache[algorithm] = float(measured)
+        return self._cache[algorithm]
+
+    def compression_time(self, algorithm: str, n: int) -> float:
+        """Estimated compression time for an ``n``-parameter gradient."""
+        algorithm = algorithm.lower()
+        if algorithm == "dense":
+            return 0.0
+        measured = self._measure(algorithm)
+        exponent = self.COMPLEXITY_EXPONENT.get(algorithm, 1.0)
+        scale = (max(1, n) / self.sample_size) ** exponent
+        return measured * scale
+
+
+@dataclass
+class AnalyticCompressionModel:
+    """Compression time on the paper's testbed, from first principles.
+
+    The paper implements A2SGD, Top-K and Gaussian-K with PyTorch GPU tensor
+    ops and QSGD with the NumPy reference implementation ([42]); §4.3 and
+    Figure 2 discuss the resulting computation costs.  This model charges:
+
+    * GPU algorithms: ``passes × 4n bytes / gpu_bandwidth`` — they are
+      memory-bandwidth bound elementwise/reduction kernels (A2SGD: two means
+      + error vector ≈ 3 passes; Gaussian-K: mean/std/threshold/mask ≈ 5
+      passes; Rand-K and the quantizers ≈ 3 passes);
+    * Top-K: the same passes plus an explicit k-selection term at
+      ``topk_selection_rate`` elements/second — GPU top-k selection is far
+      slower than a streaming pass (the paper cites [48, 49] on this);
+    * QSGD: ``n / qsgd_cpu_rate`` — the throughput of the Python/NumPy loop
+      the paper actually benchmarks, which is why QSGD's computation
+      dominates its iteration time (and why Table 2 lists it as O(n²)).
+
+    Parameters are exposed so ablation benches can ask "what if Top-K
+    selection were free" or "what if QSGD were GPU-accelerated".
+    """
+
+    gpu_bandwidth_Bps: float = 700e9          # sustained V100 HBM2 bandwidth
+    topk_selection_rate: float = 1.0e9        # elements/s for GPU k-selection
+    qsgd_cpu_rate: float = 1.0e8              # elements/s for the NumPy reference
+    kernel_launch_overhead_s: float = 50e-6   # fixed per-kernel launch cost
+
+    #: Memory passes over the gradient for each GPU-implemented algorithm.
+    GPU_PASSES: Dict[str, float] = field(default_factory=lambda: {
+        "a2sgd": 3.0,
+        "gaussiank": 5.0,
+        "topk": 2.0,
+        "randk": 2.0,
+        "terngrad": 3.0,
+        "signsgd": 3.0,
+    })
+
+    def compression_time(self, algorithm: str, n: int) -> float:
+        """Seconds to compress an ``n``-parameter gradient with ``algorithm``."""
+        algorithm = algorithm.lower()
+        if algorithm == "dense":
+            return 0.0
+        if algorithm == "qsgd":
+            return self.kernel_launch_overhead_s + n / self.qsgd_cpu_rate
+        passes = self.GPU_PASSES.get(algorithm, 3.0)
+        time_s = self.kernel_launch_overhead_s + passes * 4.0 * n / self.gpu_bandwidth_Bps
+        if algorithm == "topk":
+            time_s += n / self.topk_selection_rate
+        return time_s
+
+
+@dataclass
+class CostModel:
+    """End-to-end iteration / training-time model for the paper's evaluation.
+
+    Parameters
+    ----------
+    network:
+        Fabric model (defaults to the paper's 100 Gbps InfiniBand).
+    effective_flops:
+        Sustained FLOP/s assumed for one worker's forward/backward pass.
+    flops_per_parameter_per_example:
+        FLOPs charged per parameter per training example (≈6: two for the
+        forward pass, four for backward).
+    framework_overhead_s:
+        Fixed per-iteration framework/kernel-launch overhead.  It dominates
+        the small models (FNN-3, ResNet-20), which is why the paper observes
+        "immaterial differences" between algorithms there.
+    per_example_overhead_s:
+        Host-side cost per training example (data loading, host-to-device
+        copy).  It shrinks with the per-worker batch, which is what makes
+        even the small models speed up with more workers in Figure 5.
+    lstm_sequence_length:
+        Unrolled timesteps for the LSTM model (its parameters are reused at
+        every timestep, multiplying the compute cost).
+    sparsity_ratio:
+        The paper's Top-K / Gaussian-K density (0.001 of n).
+    compression:
+        Analytic model of compression time on the paper's hardware.
+    timing:
+        Measured-kernel estimator (kept for "measured" mode / Figure 2).
+    """
+
+    network: NetworkModel = field(default_factory=infiniband_100gbps)
+    effective_flops: float = 7.0e12
+    flops_per_parameter_per_example: float = 6.0
+    framework_overhead_s: float = 2e-3
+    per_example_overhead_s: float = 40e-6
+    lstm_sequence_length: int = 35
+    sparsity_ratio: float = 0.001
+    qsgd_levels: int = 4
+    compression: Optional[AnalyticCompressionModel] = None
+    timing: Optional[CompressionTimingEstimator] = None
+    use_measured_compression: bool = False
+
+    #: How many times each parameter is applied per example: convolution
+    #: kernels are reused across spatial positions and LSTM weights across
+    #: timesteps, so FLOPs are (reuse × 6 × n) per example.  Values are the
+    #: ratio of per-example MACs to parameter count for the CIFAR-sized
+    #: models (VGG-16 ≈ 313 M MACs / 14.7 M params, ResNet-20 ≈ 41 M MACs /
+    #: 0.27 M params) and the 35-step PTB unroll.
+    COMPUTE_REUSE_FACTOR: Dict[str, float] = field(default_factory=lambda: {
+        "fnn3": 1.0,
+        "vgg16": 21.0,
+        "resnet20": 152.0,
+        "lstm_ptb": 35.0,
+    })
+
+    def __post_init__(self) -> None:
+        if self.compression is None:
+            self.compression = AnalyticCompressionModel()
+        if self.timing is None and self.use_measured_compression:
+            self.timing = CompressionTimingEstimator()
+        self.time_model = CollectiveTimeModel(self.network)
+
+    # ------------------------------------------------------------------ #
+    # Table 2, columns 2-3: analytic complexity and traffic
+    # ------------------------------------------------------------------ #
+    def communication_bits(self, algorithm: str, n: int) -> float:
+        """Bits per worker per iteration (Table 2, column 3)."""
+        return get_compressor(algorithm).wire_bits(n)
+
+    def computation_complexity(self, algorithm: str, n: int) -> str:
+        """Asymptotic compression complexity (Table 2, column 2)."""
+        return get_compressor(algorithm).computation_complexity(n)
+
+    # ------------------------------------------------------------------ #
+    # per-iteration breakdown (Figure 4)
+    # ------------------------------------------------------------------ #
+    def model_parameters(self, model: str) -> int:
+        """Parameter count ``n`` from Table 1."""
+        key = model.lower()
+        if key not in PAPER_PARAMETER_COUNTS:
+            raise KeyError(f"unknown model {model!r}; known: {sorted(PAPER_PARAMETER_COUNTS)}")
+        return PAPER_PARAMETER_COUNTS[key]
+
+    def compute_time(self, model: str, world_size: int) -> float:
+        """Forward/backward seconds for one worker's share of the global batch.
+
+        Includes the fixed per-iteration framework overhead, which is why
+        small models show little difference between algorithms (paper §4.4).
+        """
+        key = model.lower()
+        n = self.model_parameters(key)
+        batch = int(PAPER_HYPERPARAMETERS[key]["batch_size"])
+        per_worker = max(1, batch // max(1, world_size))
+        reuse = self.COMPUTE_REUSE_FACTOR.get(key, 1.0)
+        flops = self.flops_per_parameter_per_example * n * per_worker * reuse
+        return (self.framework_overhead_s
+                + self.per_example_overhead_s * per_worker
+                + flops / self.effective_flops)
+
+    def communication_time(self, algorithm: str, model: str, world_size: int) -> float:
+        """Collective time for one synchronization under the α–β model."""
+        algorithm = algorithm.lower()
+        n = self.model_parameters(model)
+        compressor = get_compressor(algorithm)
+        message_bytes = compressor.wire_bits(n, world_size) / 8.0
+        if compressor.exchange is ExchangeKind.ALLREDUCE:
+            return self.time_model.allreduce(message_bytes, world_size)
+        return self.time_model.allgather(message_bytes, world_size)
+
+    def compression_time(self, algorithm: str, model: str) -> float:
+        """Compression + reconstruction time for one iteration.
+
+        Uses the analytic (paper-hardware) model by default; switches to the
+        measured-kernel estimator when ``use_measured_compression`` is set.
+        """
+        n = self.model_parameters(model)
+        if self.use_measured_compression and self.timing is not None:
+            return self.timing.compression_time(algorithm.lower(), n)
+        return self.compression.compression_time(algorithm.lower(), n)
+
+    def iteration_breakdown(self, model: str, algorithm: str,
+                            world_size: int) -> IterationCostBreakdown:
+        """Full per-iteration breakdown for Figure 4."""
+        return IterationCostBreakdown(
+            model=model.lower(),
+            algorithm=algorithm.lower(),
+            world_size=int(world_size),
+            compute_s=self.compute_time(model, world_size),
+            compression_s=self.compression_time(algorithm, model),
+            communication_s=self.communication_time(algorithm, model, world_size),
+        )
+
+    def iteration_time(self, model: str, algorithm: str, world_size: int) -> float:
+        """Average iteration time (the quantity Figure 4 plots)."""
+        return self.iteration_breakdown(model, algorithm, world_size).total_s
+
+    # ------------------------------------------------------------------ #
+    # total training time (Figure 5)
+    # ------------------------------------------------------------------ #
+    def iterations_per_epoch(self, model: str, dataset_examples: Optional[int] = None) -> int:
+        """Number of global-batch iterations per epoch.
+
+        Dataset sizes follow the standard corpora the paper trains on:
+        60 k (MNIST), 50 k (CIFAR-10) and ≈930 k tokens / (batch·35) windows
+        for PTB.
+        """
+        key = model.lower()
+        batch = int(PAPER_HYPERPARAMETERS[key]["batch_size"])
+        if dataset_examples is None:
+            dataset_examples = {
+                "fnn3": 60_000,
+                "vgg16": 50_000,
+                "resnet20": 50_000,
+                "lstm_ptb": 929_000 // self.lstm_sequence_length,
+            }[key]
+        return max(1, dataset_examples // batch)
+
+    def total_training_time(self, model: str, algorithm: str, world_size: int,
+                            epochs: Optional[int] = None) -> float:
+        """Total training time for Figure 5 (iteration time × iterations).
+
+        In data-parallel training the global batch is fixed, so the number of
+        iterations per epoch is independent of P; more workers help because
+        each worker's compute shrinks while the (per-iteration) synchronization
+        cost grows only mildly.
+        """
+        key = model.lower()
+        if epochs is None:
+            epochs = int(PAPER_HYPERPARAMETERS[key]["epochs"])
+        iterations = self.iterations_per_epoch(key) * epochs
+        return self.iteration_time(key, algorithm, world_size) * iterations
+
+    # ------------------------------------------------------------------ #
+    # throughput / scaling efficiency (Table 2, last column)
+    # ------------------------------------------------------------------ #
+    def throughput(self, model: str, algorithm: str, world_size: int) -> float:
+        """Examples processed per second across the whole job."""
+        key = model.lower()
+        batch = int(PAPER_HYPERPARAMETERS[key]["batch_size"])
+        return batch / self.iteration_time(key, algorithm, world_size)
+
+    def scaling_efficiency(self, model: str, algorithm: str, world_size: int = 8,
+                           reference_world_size: int = 2) -> float:
+        """Throughput at ``world_size`` normalized to dense SGD at 2 workers.
+
+        This is exactly the paper's definition: ``t_P / t^D_2`` where ``t`` is
+        throughput, the reference being dense SGD with two workers.
+        """
+        reference = self.throughput(model, "dense", reference_world_size)
+        return self.throughput(model, algorithm, world_size) / reference

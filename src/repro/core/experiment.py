@@ -1,0 +1,115 @@
+"""High-level experiment runner used by examples and the benchmark harness.
+
+An :class:`ExperimentConfig` describes one cell of the paper's evaluation
+grid (model × algorithm × worker count); :func:`run_experiment` trains it and
+returns an :class:`ExperimentResult` with the convergence curve, timing
+breakdown and traffic accounting, ready to be rendered into the paper's
+figures and tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.comm.network_model import NetworkModel
+from repro.core.metrics import TrainingMetrics
+from repro.core.timeline import IterationTimeline
+from repro.core.trainer import DistributedTrainer, TrainerConfig
+from repro.utils.serialization import to_jsonable
+
+
+@dataclass
+class ExperimentConfig:
+    """One (model, algorithm, world size) experiment."""
+
+    model: str = "fnn3"
+    preset: str = "tiny"
+    algorithm: str = "a2sgd"
+    world_size: int = 4
+    epochs: int = 3
+    seed: int = 0
+    max_iterations_per_epoch: Optional[int] = 20
+    batch_size: Optional[int] = None
+    base_lr: Optional[float] = None
+    num_train: Optional[int] = None
+    num_test: Optional[int] = None
+    seq_len: int = 12
+    compressor_kwargs: Dict[str, object] = field(default_factory=dict)
+    network: Optional[NetworkModel] = None
+
+    def trainer_config(self) -> TrainerConfig:
+        """Translate into the trainer's configuration object."""
+        return TrainerConfig(
+            model=self.model,
+            preset=self.preset,
+            algorithm=self.algorithm,
+            world_size=self.world_size,
+            epochs=self.epochs,
+            seed=self.seed,
+            batch_size=self.batch_size,
+            base_lr=self.base_lr,
+            max_iterations_per_epoch=self.max_iterations_per_epoch,
+            seq_len=self.seq_len,
+            num_train=self.num_train,
+            num_test=self.num_test,
+            compressor_kwargs=dict(self.compressor_kwargs),
+            network=self.network,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure/table needs about one finished experiment."""
+
+    config: ExperimentConfig
+    metrics: TrainingMetrics
+    timeline: IterationTimeline
+    num_parameters: int
+    wire_bits_per_iteration: float
+    wall_time_s: float
+
+    @property
+    def final_metric(self) -> float:
+        return self.metrics.final_metric
+
+    @property
+    def metric_name(self) -> str:
+        return self.metrics.metric_name
+
+    def as_dict(self) -> Dict[str, object]:
+        return to_jsonable({
+            "config": self.config,
+            "metrics": self.metrics.as_dict(),
+            "timeline": self.timeline.as_dict(),
+            "num_parameters": self.num_parameters,
+            "wire_bits_per_iteration": self.wire_bits_per_iteration,
+            "wall_time_s": self.wall_time_s,
+        })
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Train one configuration end to end and collect its results."""
+    start = time.perf_counter()
+    trainer = DistributedTrainer(config.trainer_config())
+    metrics = trainer.train()
+    wall = time.perf_counter() - start
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        timeline=trainer.timeline,
+        num_parameters=trainer.num_parameters,
+        wire_bits_per_iteration=trainer.wire_bits_per_iteration,
+        wall_time_s=wall,
+    )
+
+
+def run_algorithm_sweep(base: ExperimentConfig,
+                        algorithms: List[str]) -> Dict[str, ExperimentResult]:
+    """Run the same experiment for several algorithms (one Figure 3 panel)."""
+    results: Dict[str, ExperimentResult] = {}
+    for algorithm in algorithms:
+        config = ExperimentConfig(**{**base.__dict__, "algorithm": algorithm})
+        results[algorithm] = run_experiment(config)
+    return results

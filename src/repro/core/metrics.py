@@ -1,0 +1,118 @@
+"""Evaluation metrics: top-1 accuracy, perplexity, throughput."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.data.synthetic_text import LanguageModelBatcher
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F, no_grad
+
+
+def top1_accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the integer target."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets).reshape(-1)
+    if logits.shape[0] != targets.shape[0]:
+        raise ValueError("logits and targets must have the same number of rows")
+    predictions = logits.argmax(axis=1)
+    return float((predictions == targets).mean())
+
+
+def evaluate_classifier(model: Module, dataset: ArrayDataset, batch_size: int = 256,
+                        max_examples: Optional[int] = None) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (percent, as the paper plots)."""
+    model.eval()
+    correct = 0
+    total = 0
+    limit = len(dataset) if max_examples is None else min(len(dataset), max_examples)
+    with no_grad():
+        for start in range(0, limit, batch_size):
+            end = min(start + batch_size, limit)
+            xs = np.stack([dataset[i][0] for i in range(start, end)])
+            ys = np.asarray([dataset[i][1] for i in range(start, end)])
+            logits = model(Tensor(xs))
+            correct += int((logits.data.argmax(axis=1) == ys).sum())
+            total += len(ys)
+    model.train()
+    return 100.0 * correct / max(1, total)
+
+
+def evaluate_language_model(model: Module, batcher: LanguageModelBatcher,
+                            max_batches: Optional[int] = None) -> float:
+    """Perplexity of a language model on a token stream."""
+    model.eval()
+    total_loss = 0.0
+    total_tokens = 0
+    state = None
+    with no_grad():
+        for i, (inputs, targets) in enumerate(batcher.batches()):
+            if max_batches is not None and i >= max_batches:
+                break
+            logits, state = model(inputs, state)
+            state = model.detach_state(state)
+            loss = F.cross_entropy(logits, targets.reshape(-1))
+            count = targets.size
+            total_loss += float(loss.item()) * count
+            total_tokens += count
+    model.train()
+    if total_tokens == 0:
+        raise ValueError("language-model evaluation saw no tokens")
+    return float(np.exp(min(30.0, total_loss / total_tokens)))
+
+
+@dataclass
+class TrainingMetrics:
+    """Per-epoch history collected by the trainer.
+
+    ``metric`` holds top-1 accuracy (percent) for classification models and
+    perplexity for language models — the same quantities Figure 3 plots.
+    """
+
+    metric_name: str = "top1"
+    epochs: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    metric: List[float] = field(default_factory=list)
+    simulated_comm_time_s: List[float] = field(default_factory=list)
+    wall_compute_time_s: List[float] = field(default_factory=list)
+
+    def record_epoch(self, epoch: int, train_loss: float, metric_value: float,
+                     comm_time: float, compute_time: float) -> None:
+        self.epochs.append(int(epoch))
+        self.train_loss.append(float(train_loss))
+        self.metric.append(float(metric_value))
+        self.simulated_comm_time_s.append(float(comm_time))
+        self.wall_compute_time_s.append(float(compute_time))
+
+    @property
+    def final_metric(self) -> float:
+        if not self.metric:
+            raise ValueError("no epochs recorded")
+        return self.metric[-1]
+
+    @property
+    def best_metric(self) -> float:
+        if not self.metric:
+            raise ValueError("no epochs recorded")
+        return max(self.metric) if self.metric_name == "top1" else min(self.metric)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "metric_name": self.metric_name,
+            "epochs": list(self.epochs),
+            "train_loss": list(self.train_loss),
+            "metric": list(self.metric),
+            "simulated_comm_time_s": list(self.simulated_comm_time_s),
+            "wall_compute_time_s": list(self.wall_compute_time_s),
+        }
+
+
+def throughput_examples_per_second(examples: int, elapsed_s: float) -> float:
+    """Images (or tokens) processed per second — Table 2's throughput measure."""
+    if elapsed_s <= 0:
+        raise ValueError("elapsed time must be positive")
+    return examples / elapsed_s

@@ -1,0 +1,292 @@
+"""Data-parallel distributed SGD trainer over simulated workers.
+
+The trainer maintains one model replica, data shard, optimizer and compressor
+per simulated worker and runs them in lockstep, exactly mirroring Algorithm 1
+of the paper:
+
+* each worker computes a local gradient on its fraction of the global
+  mini-batch (line 2);
+* the :class:`~repro.core.synchronizer.GradientSynchronizer` performs the
+  compression + collective exchange + reconstruction (lines 3–6);
+* each worker applies its reconstructed gradient with SGD/LARS and the
+  Table-1 learning-rate policy (line 7);
+* after the last iteration the replicas are synchronized with one dense
+  exchange (lines 9–10).
+
+Note that with A2SGD the replicas genuinely diverge during training (each
+worker adds back its own error vector), so the trainer really does keep
+``world_size`` models — this is essential to reproducing the algorithm's
+behaviour rather than an implementation convenience.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.inprocess import InProcessWorld
+from repro.comm.network_model import NetworkModel
+from repro.compress.registry import get_compressor
+from repro.core.flatten import (
+    average_parameters,
+    flatten_gradients,
+    flatten_parameters,
+    unflatten_into_gradients,
+    unflatten_into_parameters,
+)
+from repro.core.metrics import TrainingMetrics, evaluate_classifier, evaluate_language_model
+from repro.core.synchronizer import GradientSynchronizer
+from repro.core.timeline import IterationTimeline
+from repro.data.dataloader import DataLoader, shard_dataset
+from repro.data.registry import get_dataset
+from repro.data.synthetic_text import LanguageModelBatcher
+from repro.models.registry import ModelSpec, get_model_spec
+from repro.nn.module import Module
+from repro.optim.lars import LARS
+from repro.optim.lr_schedule import build_lr_policy
+from repro.optim.sgd import SGD
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass
+class TrainerConfig:
+    """Configuration of one distributed training run."""
+
+    model: str = "fnn3"
+    preset: str = "tiny"
+    algorithm: str = "a2sgd"
+    world_size: int = 4
+    epochs: int = 3
+    seed: int = 0
+    #: Per-worker batch size; defaults to Table 1's global batch divided by P.
+    batch_size: Optional[int] = None
+    #: Override the base learning rate (defaults to Table 1).
+    base_lr: Optional[float] = None
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    #: Cap on iterations per epoch (keeps CI runs fast); None = full epoch.
+    max_iterations_per_epoch: Optional[int] = None
+    #: Truncated-BPTT window for language models.
+    seq_len: int = 12
+    #: Dataset size overrides (None = dataset defaults).
+    num_train: Optional[int] = None
+    num_test: Optional[int] = None
+    #: Extra kwargs forwarded to the compressor constructor.
+    compressor_kwargs: dict = field(default_factory=dict)
+    #: Network model; defaults to the paper's 100 Gbps InfiniBand.
+    network: Optional[NetworkModel] = None
+    #: Evaluate every k epochs (always evaluates on the last epoch).
+    eval_every: int = 1
+
+
+class DistributedTrainer:
+    """Simulated data-parallel training of one model with one algorithm."""
+
+    def __init__(self, config: TrainerConfig):
+        if config.world_size < 1:
+            raise ValueError("world_size must be at least 1")
+        if config.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        self.config = config
+        self.spec: ModelSpec = get_model_spec(config.model, config.preset)
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.world = InProcessWorld(config.world_size, network=config.network)
+
+        # Replicas: identical initialization on every worker (same seed).
+        self.replicas: List[Module] = [self.spec.build(seed=config.seed)
+                                       for _ in range(config.world_size)]
+        self.num_parameters = self.replicas[0].num_parameters()
+
+        # Compressors: independent instances so error feedback stays local.
+        self.compressors = [get_compressor(config.algorithm, **config.compressor_kwargs)
+                            for _ in range(config.world_size)]
+        self.synchronizer = GradientSynchronizer(self.world, self.compressors)
+
+        # Learning-rate policy and optimizers (LARS when Table 1 says so).
+        self.base_lr = config.base_lr if config.base_lr is not None else self.spec.base_lr
+        self.lr_policy, use_lars = build_lr_policy(self.spec.lr_policy,
+                                                   world_size=config.world_size,
+                                                   total_epochs=config.epochs)
+        optimizer_cls = LARS if use_lars else SGD
+        self.optimizers = [optimizer_cls(replica.parameters(), lr=self.base_lr,
+                                         momentum=config.momentum,
+                                         weight_decay=config.weight_decay)
+                           for replica in self.replicas]
+
+        self._setup_data()
+        self.metrics = TrainingMetrics(metric_name=self.spec.metric)
+        self.timeline = IterationTimeline()
+        self._global_iteration = 0
+
+    # ------------------------------------------------------------------ #
+    # data pipelines
+    # ------------------------------------------------------------------ #
+    def _setup_data(self) -> None:
+        config = self.config
+        if self.spec.task == "classification":
+            train, test = get_dataset(self.spec.dataset, seed=config.seed,
+                                      num_train=config.num_train, num_test=config.num_test)
+            self.test_dataset = test
+            per_worker_batch = config.batch_size or max(1, self.spec.batch_size // config.world_size)
+            self.loaders = []
+            for rank in range(config.world_size):
+                shard = shard_dataset(train, rank, config.world_size, shuffle_seed=config.seed)
+                loader = DataLoader(shard, batch_size=per_worker_batch, shuffle=True,
+                                    drop_last=True, rng=self.seeds.for_worker(rank, "batching"))
+                self.loaders.append(loader)
+            self.iterations_per_epoch = min(len(loader) for loader in self.loaders)
+        elif self.spec.task == "language_model":
+            train_tokens, test_tokens, vocab = get_dataset(self.spec.dataset, seed=config.seed,
+                                                           num_train=config.num_train,
+                                                           num_test=config.num_test)
+            global_batch = config.batch_size * config.world_size if config.batch_size \
+                else self.spec.batch_size
+            global_batch = max(config.world_size, min(global_batch, 64))
+            batcher = LanguageModelBatcher(train_tokens, global_batch, config.seq_len)
+            self.lm_shards = [batcher.shard(rank, config.world_size)
+                              for rank in range(config.world_size)]
+            self.test_batcher = LanguageModelBatcher(test_tokens,
+                                                     batch_size=min(16, global_batch),
+                                                     seq_len=config.seq_len)
+            self.iterations_per_epoch = min(len(shard) for shard in self.lm_shards)
+        else:  # pragma: no cover - registry only contains the two tasks
+            raise ValueError(f"unknown task {self.spec.task!r}")
+        if config.max_iterations_per_epoch is not None:
+            self.iterations_per_epoch = min(self.iterations_per_epoch,
+                                            config.max_iterations_per_epoch)
+        if self.iterations_per_epoch < 1:
+            raise ValueError("dataset too small for the requested batch size / world size")
+
+    # ------------------------------------------------------------------ #
+    # single-iteration step
+    # ------------------------------------------------------------------ #
+    def _classification_gradients(self, batches: Sequence) -> tuple[List[np.ndarray], float]:
+        """Forward/backward on every replica; returns flat gradients and mean loss."""
+        gradients: List[np.ndarray] = []
+        losses: List[float] = []
+        for replica, (inputs, targets) in zip(self.replicas, batches):
+            replica.zero_grad()
+            logits = replica(Tensor(inputs))
+            loss = F.cross_entropy(logits, targets)
+            loss.backward()
+            gradients.append(flatten_gradients(replica))
+            losses.append(loss.item())
+        return gradients, float(np.mean(losses))
+
+    def _language_model_gradients(self, batches: Sequence, states: List
+                                  ) -> tuple[List[np.ndarray], float, List]:
+        gradients: List[np.ndarray] = []
+        losses: List[float] = []
+        new_states: List = []
+        for rank, (replica, (inputs, targets)) in enumerate(zip(self.replicas, batches)):
+            replica.zero_grad()
+            logits, state = replica(inputs, states[rank])
+            loss = F.cross_entropy(logits, targets.reshape(-1))
+            loss.backward()
+            gradients.append(flatten_gradients(replica))
+            losses.append(loss.item())
+            new_states.append(replica.detach_state(state))
+        return gradients, float(np.mean(losses)), new_states
+
+    def _apply_gradients(self, gradients: Sequence[np.ndarray], epoch_progress: float) -> None:
+        lr = self.lr_policy.lr_at(epoch_progress, self.base_lr)
+        for replica, optimizer, gradient in zip(self.replicas, self.optimizers, gradients):
+            unflatten_into_gradients(replica, gradient)
+            optimizer.set_lr(max(lr, 1e-12))
+            optimizer.step()
+
+    # ------------------------------------------------------------------ #
+    # training loops
+    # ------------------------------------------------------------------ #
+    def train(self) -> TrainingMetrics:
+        """Run the full training schedule and return the per-epoch metrics."""
+        if self.spec.task == "classification":
+            self._train_classification()
+        else:
+            self._train_language_model()
+        # Algorithm 1 lines 9-10: final dense synchronization of the replicas.
+        averaged = self.synchronizer.dense_model_average(
+            [flatten_parameters(m) for m in self.replicas])
+        for replica, flat in zip(self.replicas, averaged):
+            unflatten_into_parameters(replica, flat)
+        return self.metrics
+
+    def _train_classification(self) -> None:
+        for epoch in range(self.config.epochs):
+            iterators = [iter(loader) for loader in self.loaders]
+            epoch_losses: List[float] = []
+            for iteration in range(self.iterations_per_epoch):
+                batches = [next(it) for it in iterators]
+                start = time.perf_counter()
+                gradients, loss = self._classification_gradients(batches)
+                compute_time = time.perf_counter() - start
+                new_gradients, report = self.synchronizer.exchange(gradients)
+                progress = epoch + iteration / max(1, self.iterations_per_epoch)
+                self._apply_gradients(new_gradients, progress)
+                self.timeline.record(compute_time, report)
+                epoch_losses.append(loss)
+                self._global_iteration += 1
+            self._finish_epoch(epoch, float(np.mean(epoch_losses)))
+
+    def _train_language_model(self) -> None:
+        for epoch in range(self.config.epochs):
+            iterators = [shard.batches() for shard in self.lm_shards]
+            states: List = [None] * self.config.world_size
+            epoch_losses: List[float] = []
+            for iteration in range(self.iterations_per_epoch):
+                batches = [next(it) for it in iterators]
+                start = time.perf_counter()
+                gradients, loss, states = self._language_model_gradients(batches, states)
+                compute_time = time.perf_counter() - start
+                new_gradients, report = self.synchronizer.exchange(gradients)
+                progress = epoch + iteration / max(1, self.iterations_per_epoch)
+                self._apply_gradients(new_gradients, progress)
+                self.timeline.record(compute_time, report)
+                epoch_losses.append(loss)
+                self._global_iteration += 1
+            self._finish_epoch(epoch, float(np.mean(epoch_losses)))
+
+    def _finish_epoch(self, epoch: int, mean_loss: float) -> None:
+        should_eval = ((epoch + 1) % max(1, self.config.eval_every) == 0
+                       or epoch == self.config.epochs - 1)
+        if should_eval:
+            metric_value = self.evaluate()
+        else:
+            metric_value = self.metrics.metric[-1] if self.metrics.metric else float("nan")
+        self.metrics.record_epoch(epoch, mean_loss, metric_value,
+                                  comm_time=self.world.simulated_comm_time,
+                                  compute_time=self.timeline.compute_s)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self) -> float:
+        """Evaluate the consensus model (parameter average across replicas)."""
+        snapshot = [flatten_parameters(m) for m in self.replicas]
+        consensus = np.mean(np.stack(snapshot), axis=0)
+        probe = self.replicas[0]
+        original = flatten_parameters(probe)
+        unflatten_into_parameters(probe, consensus)
+        try:
+            if self.spec.task == "classification":
+                value = evaluate_classifier(probe, self.test_dataset)
+            else:
+                value = evaluate_language_model(probe, self.test_batcher, max_batches=20)
+        finally:
+            unflatten_into_parameters(probe, original)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # accounting helpers used by the benchmarks
+    # ------------------------------------------------------------------ #
+    @property
+    def wire_bits_per_iteration(self) -> float:
+        """Analytic per-worker traffic of the configured algorithm."""
+        return self.compressors[0].wire_bits(self.num_parameters, self.config.world_size)
+
+    def mean_iteration_time(self) -> float:
+        return self.timeline.mean_iteration_time()

@@ -1,0 +1,38 @@
+"""Synthetic datasets and data loading for the reproduction.
+
+The paper evaluates on MNIST, CIFAR-10 and Penn Treebank.  Those corpora are
+not redistributable inside this offline reproduction, so this package builds
+deterministic synthetic stand-ins with matching tensor shapes and learnable
+structure (class-prototype images; a Markov/Zipf token stream).  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.data.datasets import ArrayDataset, Dataset
+from repro.data.dataloader import DataLoader, shard_dataset
+from repro.data.synthetic_images import (
+    SyntheticImageConfig,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+    make_synthetic_image_dataset,
+)
+from repro.data.synthetic_text import (
+    LanguageModelBatcher,
+    SyntheticTextConfig,
+    make_synthetic_ptb,
+)
+from repro.data.registry import get_dataset
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "shard_dataset",
+    "SyntheticImageConfig",
+    "make_synthetic_mnist",
+    "make_synthetic_cifar10",
+    "make_synthetic_image_dataset",
+    "SyntheticTextConfig",
+    "make_synthetic_ptb",
+    "LanguageModelBatcher",
+    "get_dataset",
+]

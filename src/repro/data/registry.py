@@ -1,0 +1,45 @@
+"""Dataset registry keyed by the names used in the model registry."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.data.synthetic_images import make_synthetic_cifar10, make_synthetic_mnist
+from repro.data.synthetic_text import SyntheticTextConfig, make_synthetic_ptb
+
+
+def get_dataset(name: str, seed: int = 0, num_train: int | None = None,
+                num_test: int | None = None):
+    """Build the dataset registered under ``name``.
+
+    Image datasets return ``(train, test)`` :class:`ArrayDataset` pairs;
+    language-model datasets return ``(train_tokens, test_tokens, vocab_size)``.
+    """
+    name = name.lower()
+    if name in ("mnist", "mnist_synthetic"):
+        return make_synthetic_mnist(num_train=num_train or 2048, num_test=num_test or 512,
+                                    image_size=28, seed=seed)
+    if name == "mnist_tiny":
+        return make_synthetic_mnist(num_train=num_train or 512, num_test=num_test or 128,
+                                    image_size=8, seed=seed)
+    if name in ("cifar10", "cifar10_synthetic"):
+        return make_synthetic_cifar10(num_train=num_train or 2048, num_test=num_test or 512,
+                                      image_size=32, seed=seed)
+    if name == "cifar10_tiny":
+        return make_synthetic_cifar10(num_train=num_train or 512, num_test=num_test or 128,
+                                      image_size=8, seed=seed)
+    if name == "cifar10_tiny32":
+        return make_synthetic_cifar10(num_train=num_train or 256, num_test=num_test or 64,
+                                      image_size=32, seed=seed)
+    if name in ("ptb", "ptb_synthetic"):
+        config = SyntheticTextConfig(vocab_size=10000, train_tokens=200_000, test_tokens=20_000,
+                                     seed=seed)
+        return make_synthetic_ptb(config)
+    if name == "ptb_tiny":
+        config = SyntheticTextConfig(vocab_size=200, train_tokens=num_train or 20_000,
+                                     test_tokens=num_test or 4_000, seed=seed)
+        return make_synthetic_ptb(config)
+    raise KeyError(f"unknown dataset {name!r}")

@@ -1,0 +1,77 @@
+"""Synthetic image-classification datasets standing in for MNIST and CIFAR-10.
+
+Each class ``c`` is represented by a fixed prototype image drawn once from a
+seeded generator; samples are the prototype plus Gaussian pixel noise and a
+random global intensity shift.  The resulting task is linearly separable at
+low noise and progressively harder as ``noise_std`` grows, so differences in
+optimizer/compressor behaviour show up as differences in convergence speed —
+which is what the paper's Figure 3 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class SyntheticImageConfig:
+    """Parameters of a synthetic image-classification dataset."""
+
+    num_train: int = 2048
+    num_test: int = 512
+    image_shape: Tuple[int, int, int] = (1, 28, 28)
+    num_classes: int = 10
+    noise_std: float = 0.35
+    intensity_jitter: float = 0.1
+    seed: int = 0
+
+
+def _generate_split(config: SyntheticImageConfig, prototypes: np.ndarray, count: int,
+                    rng: np.random.Generator) -> ArrayDataset:
+    labels = rng.integers(0, config.num_classes, size=count)
+    images = prototypes[labels].copy()
+    images += rng.normal(0.0, config.noise_std, size=images.shape)
+    images += rng.normal(0.0, config.intensity_jitter, size=(count, 1, 1, 1))
+    return ArrayDataset(images.astype(np.float32), labels.astype(np.int64))
+
+
+def make_synthetic_image_dataset(config: SyntheticImageConfig) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Build (train, test) splits that share the same class prototypes."""
+    rng = new_rng("synthetic_images", config.image_shape, config.num_classes, seed=config.seed)
+    prototypes = rng.normal(0.0, 1.0, size=(config.num_classes, *config.image_shape))
+    # Normalize prototypes so classes are equidistant on average.
+    prototypes /= np.linalg.norm(prototypes.reshape(config.num_classes, -1),
+                                 axis=1).reshape(-1, 1, 1, 1)
+    prototypes *= np.sqrt(np.prod(config.image_shape))
+
+    train = _generate_split(config, prototypes, config.num_train,
+                            new_rng("train_split", seed=config.seed))
+    test = _generate_split(config, prototypes, config.num_test,
+                           new_rng("test_split", seed=config.seed))
+    return train, test
+
+
+def make_synthetic_mnist(num_train: int = 2048, num_test: int = 512, image_size: int = 28,
+                         noise_std: float = 0.35, seed: int = 0
+                         ) -> Tuple[ArrayDataset, ArrayDataset]:
+    """MNIST-shaped synthetic data: single-channel ``image_size``² images, 10 classes."""
+    config = SyntheticImageConfig(num_train=num_train, num_test=num_test,
+                                  image_shape=(1, image_size, image_size),
+                                  num_classes=10, noise_std=noise_std, seed=seed)
+    return make_synthetic_image_dataset(config)
+
+
+def make_synthetic_cifar10(num_train: int = 2048, num_test: int = 512, image_size: int = 32,
+                           noise_std: float = 0.5, seed: int = 0
+                           ) -> Tuple[ArrayDataset, ArrayDataset]:
+    """CIFAR-10-shaped synthetic data: three-channel ``image_size``² images, 10 classes."""
+    config = SyntheticImageConfig(num_train=num_train, num_test=num_test,
+                                  image_shape=(3, image_size, image_size),
+                                  num_classes=10, noise_std=noise_std, seed=seed)
+    return make_synthetic_image_dataset(config)

@@ -1,0 +1,28 @@
+"""The four evaluation models used in the paper: FNN-3, VGG-16, ResNet-20, LSTM-PTB."""
+
+from repro.models.fnn import FNN3
+from repro.models.vgg import VGG16
+from repro.models.resnet import ResNet, ResNet20
+from repro.models.lstm_lm import LSTMLanguageModel
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    ModelSpec,
+    PAPER_PARAMETER_COUNTS,
+    build_model,
+    get_model_spec,
+    list_models,
+)
+
+__all__ = [
+    "FNN3",
+    "VGG16",
+    "ResNet",
+    "ResNet20",
+    "LSTMLanguageModel",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "PAPER_PARAMETER_COUNTS",
+    "build_model",
+    "get_model_spec",
+    "list_models",
+]

@@ -1,0 +1,80 @@
+"""LSTM language model for Penn-Treebank-style data.
+
+The paper's LSTM-PTB entry (66,034,000 parameters, perplexity metric) matches
+the "large" PTB configuration: a 2-layer LSTM with 1500 hidden units, 1500-d
+embeddings and a 10,000-word vocabulary.  The model predicts the next token at
+every position; perplexity is exp(mean cross-entropy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import new_rng
+
+
+class LSTMLanguageModel(nn.Module):
+    """Embedding → multi-layer LSTM → linear decoder over the vocabulary.
+
+    Parameters
+    ----------
+    vocab_size:
+        Vocabulary size ``V``.
+    embedding_dim:
+        Token embedding dimensionality.
+    hidden_size:
+        LSTM hidden state size.
+    num_layers:
+        Number of stacked LSTM layers.
+    dropout:
+        Dropout probability applied to the LSTM output.
+    """
+
+    def __init__(self, vocab_size: int = 10000, embedding_dim: int = 1500,
+                 hidden_size: int = 1500, num_layers: int = 2, dropout: float = 0.0,
+                 seed: int = 0):
+        super().__init__()
+        rng = new_rng("lstm_lm", vocab_size, hidden_size, seed=seed)
+        self.embedding = nn.Embedding(vocab_size, embedding_dim,
+                                      rng=np.random.default_rng(rng.integers(0, 2**63 - 1)))
+        self.lstm = nn.LSTM(embedding_dim, hidden_size, num_layers,
+                            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)))
+        self.dropout = nn.Dropout(dropout) if dropout > 0 else None
+        self.decoder = nn.Linear(hidden_size, vocab_size,
+                                 rng=np.random.default_rng(rng.integers(0, 2**63 - 1)))
+        self.vocab_size = int(vocab_size)
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+
+    def forward(self, tokens: np.ndarray,
+                state: Optional[List[Tuple[Tensor, Tensor]]] = None
+                ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Score next-token logits for a (T, N) batch of token ids.
+
+        Returns logits of shape (T*N, V) — flattened so they feed directly
+        into :func:`repro.tensor.functional.cross_entropy` — and the final
+        LSTM state for truncated BPTT.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must have shape (seq_len, batch)")
+        embedded = self.embedding(tokens)                     # (T, N, D)
+        output, state = self.lstm(embedded, state)            # (T, N, H)
+        if self.dropout is not None:
+            output = self.dropout(output)
+        flat = output.reshape(-1, self.hidden_size)            # (T*N, H)
+        logits = self.decoder(flat)                            # (T*N, V)
+        return logits, state
+
+    def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:
+        """Detach the carried state between truncated-BPTT windows."""
+        return self.lstm.detach_state(state)
+
+    @staticmethod
+    def perplexity(mean_cross_entropy: float) -> float:
+        """Perplexity from a mean cross-entropy in nats."""
+        return float(np.exp(min(30.0, mean_cross_entropy)))

@@ -1,0 +1,154 @@
+"""Model registry mapping Table 1 of the paper to constructible models.
+
+Two presets exist for every model:
+
+* ``"paper"`` — the architecture at the size reported in Table 1.  These are
+  used by the analytic cost model (parameter counts, communication volume)
+  and can be constructed when needed, but training them in NumPy is slow.
+* ``"tiny"`` — the same architecture scaled down so the full distributed
+  training loop runs in seconds; used by the convergence experiments, tests
+  and examples.
+
+``PAPER_PARAMETER_COUNTS`` records the exact parameter counts from Table 1 so
+the communication/timing figures use the paper's ``n`` even when a scaled
+model instance is being trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import nn
+from repro.models.fnn import FNN3
+from repro.models.lstm_lm import LSTMLanguageModel
+from repro.models.resnet import ResNet, ResNet20
+from repro.models.vgg import VGG16
+
+#: Exact parameter counts from Table 1 of the paper.
+PAPER_PARAMETER_COUNTS: Dict[str, int] = {
+    "fnn3": 199_210,
+    "vgg16": 14_728_266,
+    "resnet20": 269_722,
+    "lstm_ptb": 66_034_000,
+}
+
+#: Batch size and learning-rate policy from Table 1.
+PAPER_HYPERPARAMETERS: Dict[str, Dict[str, object]] = {
+    "fnn3": {"dataset": "mnist", "batch_size": 128, "base_lr": 0.01,
+             "lr_policy": "LS(1 x) + GW + PD", "epochs": 30, "metric": "top1"},
+    "vgg16": {"dataset": "cifar10", "batch_size": 128, "base_lr": 0.1,
+              "lr_policy": "LS(1.5 x) + GW + PD + LARS", "epochs": 150, "metric": "top1"},
+    "resnet20": {"dataset": "cifar10", "batch_size": 128, "base_lr": 0.1,
+                 "lr_policy": "LS(1 x) + GW + PD", "epochs": 150, "metric": "top1"},
+    "lstm_ptb": {"dataset": "ptb", "batch_size": 128, "base_lr": 22.0,
+                 "lr_policy": "PD", "epochs": 100, "metric": "perplexity"},
+}
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything needed to build a model instance and its data pipeline."""
+
+    name: str
+    preset: str
+    builder: Callable[..., nn.Module]
+    builder_kwargs: Dict[str, object]
+    dataset: str
+    input_shape: Tuple[int, ...]
+    num_classes: int
+    task: str                      # "classification" or "language_model"
+    batch_size: int
+    base_lr: float
+    lr_policy: str
+    epochs: int
+    metric: str
+
+    def build(self, seed: int = 0) -> nn.Module:
+        """Construct the model with the given initialization seed."""
+        return self.builder(seed=seed, **self.builder_kwargs)
+
+
+def _spec(name: str, preset: str, builder, builder_kwargs, input_shape, num_classes, task,
+          dataset: Optional[str] = None) -> ModelSpec:
+    hp = PAPER_HYPERPARAMETERS[name]
+    return ModelSpec(
+        name=name,
+        preset=preset,
+        builder=builder,
+        builder_kwargs=builder_kwargs,
+        dataset=dataset or str(hp["dataset"]),
+        input_shape=input_shape,
+        num_classes=num_classes,
+        task=task,
+        batch_size=int(hp["batch_size"]),
+        base_lr=float(hp["base_lr"]),
+        lr_policy=str(hp["lr_policy"]),
+        epochs=int(hp["epochs"]),
+        metric=str(hp["metric"]),
+    )
+
+
+MODEL_REGISTRY: Dict[Tuple[str, str], ModelSpec] = {
+    # ------------------------------------------------------------------ #
+    # paper-size presets (Table 1)
+    # ------------------------------------------------------------------ #
+    ("fnn3", "paper"): _spec(
+        "fnn3", "paper", FNN3,
+        {"input_dim": 784, "hidden_dims": (174, 174, 174), "num_classes": 10},
+        (1, 28, 28), 10, "classification"),
+    ("resnet20", "paper"): _spec(
+        "resnet20", "paper", ResNet20,
+        {"num_classes": 10, "in_channels": 3},
+        (3, 32, 32), 10, "classification"),
+    ("vgg16", "paper"): _spec(
+        "vgg16", "paper", VGG16,
+        {"num_classes": 10, "in_channels": 3, "width_multiplier": 1.0, "image_size": 32},
+        (3, 32, 32), 10, "classification"),
+    ("lstm_ptb", "paper"): _spec(
+        "lstm_ptb", "paper", LSTMLanguageModel,
+        {"vocab_size": 10000, "embedding_dim": 1500, "hidden_size": 1500, "num_layers": 2},
+        (35,), 10000, "language_model"),
+    # ------------------------------------------------------------------ #
+    # tiny presets — same architectures, small enough to train in CI
+    # ------------------------------------------------------------------ #
+    ("fnn3", "tiny"): _spec(
+        "fnn3", "tiny", FNN3,
+        {"input_dim": 64, "hidden_dims": (32, 32, 32), "num_classes": 10},
+        (1, 8, 8), 10, "classification", dataset="mnist_tiny"),
+    ("resnet20", "tiny"): _spec(
+        "resnet20", "tiny", ResNet,
+        {"blocks_per_stage": 1, "base_channels": (4, 8, 16), "num_classes": 10,
+         "in_channels": 3},
+        (3, 8, 8), 10, "classification", dataset="cifar10_tiny"),
+    ("vgg16", "tiny"): _spec(
+        "vgg16", "tiny", VGG16,
+        {"num_classes": 10, "in_channels": 3, "width_multiplier": 0.0625, "image_size": 32},
+        (3, 32, 32), 10, "classification", dataset="cifar10_tiny32"),
+    ("lstm_ptb", "tiny"): _spec(
+        "lstm_ptb", "tiny", LSTMLanguageModel,
+        {"vocab_size": 200, "embedding_dim": 32, "hidden_size": 32, "num_layers": 1},
+        (12,), 200, "language_model", dataset="ptb_tiny"),
+}
+
+
+def list_models() -> list[str]:
+    """Names of the registered models."""
+    return sorted({name for name, _ in MODEL_REGISTRY})
+
+
+def get_model_spec(name: str, preset: str = "tiny") -> ModelSpec:
+    """Look up a model spec by name and preset.
+
+    Raises ``KeyError`` with the available options when the lookup fails.
+    """
+    key = (name.lower(), preset.lower())
+    if key not in MODEL_REGISTRY:
+        available = sorted(f"{n}/{p}" for n, p in MODEL_REGISTRY)
+        raise KeyError(f"unknown model {name!r} preset {preset!r}; available: {available}")
+    return MODEL_REGISTRY[key]
+
+
+def build_model(name: str, preset: str = "tiny", seed: int = 0) -> nn.Module:
+    """Construct a model instance from the registry."""
+    return get_model_spec(name, preset).build(seed=seed)

@@ -1,0 +1,37 @@
+"""Neural-network layers built on the :mod:`repro.tensor` autograd engine."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import Sequential
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.normalization import BatchNorm1d, BatchNorm2d
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.recurrent import LSTM, LSTMCell
+from repro.nn.flatten import Flatten
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "Flatten",
+    "CrossEntropyLoss",
+    "MSELoss",
+]

@@ -1,0 +1,36 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered = []
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+            self._ordered.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x

@@ -1,0 +1,29 @@
+"""Dropout regularization layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import new_rng
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    Each layer instance owns its own generator so that dropout masks are
+    reproducible per layer and independent across layers.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = float(p)
+        self.rng = rng if rng is not None else new_rng("dropout", p)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)

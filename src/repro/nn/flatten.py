@@ -1,0 +1,13 @@
+"""Flatten layer: collapse all non-batch dimensions."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class Flatten(Module):
+    """Reshape ``(N, ...)`` into ``(N, prod(...))``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,44 @@
+"""Fully-connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F, init
+from repro.utils.rng import new_rng
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator used for weight initialization; a deterministic default is
+        derived from the layer dimensions when omitted.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = rng if rng is not None else new_rng("linear", in_features, out_features)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,22 @@
+"""Loss-function layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target)

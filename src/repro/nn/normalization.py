@@ -1,0 +1,66 @@
+"""Batch normalization layers.
+
+ResNet-20 and VGG-16 rely on BatchNorm; the layer keeps running statistics as
+buffers (excluded from gradient synchronization, as in the paper's setup where
+only gradients are exchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, init
+
+
+class _BatchNormBase(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def _update_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        m = self.momentum
+        self._buffers["running_mean"][...] = (1 - m) * self._buffers["running_mean"] + m * mean
+        self._buffers["running_var"][...] = (1 - m) * self._buffers["running_var"] + m * var
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over a (N, C) tensor."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            self._update_running(mean.data.reshape(-1), var.data.reshape(-1))
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        return x_hat * self.weight.reshape(1, -1) + self.bias.reshape(1, -1)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over an (N, C, H, W) tensor, per channel."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var_spatial() if hasattr(x, "var_spatial") else self._channel_var(x, mean)
+            self._update_running(mean.data.reshape(-1), var.data.reshape(-1))
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        return (x_hat * self.weight.reshape(1, -1, 1, 1)
+                + self.bias.reshape(1, -1, 1, 1))
+
+    @staticmethod
+    def _channel_var(x: Tensor, mean: Tensor) -> Tensor:
+        centered = x - mean
+        return (centered * centered).mean(axis=(0, 2, 3), keepdims=True)

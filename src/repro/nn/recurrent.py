@@ -1,0 +1,100 @@
+"""LSTM layers for the LSTM-PTB language model.
+
+The implementation follows the standard LSTM equations with a single fused
+weight matrix per direction (input-to-hidden and hidden-to-hidden), matching
+what ``torch.nn.LSTM`` computes.  Sequences are processed step by step through
+the autograd graph, so backpropagation-through-time falls out of the generic
+backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, init
+from repro.utils.rng import new_rng
+
+
+class LSTMCell(Module):
+    """A single LSTM step: (x_t, h_{t-1}, c_{t-1}) → (h_t, c_t)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        rng = rng if rng is not None else new_rng("lstm_cell", input_size, hidden_size)
+        bound = 1.0 / np.sqrt(hidden_size)
+        # Fused gate weights: [input, forget, cell, output] stacked on the output axis.
+        self.weight_ih = Parameter(init.uniform((4 * hidden_size, input_size), rng, bound))
+        self.weight_hh = Parameter(init.uniform((4 * hidden_size, hidden_size), rng, bound))
+        self.bias_ih = Parameter(init.zeros((4 * hidden_size,)))
+        self.bias_hh = Parameter(init.zeros((4 * hidden_size,)))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = (x.matmul(self.weight_ih.T) + self.bias_ih
+                 + h_prev.matmul(self.weight_hh.T) + self.bias_hh)
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs:3 * hs].tanh()
+        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Zero hidden and cell state for a batch."""
+        zeros = np.zeros((batch_size, self.hidden_size), dtype=np.float32)
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over a (T, N, D) input sequence.
+
+    Returns the stacked hidden states of the top layer, shape (T, N, H), and
+    the final (h, c) state per layer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+        rng = rng if rng is not None else new_rng("lstm", input_size, hidden_size, num_layers)
+        self.cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size,
+                            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)))
+            self.add_module(f"cell{layer}", cell)
+            self.cells.append(cell)
+
+    def forward(self, x: Tensor,
+                state: Optional[List[Tuple[Tensor, Tensor]]] = None
+                ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        seq_len, batch, _ = x.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        if len(state) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} layer states, got {len(state)}")
+
+        outputs: List[Tensor] = []
+        states = list(state)
+        for t in range(seq_len):
+            layer_input = x[t]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(layer_input, states[layer])
+                states[layer] = (h, c)
+                layer_input = h
+            outputs.append(layer_input)
+        stacked = Tensor.stack(outputs, axis=0)
+        return stacked, states
+
+    def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:
+        """Truncate backpropagation-through-time by detaching carried state."""
+        return [(h.detach(), c.detach()) for h, c in state]

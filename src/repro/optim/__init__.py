@@ -1,0 +1,26 @@
+"""Optimizers and learning-rate policies used in the paper's experiments."""
+
+from repro.optim.sgd import SGD, Optimizer
+from repro.optim.lars import LARS
+from repro.optim.lr_schedule import (
+    CompositeLRPolicy,
+    ConstantLR,
+    GradualWarmup,
+    LinearScaling,
+    LRSchedule,
+    PolynomialDecay,
+    build_lr_policy,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "LARS",
+    "LRSchedule",
+    "ConstantLR",
+    "LinearScaling",
+    "GradualWarmup",
+    "PolynomialDecay",
+    "CompositeLRPolicy",
+    "build_lr_policy",
+]

@@ -1,0 +1,72 @@
+"""Layer-wise Adaptive Rate Scaling (LARS).
+
+The paper's VGG-16 large-batch configuration uses LARS (You et al., 2017) on
+top of SGD: each layer's update is rescaled by the trust ratio
+``||w|| / (||g|| + wd * ||w||)`` so that layers with small gradients relative
+to their weights still make progress under large batch sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.sgd import Optimizer
+
+
+class LARS(Optimizer):
+    """SGD with momentum and layer-wise adaptive rate scaling.
+
+    Parameters
+    ----------
+    params:
+        Model parameters.
+    lr:
+        Base learning rate.
+    momentum:
+        Momentum coefficient.
+    weight_decay:
+        L2 penalty.
+    trust_coefficient:
+        The η coefficient from the LARS paper (typically 0.001).
+    eps:
+        Numerical floor for the denominator of the trust ratio.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.9,
+                 weight_decay: float = 0.0, trust_coefficient: float = 0.001,
+                 eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.trust_coefficient = float(trust_coefficient)
+        self.eps = float(eps)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+
+            weight_norm = float(np.linalg.norm(p.data))
+            grad_norm = float(np.linalg.norm(grad))
+            if weight_norm > 0 and grad_norm > 0:
+                trust_ratio = self.trust_coefficient * weight_norm / (grad_norm + self.eps)
+            else:
+                trust_ratio = 1.0
+
+            scaled = trust_ratio * grad
+            if self.momentum:
+                buf = self._velocity.get(id(p))
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                    self._velocity[id(p)] = buf
+                buf *= self.momentum
+                buf += scaled
+                scaled = buf
+            p.data -= self.lr * scaled

@@ -1,0 +1,102 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+The distributed trainer updates the model with whatever gradient the
+compression/synchronization pipeline produced (Algorithm 1 line 7 in the
+paper); the optimizer itself is identical to single-node SGD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and a mutable learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        """Set the current learning rate (used by LR schedules)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov acceleration and weight decay.
+
+    Parameters
+    ----------
+    params:
+        Model parameters to update.
+    lr:
+        Learning rate.
+    momentum:
+        Momentum coefficient (0 disables momentum).
+    weight_decay:
+        L2 penalty added to the gradient before the momentum update.
+    nesterov:
+        Use Nesterov momentum.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        if momentum < 0:
+            raise ValueError("momentum must be non-negative")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._velocity.get(id(p))
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                    self._velocity[id(p)] = buf
+                buf *= self.momentum
+                buf += grad
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        """Momentum buffers keyed by parameter position (for checkpointing)."""
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": {i: self._velocity[id(p)].copy()
+                         for i, p in enumerate(self.params) if id(p) in self._velocity},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        for i, p in enumerate(self.params):
+            if i in state["velocity"]:
+                self._velocity[id(p)] = np.array(state["velocity"][i], copy=True)

@@ -1,0 +1,29 @@
+"""A minimal reverse-mode autograd engine on NumPy.
+
+This package is the substrate that replaces PyTorch in the reproduction.  It
+provides a :class:`Tensor` type carrying a gradient, a dynamic computation
+graph built as operations execute, and a ``backward`` pass that accumulates
+gradients into leaf tensors.  The neural-network layers in :mod:`repro.nn`
+are written purely in terms of this API.
+
+Only the operations actually needed by the paper's four models are
+implemented, but they are implemented carefully (correct broadcasting
+semantics, numerically stable softmax/log-sum-exp, im2col convolution) so
+gradients have the same statistical structure the A2SGD algorithm exploits.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, randn
+from repro.tensor import functional
+from repro.tensor import init
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+]

@@ -1,0 +1,291 @@
+"""Functional neural-network operations built on :class:`~repro.tensor.Tensor`.
+
+This module contains the composite operations the models need: im2col-based
+2-D convolution and pooling, numerically stable softmax / log-softmax /
+cross-entropy, linear projection, dropout and embedding lookup.  All
+operations construct the autograd graph through the primitive ops defined on
+:class:`Tensor`, except convolution and pooling which provide hand-written
+backward closures for efficiency (one big GEMM instead of thousands of tiny
+ops).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+# ---------------------------------------------------------------------- #
+# im2col helpers
+# ---------------------------------------------------------------------- #
+def _im2col_indices(x_shape: Tuple[int, int, int, int], kernel: int, stride: int,
+                    padding: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute the gather indices turning NCHW patches into columns."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"kernel {kernel} with stride {stride} does not fit input {h}x{w}")
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kernel * kernel).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.ndarray, Tuple]:
+    """Rearrange NCHW image patches into a (C*K*K, N*OH*OW) matrix."""
+    n, c, h, w = x.shape
+    if padding > 0:
+        x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        x_padded = x
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel, stride, padding)
+    cols = x_padded[:, k, i, j]                       # (N, C*K*K, OH*OW)
+    cols = cols.transpose(1, 2, 0).reshape(c * kernel * kernel, -1)
+    return cols, (k, i, j, out_h, out_w, x_padded.shape)
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
+            stride: int, padding: int, cache: Tuple) -> np.ndarray:
+    """Scatter columns back into an NCHW image (adjoint of :func:`_im2col`)."""
+    n, c, h, w = x_shape
+    k, i, j, out_h, out_w, padded_shape = cache
+    x_padded = np.zeros(padded_shape, dtype=cols.dtype)
+    cols_reshaped = cols.reshape(c * kernel * kernel, -1, n).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+# ---------------------------------------------------------------------- #
+# convolution / pooling
+# ---------------------------------------------------------------------- #
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, *,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution on an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, K, K)``.
+    bias:
+        Optional per-channel bias of shape ``(C_out,)``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} do not match weight channels {c_in_w}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+
+    cols, cache = _im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = w_mat @ cols                                     # (C_out, N*OH*OW)
+    _, _, _, out_h, out_w, _ = cache
+    out = out.reshape(c_out, out_h * out_w, n).transpose(2, 0, 1).reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, c_out, out_h * out_w).transpose(1, 2, 0).reshape(c_out, -1)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            weight._accumulate((grad_mat @ cols.T).reshape(weight.shape))
+        if x.requires_grad:
+            dcols = w_mat.T @ grad_mat
+            x._accumulate(_col2im(dcols, x.shape, kernel, stride, padding, cache))
+
+    return Tensor._make(out, parents, "conv2d", backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) square windows."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+
+    # View input as (N, C, OH, K, OW, K) windows when stride == kernel and the
+    # spatial size divides exactly; otherwise fall back to im2col.
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+        out = reshaped.max(axis=(3, 5))
+        argmask = (reshaped == out[:, :, :, None, :, None])
+        # Break ties: keep only the first max in each window.  Group the two
+        # kernel axes together (window-major layout) before flattening them.
+        window_major = argmask.transpose(0, 1, 2, 4, 3, 5)        # (N,C,OH,OW,K,K)
+        flat = window_major.reshape(n, c, out_h, out_w, kernel * kernel)
+        first = np.zeros_like(flat)
+        idx = flat.argmax(axis=-1)
+        np.put_along_axis(first, idx[..., None], 1, axis=-1)
+        mask = (first.reshape(n, c, out_h, out_w, kernel, kernel)
+                     .transpose(0, 1, 2, 4, 3, 5))                # back to (N,C,OH,K,OW,K)
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            g = grad[:, :, :, None, :, None] * mask
+            x._accumulate(g.reshape(n, c, h, w))
+
+        return Tensor._make(out, (x,), "max_pool2d", backward)
+
+    cols, cache = _im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    cols = cols.reshape(kernel * kernel, -1)
+    arg = cols.argmax(axis=0)
+    out = cols[arg, np.arange(cols.shape[1])]
+    _, _, _, oh, ow, _ = cache
+    out = out.reshape(oh * ow, n * c).T.reshape(n, c, oh, ow)
+
+    def backward(grad: np.ndarray) -> None:  # pragma: no cover - exercised via odd sizes
+        if not x.requires_grad:
+            return
+        dcols = np.zeros_like(cols)
+        gflat = grad.reshape(n * c, oh * ow).T.reshape(-1)
+        dcols[arg, np.arange(cols.shape[1])] = gflat
+        dx = _col2im(dcols, (n * c, 1, h, w), kernel, stride, 0, cache)
+        x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), "max_pool2d", backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over square windows (stride defaults to kernel)."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        out_h, out_w = h // kernel, w // kernel
+        reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+        out = reshaped.mean(axis=(3, 5))
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            g = np.repeat(np.repeat(grad, kernel, axis=2), kernel, axis=3) / (kernel * kernel)
+            x._accumulate(g)
+
+        return Tensor._make(out, (x,), "avg_pool2d", backward)
+    raise NotImplementedError("avg_pool2d requires stride == kernel and exact division")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions of an NCHW tensor → (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------- #
+# dense / softmax / losses
+# ---------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ W^T + b`` with ``weight`` of shape (out, in)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    The gradient is the standard ``softmax - onehot`` divided by batch size,
+    wired directly for efficiency and numerical stability.
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    targets = targets.astype(np.int64).reshape(-1)
+    n, c = logits.shape
+    if targets.shape[0] != n:
+        raise ValueError(f"targets length {targets.shape[0]} does not match batch {n}")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    loss_value = -log_probs[np.arange(n), targets].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        probs[np.arange(n), targets] -= 1.0
+        logits._accumulate(grad * probs / n)
+
+    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), "cross_entropy", backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given precomputed log-probabilities."""
+    targets = np.asarray(targets).astype(np.int64).reshape(-1)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+# ---------------------------------------------------------------------- #
+# regularization / embedding
+# ---------------------------------------------------------------------- #
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` (V, D) for integer ``indices`` (...,)."""
+    indices = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    indices = indices.astype(np.int64)
+    out = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[1]))
+        weight._accumulate(full)
+
+    return Tensor._make(out, (weight,), "embedding", backward)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding (plain NumPy; no gradient)."""
+    indices = np.asarray(indices).astype(np.int64).reshape(-1)
+    out = np.zeros((indices.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out

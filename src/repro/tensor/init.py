@@ -1,0 +1,69 @@
+"""Parameter initializers.
+
+The initializers mirror the defaults the paper's PyTorch models would have
+used: Kaiming (He) initialization for convolution / ReLU layers, Xavier
+(Glorot) for linear layers, and uniform initialization for LSTM / embedding
+weights.  Every initializer takes an explicit ``numpy.random.Generator`` so
+model construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (out,in) and conv (out,in,k,k) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape)) if shape else 1
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = math.sqrt(2.0)) -> Tensor:
+    """He-normal initialization appropriate for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(max(1, fan_in))
+    return Tensor(rng.normal(0.0, std, size=shape).astype(np.float32), requires_grad=True)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    gain: float = math.sqrt(2.0)) -> Tensor:
+    """He-uniform initialization."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / max(1, fan_in))
+    return Tensor(rng.uniform(-bound, bound, size=shape).astype(np.float32), requires_grad=True)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> Tensor:
+    """Glorot-uniform initialization for tanh/sigmoid layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / max(1, fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape).astype(np.float32), requires_grad=True)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, bound: float = 0.1) -> Tensor:
+    """Uniform initialization in ``[-bound, bound]`` (LSTM / embedding default)."""
+    return Tensor(rng.uniform(-bound, bound, size=shape).astype(np.float32), requires_grad=True)
+
+
+def zeros(shape: Tuple[int, ...]) -> Tensor:
+    """Zero initialization (biases)."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+
+
+def ones(shape: Tuple[int, ...]) -> Tensor:
+    """One initialization (BatchNorm scale)."""
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=True)

@@ -1,0 +1,607 @@
+"""Core :class:`Tensor` type and reverse-mode automatic differentiation.
+
+The implementation follows the classic "define-by-run" pattern: every
+operation returns a new :class:`Tensor` holding references to its inputs and a
+closure that knows how to propagate the output gradient back to them.
+Calling :meth:`Tensor.backward` topologically sorts the graph and runs the
+closures in reverse order.
+
+Broadcasting is supported for the elementwise operations; gradients flowing
+into a broadcast operand are reduced (summed) over the broadcast axes so the
+gradient always has the same shape as the operand (``_unbroadcast``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with optional gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray`` of dtype float32/float64
+        (integer data is allowed for index tensors but cannot require grad).
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+    __array_priority__ = 100.0  # make NumPy defer to Tensor's reflected ops
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, *,
+                 _parents: Tuple["Tensor", ...] = (), _op: str = "leaf"):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype == np.float64:
+            arr = arr.astype(np.float32)
+        elif arr.dtype not in (np.float32, np.int64, np.int32, np.bool_):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        if requires_grad and not np.issubdtype(arr.dtype, np.floating):
+            raise ValueError("only floating point tensors can require gradients")
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
+        self.op: str = _op
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self.op!r}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str,
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create an op output, wiring the backward closure when needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else (),
+                     _op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (allocating on first use)."""
+        grad = np.asarray(grad, dtype=self.data.dtype if np.issubdtype(self.data.dtype, np.floating) else np.float32)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad if not isinstance(grad, Tensor) else grad.data,
+                              dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} does not match output shape {self.data.shape}")
+
+        topo: List[Tensor] = []
+        visited: set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+            # Free intermediate gradients to bound memory in long chains; leaves
+            # (parents == ()) keep theirs for the optimizer.
+            if node._parents:
+                node.grad = None
+
+    # ------------------------------------------------------------------ #
+    # elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float32))
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), "add", backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), "sub", backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(out_data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), "neg", backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * (self.data ** (exponent - 1)))
+
+        return Tensor._make(out_data, (self,), "pow", backward)
+
+    # comparisons produce detached boolean/float tensors (no gradient).
+    def __gt__(self, other: ArrayLike) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data > other_data).astype(np.float32))
+
+    def __lt__(self, other: ArrayLike) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data < other_data).astype(np.float32))
+
+    def __ge__(self, other: ArrayLike) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data >= other_data).astype(np.float32))
+
+    def __le__(self, other: ArrayLike) -> "Tensor":
+        other_data = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data <= other_data).astype(np.float32))
+
+    # ------------------------------------------------------------------ #
+    # unary math
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), "log", backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), "sqrt", backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), "tanh", backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function: exponentiate only the negative
+        # magnitude so neither branch can overflow.
+        neg_abs = -np.abs(self.data)
+        exp_neg = np.exp(neg_abs)
+        out_data = np.where(self.data >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), "sigmoid", backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), "relu", backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        return Tensor._make(out_data, (self,), "abs", backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), "clip", backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), "sum", backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                out = np.expand_dims(out, axis)
+            mask = (self.data == out).astype(self.data.dtype)
+            # Split the gradient among ties to keep sums exact.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(g * mask / counts)
+
+        return Tensor._make(out_data, (self,), "max", backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), "reshape", backward)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        out_data = np.transpose(self.data, axes)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor._make(out_data, (self,), "transpose", backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        out_data = self.data[index]
+
+        # Basic indexing (ints / slices only) selects each element at most once,
+        # so a simple in-place add suffices; fancy indexing may repeat elements
+        # and needs the unbuffered np.add.at.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, np.integer, slice, type(Ellipsis), type(None)))
+                    for p in parts)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                if basic:
+                    full[index] += grad
+                else:
+                    np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), "getitem", backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        out_data = np.pad(self.data, pad_width)
+        p = padding
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad[..., p:-p, p:-p])
+
+        return Tensor._make(out_data, (self,), "pad2d", backward)
+
+    # ------------------------------------------------------------------ #
+    # linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2
+                                     else grad[..., None] * other.data)
+                else:
+                    g = grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate(_unbroadcast(g, other.shape))
+
+        return Tensor._make(out_data, (self, other), "matmul", backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # combination ops (static)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, end)
+                    t._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tuple(tensors), "concat", backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(grad, i, axis=axis))
+
+        return Tensor._make(out_data, tuple(tensors), "stack", backward)
+
+    @staticmethod
+    def where(condition: ArrayLike, a: "Tensor", b: "Tensor") -> "Tensor":
+        cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+        a = Tensor._coerce(a)
+        b = Tensor._coerce(b)
+        out_data = np.where(cond, a.data, b.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad * cond, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad * (~np.asarray(cond, dtype=bool)), b.shape))
+
+        return Tensor._make(out_data, (a, b), "where", backward)
+
+
+# ---------------------------------------------------------------------- #
+# convenience constructors
+# ---------------------------------------------------------------------- #
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of zeros."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of ones."""
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def randn(*shape: int, rng: Optional[np.random.Generator] = None,
+          requires_grad: bool = False) -> Tensor:
+    """Tensor of standard-normal samples (reproducible when ``rng`` given)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, timers, logging and serialization."""
+
+from repro.utils.rng import SeedSequenceFactory, derive_seed, new_rng, set_global_seed
+from repro.utils.timer import Timer, WallClock, timed
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "new_rng",
+    "set_global_seed",
+    "Timer",
+    "WallClock",
+    "timed",
+    "get_logger",
+    "load_json",
+    "save_json",
+    "to_jsonable",
+]

@@ -1,0 +1,28 @@
+"""Lightweight logging configuration shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger.
+
+    The first call installs a stream handler on the ``repro`` root logger;
+    subsequent calls reuse it, so libraries and scripts share one format.
+    """
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _CONFIGURED = True
+    logger = logging.getLogger(name)
+    return logger

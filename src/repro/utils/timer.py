@@ -1,0 +1,111 @@
+"""Timing helpers used by the cost model and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+
+class WallClock:
+    """A monotonic wall clock that can be replaced by a virtual clock in tests.
+
+    The distributed simulator advances a *virtual* clock according to the
+    analytic network model; unit tests substitute a manual clock so timing
+    logic can be asserted deterministically.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(WallClock):
+    """A controllable clock for deterministic tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+
+    def now(self) -> float:
+        return self._t
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance clock backwards")
+        self._t += float(dt)
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock durations.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.measure("compute"):
+    ...     _ = sum(range(100))
+    >>> t.total("compute") >= 0.0
+    True
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = self.clock.now()
+        try:
+            yield
+        finally:
+            self.add(name, self.clock.now() - start)
+
+    def add(self, name: str, duration: float) -> None:
+        """Record ``duration`` seconds under ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + float(duration)
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        c = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / c if c else 0.0
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+def timed(fn: Callable, *args, repeats: int = 1, **kwargs) -> tuple:
+    """Run ``fn`` ``repeats`` times and return ``(result, best_seconds)``.
+
+    Used by the Figure 2 benchmark to time compressor kernels the same way the
+    paper measured compression compute cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def median_time(fn: Callable, *args, repeats: int = 5, **kwargs) -> float:
+    """Median wall-clock time of ``fn`` over ``repeats`` runs."""
+    samples: List[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]

@@ -1,0 +1,61 @@
+"""Shared fixtures and numerical-gradient-checking helpers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def gradient_vector(rng) -> np.ndarray:
+    """A bell-shaped gradient vector similar to what real training produces."""
+    return (rng.standard_normal(4096) * 0.01).astype(np.float32)
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x.reshape(x.shape))
+        flat[i] = original - eps
+        minus = fn(x.reshape(x.shape))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss: Callable[[Tensor], "Tensor"], x: np.ndarray,
+                   rtol: float = 2e-2, atol: float = 2e-3) -> None:
+    """Compare autograd gradients against central differences.
+
+    ``build_loss`` maps an input Tensor to a scalar loss Tensor; the check is
+    run in float64 via the numerical side and float32 via autograd, so the
+    tolerances are modest.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    tensor = Tensor(x.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    assert tensor.grad is not None, "autograd did not produce a gradient"
+
+    def scalar(values: np.ndarray) -> float:
+        return float(build_loss(Tensor(values.astype(np.float32))).item())
+
+    numeric = numerical_gradient(scalar, x)
+    np.testing.assert_allclose(tensor.grad, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLIParsing:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_run_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "alexnet"])
+
+    def test_run_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "zip"])
+
+
+class TestCLICommands:
+    def test_info_lists_models_and_compressors(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "lstm_ptb" in out
+        assert "a2sgd" in out
+        assert "66,034,000" in out
+
+    def test_run_prints_convergence_and_writes_json(self, capsys, tmp_path):
+        output = tmp_path / "result.json"
+        code = main(["run", "--model", "fnn3", "--algorithm", "a2sgd", "--workers", "2",
+                     "--epochs", "2", "--iterations", "4", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bits/worker/iteration" in out
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["wire_bits_per_iteration"] == 64.0
+
+    def test_sweep_command(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        code = main(["sweep", "--model", "fnn3", "--workers", "2", "--algorithms",
+                     "dense", "a2sgd", "--epochs", "2", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        data = json.loads(output.read_text())
+        assert set(data["2"]) == {"dense", "a2sgd"}
+
+    def test_cost_command(self, capsys, tmp_path):
+        output = tmp_path / "cost.json"
+        code = main(["cost", "--models", "lstm_ptb", "--algorithms", "dense", "a2sgd",
+                     "--workers", "2", "8", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Table 2" in out
+        data = json.loads(output.read_text())
+        assert "lstm_ptb" in data
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "--size", "20000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a2sgd" in out and "dense" in out and "dgc" in out

@@ -1,0 +1,153 @@
+"""Tests for the collective algorithms and their traffic traces."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CollectiveOp,
+    CollectiveTrace,
+    allgather,
+    allreduce_naive,
+    allreduce_ring,
+    broadcast,
+    reduce_scatter,
+)
+
+
+def make_buffers(rng, world_size=4, n=101):
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(world_size)]
+
+
+class TestAllreduceRing:
+    @pytest.mark.parametrize("world_size", [1, 2, 3, 4, 7, 8])
+    def test_mean_matches_numpy(self, rng, world_size):
+        buffers = make_buffers(rng, world_size)
+        results, _ = allreduce_ring(buffers, CollectiveOp.MEAN)
+        expected = np.mean(np.stack(buffers), axis=0)
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-5, atol=1e-6)
+
+    def test_sum_matches_numpy(self, rng):
+        buffers = make_buffers(rng, 5)
+        results, _ = allreduce_ring(buffers, CollectiveOp.SUM)
+        np.testing.assert_allclose(results[0], np.sum(np.stack(buffers), axis=0),
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_max_matches_numpy(self, rng):
+        buffers = make_buffers(rng, 3)
+        results, _ = allreduce_ring(buffers, CollectiveOp.MAX)
+        np.testing.assert_allclose(results[0], np.max(np.stack(buffers), axis=0), rtol=1e-6)
+
+    def test_all_ranks_receive_identical_results(self, rng):
+        results, _ = allreduce_ring(make_buffers(rng, 6), CollectiveOp.MEAN)
+        for r in results[1:]:
+            np.testing.assert_array_equal(r, results[0])
+
+    def test_matches_naive_reference(self, rng):
+        buffers = make_buffers(rng, 4, n=257)
+        ring, _ = allreduce_ring(buffers, CollectiveOp.MEAN)
+        naive, _ = allreduce_naive(buffers, CollectiveOp.MEAN)
+        np.testing.assert_allclose(ring[0], naive[0], rtol=1e-5, atol=1e-6)
+
+    def test_preserves_shape_and_dtype(self, rng):
+        buffers = [rng.standard_normal((3, 5)).astype(np.float32) for _ in range(3)]
+        results, _ = allreduce_ring(buffers, CollectiveOp.MEAN)
+        assert results[0].shape == (3, 5)
+        assert results[0].dtype == np.float32
+
+    def test_payload_smaller_than_world_size(self, rng):
+        # Two scalars reduced across 4 ranks — A2SGD's exact situation.
+        buffers = [np.array([float(i), float(-i)]) for i in range(4)]
+        results, _ = allreduce_ring(buffers, CollectiveOp.MEAN)
+        np.testing.assert_allclose(results[0], [1.5, -1.5])
+
+    def test_trace_structure(self, rng):
+        buffers = make_buffers(rng, 4, n=100)
+        _, trace = allreduce_ring(buffers, CollectiveOp.MEAN)
+        assert trace.kind == "allreduce_ring"
+        assert trace.world_size == 4
+        assert trace.rounds == 2 * 3
+        assert trace.message_bytes == pytest.approx(400.0)
+        assert trace.bytes_sent_per_rank == pytest.approx(2 * 3 / 4 * 400.0)
+
+    def test_single_rank_trace_is_free(self, rng):
+        _, trace = allreduce_ring(make_buffers(rng, 1), CollectiveOp.MEAN)
+        assert trace.rounds == 0
+        assert trace.bytes_sent_per_rank == 0.0
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            allreduce_ring([np.zeros(3), np.zeros(4)])
+
+    def test_empty_participant_list_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_ring([])
+
+
+class TestAllgather:
+    def test_every_rank_gets_all_contributions(self, rng):
+        buffers = make_buffers(rng, 3, n=11)
+        gathered, _ = allgather(buffers)
+        assert len(gathered) == 3
+        for per_rank in gathered:
+            assert len(per_rank) == 3
+            for original, received in zip(buffers, per_rank):
+                np.testing.assert_array_equal(original, received)
+
+    def test_results_are_copies(self, rng):
+        buffers = make_buffers(rng, 2, n=5)
+        gathered, _ = allgather(buffers)
+        gathered[0][0][...] = 99.0
+        assert not np.allclose(buffers[0], 99.0)
+
+    def test_variable_length_contributions(self, rng):
+        buffers = [rng.standard_normal(5), rng.standard_normal(9)]
+        gathered, trace = allgather(buffers)
+        assert gathered[0][1].shape == (9,)
+        assert trace.message_bytes == pytest.approx(np.mean([b.nbytes for b in buffers]))
+
+    def test_trace_bytes(self, rng):
+        buffers = make_buffers(rng, 4, n=10)
+        _, trace = allgather(buffers)
+        assert trace.rounds == 3
+        assert trace.bytes_sent_per_rank == pytest.approx(3 * 40.0)
+
+
+class TestBroadcastReduceScatter:
+    def test_broadcast_distributes_root(self, rng):
+        buffers = make_buffers(rng, 4, n=8)
+        results, trace = broadcast(buffers, root=2)
+        for r in results:
+            np.testing.assert_array_equal(r, buffers[2])
+        assert trace.rounds == 2  # ceil(log2(4))
+
+    def test_broadcast_bad_root(self, rng):
+        with pytest.raises(ValueError):
+            broadcast(make_buffers(rng, 2), root=5)
+
+    def test_reduce_scatter_chunks_cover_reduction(self, rng):
+        buffers = make_buffers(rng, 4, n=100)
+        chunks, trace = reduce_scatter(buffers, CollectiveOp.SUM)
+        reconstructed = np.concatenate(chunks)
+        np.testing.assert_allclose(reconstructed, np.sum(np.stack(buffers), axis=0),
+                                   rtol=1e-5, atol=1e-5)
+        assert trace.kind == "reduce_scatter"
+
+    def test_reduce_scatter_chunk_sizes_balanced(self, rng):
+        buffers = make_buffers(rng, 3, n=10)
+        chunks, _ = reduce_scatter(buffers)
+        sizes = [c.size for c in chunks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCollectiveOp:
+    def test_combine_operations(self):
+        arrays = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        np.testing.assert_allclose(CollectiveOp.SUM.combine(arrays), [4.0, 6.0])
+        np.testing.assert_allclose(CollectiveOp.MEAN.combine(arrays), [2.0, 3.0])
+        np.testing.assert_allclose(CollectiveOp.MAX.combine(arrays), [3.0, 4.0])
+
+    def test_combine_empty_raises(self):
+        with pytest.raises(ValueError):
+            CollectiveOp.SUM.combine([])

@@ -1,0 +1,88 @@
+"""Tests for the in-process world and its traffic/time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CollectiveOp, InProcessWorld, NetworkModel
+
+
+class TestInProcessWorld:
+    def test_requires_positive_world_size(self):
+        with pytest.raises(ValueError):
+            InProcessWorld(0)
+
+    def test_allreduce_mean(self, rng):
+        world = InProcessWorld(4)
+        buffers = [rng.standard_normal(50).astype(np.float32) for _ in range(4)]
+        results = world.allreduce(buffers)
+        np.testing.assert_allclose(results[0], np.mean(np.stack(buffers), axis=0),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_allreduce_naive_backend_option(self, rng):
+        world = InProcessWorld(3, use_ring_allreduce=False)
+        buffers = [rng.standard_normal(7).astype(np.float32) for _ in range(3)]
+        results = world.allreduce(buffers)
+        np.testing.assert_allclose(results[0], np.mean(np.stack(buffers), axis=0), rtol=1e-5)
+
+    def test_wrong_number_of_contributions(self, rng):
+        world = InProcessWorld(4)
+        with pytest.raises(ValueError):
+            world.allreduce([rng.standard_normal(3)] * 3)
+
+    def test_allgather_and_broadcast(self, rng):
+        world = InProcessWorld(3)
+        buffers = [np.full(4, float(r)) for r in range(3)]
+        gathered = world.allgather(buffers)
+        assert len(gathered[1]) == 3
+        broadcasted = world.broadcast(buffers, root=1)
+        np.testing.assert_array_equal(broadcasted[2], buffers[1])
+
+    def test_reduce_scatter(self, rng):
+        world = InProcessWorld(2)
+        buffers = [np.ones(6), 2 * np.ones(6)]
+        chunks = world.reduce_scatter(buffers, CollectiveOp.SUM)
+        np.testing.assert_allclose(np.concatenate(chunks), np.full(6, 3.0))
+
+    def test_stats_accumulate(self, rng):
+        world = InProcessWorld(4)
+        buffers = [rng.standard_normal(100).astype(np.float32) for _ in range(4)]
+        world.allreduce(buffers)
+        world.allreduce(buffers)
+        assert world.stats.collective_counts["allreduce_ring"] == 2
+        assert world.stats.simulated_time_s > 0
+        assert world.stats.bytes_sent_per_rank > 0
+        world.reset_stats()
+        assert world.stats.simulated_time_s == 0.0
+        assert world.stats.collective_counts == {}
+
+    def test_logical_bytes_override_prices_wire_size(self, rng):
+        # The A2SGD case: the simulated payload is 2 float64 (16 bytes) but the
+        # wire encoding is 8 bytes; the recorded traffic must be 8 bytes.
+        world = InProcessWorld(4)
+        payloads = [np.array([0.5, 0.25]) for _ in range(4)]
+        world.allreduce(payloads, logical_bytes=8.0)
+        assert world.last_trace.message_bytes == pytest.approx(8.0)
+        assert world.stats.logical_payload_bytes == pytest.approx(8.0)
+
+    def test_simulated_time_reflects_message_size(self, rng):
+        small_world = InProcessWorld(8)
+        big_world = InProcessWorld(8)
+        small = [np.zeros(2) for _ in range(8)]
+        big = [np.zeros(500_000, dtype=np.float32) for _ in range(8)]
+        small_world.allreduce(small)
+        big_world.allreduce(big)
+        assert big_world.simulated_comm_time > small_world.simulated_comm_time * 10
+
+    def test_custom_network_model_changes_cost(self, rng):
+        slow = InProcessWorld(4, network=NetworkModel(latency_s=1e-3, bandwidth_Bps=1e6))
+        fast = InProcessWorld(4)
+        payload = [np.zeros(1000, dtype=np.float32) for _ in range(4)]
+        slow.allreduce(payload)
+        fast.allreduce(payload)
+        assert slow.simulated_comm_time > fast.simulated_comm_time
+
+    def test_single_worker_world_costs_nothing(self):
+        world = InProcessWorld(1)
+        result = world.allreduce([np.array([1.0, 2.0])])
+        np.testing.assert_allclose(result[0], [1.0, 2.0])
+        assert world.simulated_comm_time == 0.0

@@ -1,0 +1,178 @@
+"""Tests for the A2SGD compressor — the paper's core contribution (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.compress import A2SGDCompressor, ExchangeKind
+
+
+class TestTwoLevelMeans:
+    def test_means_match_definition(self):
+        g = np.array([1.0, -2.0, 3.0, -4.0, 0.0], dtype=np.float32)
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(g)
+        # Positive entries (>= 0): 1, 3, 0 -> mean 4/3; negatives: |-2|,|-4| -> 3.
+        assert mu_plus == pytest.approx(4.0 / 3.0)
+        assert mu_minus == pytest.approx(3.0)
+
+    def test_all_positive_gradient(self):
+        g = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(g)
+        assert mu_plus == pytest.approx(2.0)
+        assert mu_minus == 0.0
+
+    def test_all_negative_gradient(self):
+        g = np.array([-1.0, -3.0], dtype=np.float32)
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(g)
+        assert mu_plus == 0.0
+        assert mu_minus == pytest.approx(2.0)
+
+    def test_zero_vector(self):
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(np.zeros(4, dtype=np.float32))
+        assert mu_plus == 0.0 and mu_minus == 0.0
+
+    def test_means_are_nonnegative(self, gradient_vector):
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(gradient_vector)
+        assert mu_plus >= 0.0 and mu_minus >= 0.0
+
+    def test_enc_operator(self):
+        g = np.array([0.5, -0.25, 2.0], dtype=np.float32)
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(g)
+        encoded = A2SGDCompressor.encode(g, mu_plus, mu_minus)
+        np.testing.assert_allclose(encoded, [mu_plus, -mu_minus, mu_plus], rtol=1e-6)
+
+
+class TestCompressDecompress:
+    def test_payload_is_exactly_two_values(self, gradient_vector):
+        payload, _ = A2SGDCompressor().compress(gradient_vector)
+        assert payload.shape == (2,)
+
+    def test_payload_contains_the_two_means(self, gradient_vector):
+        payload, _ = A2SGDCompressor().compress(gradient_vector)
+        mu_plus, mu_minus = A2SGDCompressor.two_level_means(gradient_vector)
+        assert payload[0] == pytest.approx(mu_plus, rel=1e-6)
+        assert payload[1] == pytest.approx(mu_minus, rel=1e-6)
+
+    def test_context_holds_mask_and_error(self, gradient_vector):
+        _, ctx = A2SGDCompressor().compress(gradient_vector)
+        assert ctx["positive_mask"].shape == gradient_vector.shape
+        assert ctx["error"].shape == gradient_vector.shape
+
+    def test_error_vector_is_gradient_minus_encoding(self, gradient_vector):
+        compressor = A2SGDCompressor()
+        payload, ctx = compressor.compress(gradient_vector)
+        encoded = A2SGDCompressor.encode(gradient_vector, payload[0], payload[1])
+        np.testing.assert_allclose(ctx["error"], gradient_vector - encoded, atol=1e-6)
+
+    def test_single_worker_roundtrip_is_lossless(self, gradient_vector):
+        # With one worker the global means equal the local means, so error
+        # feedback restores the original gradient exactly (up to float32).
+        compressor = A2SGDCompressor()
+        payload, ctx = compressor.compress(gradient_vector)
+        reconstructed = compressor.decompress(payload, ctx)
+        np.testing.assert_allclose(reconstructed, gradient_vector, atol=1e-6)
+
+    def test_reconstruction_with_global_means(self, rng):
+        # Simulate two workers: reconstruction must use the global means but
+        # keep each worker's own error vector.
+        g0 = rng.standard_normal(1000).astype(np.float32)
+        g1 = rng.standard_normal(1000).astype(np.float32) * 2.0
+        c0, c1 = A2SGDCompressor(), A2SGDCompressor()
+        p0, ctx0 = c0.compress(g0)
+        p1, ctx1 = c1.compress(g1)
+        global_means = (p0 + p1) / 2.0
+        r0 = c0.decompress(global_means, ctx0)
+        expected = ctx0["error"] + np.where(ctx0["positive_mask"], global_means[0],
+                                            -global_means[1])
+        np.testing.assert_allclose(r0, expected, atol=1e-6)
+
+    def test_decompress_requires_two_means(self, gradient_vector):
+        compressor = A2SGDCompressor()
+        _, ctx = compressor.compress(gradient_vector)
+        with pytest.raises(ValueError):
+            compressor.decompress(np.zeros(3), ctx)
+
+    def test_rejects_non_flat_gradient(self, rng):
+        with pytest.raises(ValueError):
+            A2SGDCompressor().compress(rng.standard_normal((4, 4)))
+
+    def test_no_error_feedback_drops_error(self, gradient_vector):
+        compressor = A2SGDCompressor(error_feedback=False)
+        payload, ctx = compressor.compress(gradient_vector)
+        np.testing.assert_array_equal(ctx["error"], np.zeros_like(gradient_vector))
+        reconstructed = compressor.decompress(payload, ctx)
+        # Without the error term the reconstruction is exactly the encoding.
+        expected = A2SGDCompressor.encode(gradient_vector, payload[0], payload[1])
+        np.testing.assert_allclose(reconstructed, expected, atol=1e-6)
+
+    def test_single_mean_ablation(self, gradient_vector):
+        compressor = A2SGDCompressor(two_means=False)
+        payload, ctx = compressor.compress(gradient_vector)
+        assert payload[1] == 0.0
+        reconstructed = compressor.decompress(payload, ctx)
+        np.testing.assert_allclose(reconstructed, gradient_vector, atol=1e-6)
+
+
+class TestStatisticalProperties:
+    def test_variance_preserved_with_error_feedback(self, rng):
+        # §3: retaining local errors keeps the variance close to dense SGD.
+        g = (rng.standard_normal(10_000) * 0.05).astype(np.float32)
+        compressor = A2SGDCompressor()
+        payload, ctx = compressor.compress(g)
+        reconstructed = compressor.decompress(payload, ctx)
+        assert reconstructed.var() == pytest.approx(g.var(), rel=1e-4)
+
+    def test_variance_collapses_without_error_feedback(self, rng):
+        g = (rng.standard_normal(10_000) * 0.05).astype(np.float32)
+        compressor = A2SGDCompressor(error_feedback=False)
+        payload, ctx = compressor.compress(g)
+        reconstructed = compressor.decompress(payload, ctx)
+        # The encoding of a zero-mean Gaussian has variance 2/π of the
+        # original (a ±half-normal-mean coin flip), i.e. a ~36% variance drop.
+        ratio = reconstructed.var() / g.var()
+        assert ratio == pytest.approx(2.0 / np.pi, rel=0.05)
+        assert ratio < 0.75
+
+    def test_encoding_preserves_sign_pattern(self, gradient_vector):
+        compressor = A2SGDCompressor()
+        payload, ctx = compressor.compress(gradient_vector)
+        encoded = A2SGDCompressor.encode(gradient_vector, payload[0], payload[1])
+        assert np.all((encoded >= 0) == (gradient_vector >= 0))
+
+    def test_mean_of_reconstruction_across_workers_close_to_dense(self, rng):
+        # The across-worker average of reconstructions should be close to the
+        # dense average (the ∇µ term is the only difference).
+        gradients = [(rng.standard_normal(5000) * 0.01).astype(np.float32) for _ in range(4)]
+        compressors = [A2SGDCompressor() for _ in range(4)]
+        payloads, contexts = zip(*(c.compress(g) for c, g in zip(compressors, gradients)))
+        global_means = np.mean(np.stack(payloads), axis=0)
+        recons = [c.decompress(global_means, ctx) for c, ctx in zip(compressors, contexts)]
+        dense_avg = np.mean(np.stack(gradients), axis=0)
+        a2sgd_avg = np.mean(np.stack(recons), axis=0)
+        gap = np.linalg.norm(a2sgd_avg - dense_avg) / np.linalg.norm(dense_avg)
+        assert gap < 0.35
+
+    def test_stats_recorded(self, gradient_vector):
+        compressor = A2SGDCompressor()
+        compressor.compress(gradient_vector)
+        compressor.compress(gradient_vector)
+        assert compressor.stats.iterations == 2
+        assert compressor.stats.last_wire_bits == 64.0
+        assert compressor.stats.total_wire_bits == 128.0
+
+
+class TestAnalytics:
+    def test_wire_bits_is_constant_in_n(self):
+        compressor = A2SGDCompressor()
+        assert compressor.wire_bits(1_000) == 64.0
+        assert compressor.wire_bits(66_034_000) == 64.0
+        assert compressor.wire_bits(10**9, world_size=16) == 64.0
+
+    def test_computation_complexity(self):
+        assert A2SGDCompressor().computation_complexity(100) == "O(n)"
+
+    def test_exchange_is_allreduce(self):
+        assert A2SGDCompressor.exchange is ExchangeKind.ALLREDUCE
+
+    def test_registry_name(self):
+        assert A2SGDCompressor.name == "a2sgd"
+        assert A2SGDCompressor.uses_error_feedback

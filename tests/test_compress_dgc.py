@@ -1,0 +1,97 @@
+"""Tests for the Deep Gradient Compression extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compress import DGCCompressor, get_compressor
+from repro.compress.base import ExchangeKind, sparsity_k
+
+
+class TestDGCBasics:
+    def test_registered(self):
+        assert isinstance(get_compressor("dgc"), DGCCompressor)
+
+    def test_exchange_and_flags(self):
+        assert DGCCompressor.exchange is ExchangeKind.ALLGATHER
+        assert DGCCompressor.uses_error_feedback
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            DGCCompressor(momentum=1.0)
+        with pytest.raises(ValueError):
+            DGCCompressor(momentum=-0.1)
+
+    def test_payload_layout_and_k(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        payload, ctx = compressor.compress(gradient_vector)
+        k = sparsity_k(gradient_vector.size, 0.01)
+        assert ctx["k"] == k
+        assert payload.shape == (2 * k,)
+
+    def test_wire_bits_same_as_topk(self):
+        assert DGCCompressor(ratio=0.001).wire_bits(10**6) == 32.0 * 1000
+
+    def test_complexity_string(self):
+        assert DGCCompressor().computation_complexity(1000) == "O(n + k log n)"
+
+
+class TestDGCStatefulBehaviour:
+    def test_velocity_and_residual_created(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        compressor.compress(gradient_vector)
+        assert compressor._velocity is not None
+        assert compressor._residual is not None
+        assert compressor._velocity.shape == gradient_vector.shape
+
+    def test_transmitted_coordinates_are_masked(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        payload, ctx = compressor.compress(gradient_vector)
+        indices = payload[:ctx["k"]].astype(int)
+        assert np.all(compressor._residual[indices] == 0.0)
+        assert np.all(compressor._velocity[indices] == 0.0)
+
+    def test_momentum_accumulates_on_untransmitted_coordinates(self):
+        g = np.zeros(100, dtype=np.float32)
+        g[:50] = 0.01          # small, never transmitted at ratio 0.01 (k=1)
+        g[99] = 1.0            # large, transmitted every time
+        compressor = DGCCompressor(ratio=0.01, momentum=0.9, clip_norm_factor=None)
+        compressor.compress(g)
+        first = compressor._residual[0]
+        compressor.compress(g)
+        second = compressor._residual[0]
+        # With momentum, the residual grows faster than linear accumulation.
+        assert second > 2 * first
+
+    def test_clipping_bounds_extreme_values(self):
+        g = np.zeros(1000, dtype=np.float32)
+        g[0] = 100.0
+        compressor = DGCCompressor(ratio=0.01, clip_norm_factor=1.0)
+        clipped = compressor._clip(g)
+        assert clipped[0] < 100.0
+        no_clip = DGCCompressor(ratio=0.01, clip_norm_factor=None)._clip(g)
+        assert no_clip[0] == 100.0
+
+    def test_reset_state(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        compressor.compress(gradient_vector)
+        compressor.reset_state()
+        assert compressor._velocity is None
+        assert compressor._residual is None
+
+    def test_decompress_gathered_shared_with_topk(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        payload, ctx = compressor.compress(gradient_vector)
+        dense = compressor.decompress_gathered([payload], ctx)
+        assert dense.shape == gradient_vector.shape
+        assert np.count_nonzero(dense) == ctx["k"]
+
+
+class TestDGCTraining:
+    def test_dgc_learns_on_tiny_fnn(self):
+        from repro.core import DistributedTrainer, TrainerConfig
+        config = TrainerConfig(model="fnn3", preset="tiny", algorithm="dgc", world_size=2,
+                               epochs=3, batch_size=16, max_iterations_per_epoch=12,
+                               num_train=384, num_test=96, seed=0,
+                               compressor_kwargs={"ratio": 0.05})
+        metrics = DistributedTrainer(config).train()
+        assert metrics.final_metric > 15.0

@@ -1,0 +1,139 @@
+"""Tests for the compressor registry and the Table 2 analytic quantities."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    COMPRESSOR_REGISTRY,
+    A2SGDCompressor,
+    Compressor,
+    get_compressor,
+    list_compressors,
+)
+from repro.compress.registry import PAPER_ALGORITHMS
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        for name in PAPER_ALGORITHMS:
+            assert name in COMPRESSOR_REGISTRY
+
+    def test_list_compressors_sorted(self):
+        names = list_compressors()
+        assert names == sorted(names)
+        assert "a2sgd" in names and "dense" in names
+
+    def test_get_compressor_case_and_aliases(self):
+        assert isinstance(get_compressor("A2SGD"), A2SGDCompressor)
+        assert get_compressor("Top-K").name == "topk"
+        assert get_compressor("gaussian_k").name == "gaussiank"
+        assert get_compressor("TopK").name == "topk"
+
+    def test_get_compressor_forwards_kwargs(self):
+        compressor = get_compressor("topk", ratio=0.05)
+        assert compressor.ratio == pytest.approx(0.05)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_compressor("zip")
+
+    def test_each_instance_is_fresh(self):
+        a = get_compressor("a2sgd")
+        b = get_compressor("a2sgd")
+        assert a is not b
+
+    def test_base_class_is_abstract(self, gradient_vector):
+        base = Compressor()
+        with pytest.raises(NotImplementedError):
+            base.compress(gradient_vector)
+        with pytest.raises(NotImplementedError):
+            base.wire_bits(10)
+        with pytest.raises(NotImplementedError):
+            base.computation_complexity(10)
+
+
+class TestTable2Quantities:
+    """Column 2 and 3 of Table 2 as analytic statements about the compressors."""
+
+    N = 66_034_000  # LSTM-PTB parameter count from Table 1
+
+    def test_communication_bits_match_table2(self):
+        assert get_compressor("dense").wire_bits(self.N) == 32 * self.N
+        assert get_compressor("qsgd").wire_bits(self.N) == pytest.approx(2.8 * self.N + 32)
+        k = int(round(0.001 * self.N))
+        assert get_compressor("topk").wire_bits(self.N) == 32 * k
+        assert get_compressor("gaussiank").wire_bits(self.N) == 32 * k
+        assert get_compressor("a2sgd").wire_bits(self.N) == 64
+
+    def test_a2sgd_is_the_only_constant_traffic_algorithm(self):
+        small, large = 10_000, 100_000_000
+        for name in PAPER_ALGORITHMS:
+            compressor = get_compressor(name)
+            ratio = compressor.wire_bits(large) / compressor.wire_bits(small)
+            if name == "a2sgd":
+                assert ratio == pytest.approx(1.0)
+            else:
+                assert ratio > 100
+
+    def test_traffic_ordering_matches_paper(self):
+        bits = {name: get_compressor(name).wire_bits(self.N) for name in PAPER_ALGORITHMS}
+        assert bits["a2sgd"] < bits["topk"] == bits["gaussiank"] < bits["qsgd"] < bits["dense"]
+
+    def test_computation_complexity_strings(self):
+        assert get_compressor("dense").computation_complexity(self.N) == "O(1)"
+        assert get_compressor("a2sgd").computation_complexity(self.N) == "O(n)"
+        assert get_compressor("gaussiank").computation_complexity(self.N) == "O(n)"
+        assert get_compressor("topk").computation_complexity(self.N) == "O(n + k log n)"
+        assert get_compressor("qsgd").computation_complexity(self.N) == "O(n^2)"
+
+    def test_compression_ratio_headline_number(self):
+        # For LSTM-PTB, A2SGD reduces traffic by a factor of ~33 million
+        # relative to dense SGD (32n bits vs 64 bits).
+        dense_bits = get_compressor("dense").wire_bits(self.N)
+        a2sgd_bits = get_compressor("a2sgd").wire_bits(self.N)
+        assert dense_bits / a2sgd_bits == pytest.approx(32 * self.N / 64)
+
+
+class TestCompressorContracts:
+    """Every registered compressor obeys the shared interface contract."""
+
+    @pytest.mark.parametrize("name", sorted(COMPRESSOR_REGISTRY))
+    def test_compress_returns_payload_and_context(self, name, gradient_vector):
+        compressor = get_compressor(name)
+        payload, ctx = compressor.compress(gradient_vector)
+        assert isinstance(payload, np.ndarray)
+        assert payload.ndim == 1
+        assert isinstance(ctx, dict)
+
+    @pytest.mark.parametrize("name", sorted(COMPRESSOR_REGISTRY))
+    def test_roundtrip_produces_gradient_of_same_shape(self, name, gradient_vector):
+        compressor = get_compressor(name)
+        payload, ctx = compressor.compress(gradient_vector)
+        if compressor.exchange.value == "allreduce":
+            rebuilt = compressor.decompress(payload, ctx)
+        else:
+            rebuilt = compressor.decompress_gathered([payload], ctx)
+        assert rebuilt.shape == gradient_vector.shape
+        assert np.isfinite(rebuilt).all()
+
+    @pytest.mark.parametrize("name", sorted(COMPRESSOR_REGISTRY))
+    def test_wire_bits_positive_and_monotone(self, name):
+        compressor = get_compressor(name)
+        small = compressor.wire_bits(1_000)
+        large = compressor.wire_bits(1_000_000)
+        assert small > 0
+        assert large >= small
+
+    @pytest.mark.parametrize("name", sorted(COMPRESSOR_REGISTRY))
+    def test_reset_state_clears_statistics(self, name, gradient_vector):
+        compressor = get_compressor(name)
+        compressor.compress(gradient_vector)
+        compressor.reset_state()
+        assert compressor.stats.iterations == 0
+
+    @pytest.mark.parametrize("name", sorted(COMPRESSOR_REGISTRY))
+    def test_stats_track_relative_error(self, name, gradient_vector):
+        compressor = get_compressor(name)
+        compressor.compress(gradient_vector)
+        assert compressor.stats.iterations == 1
+        assert compressor.stats.last_compression_error >= 0.0

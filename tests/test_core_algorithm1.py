@@ -1,0 +1,81 @@
+"""Convergence tests for Algorithm 1 on the quadratic problem (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import (
+    QuadraticProblem,
+    a2sgd_quadratic_descent,
+    dense_quadratic_descent,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return QuadraticProblem(dimension=30, rows_per_worker=150, world_size=4,
+                            noise_std=0.01, seed=0)
+
+
+class TestQuadraticProblem:
+    def test_optimum_reproducible(self):
+        a = QuadraticProblem(dimension=10, seed=1)
+        b = QuadraticProblem(dimension=10, seed=1)
+        np.testing.assert_array_equal(a.optimum, b.optimum)
+
+    def test_gradient_vanishes_at_optimum_without_noise(self):
+        problem = QuadraticProblem(dimension=8, rows_per_worker=50, world_size=2,
+                                   noise_std=0.0, seed=2)
+        rows = np.arange(50)
+        for rank in range(2):
+            grad = problem.gradient(rank, problem.optimum, rows)
+            np.testing.assert_allclose(grad, np.zeros(8), atol=1e-10)
+
+    def test_gradient_points_towards_optimum(self, problem):
+        w = problem.optimum + 1.0
+        rows = np.arange(problem.rows_per_worker)
+        grad = problem.gradient(0, w, rows)
+        # Moving against the gradient must reduce the distance to w*.
+        assert problem.distance_to_optimum(w - 0.01 * grad) < problem.distance_to_optimum(w)
+
+
+class TestDenseBaseline:
+    def test_dense_sgd_converges(self, problem):
+        trace = dense_quadratic_descent(problem, iterations=300, base_lr=0.05)
+        assert trace.distances[-1] < 0.1 * trace.distances[0]
+        assert trace.final_distance < 0.5
+
+
+class TestA2SGDConvergence:
+    def test_a2sgd_converges_towards_optimum(self, problem):
+        trace = a2sgd_quadratic_descent(problem, iterations=300, base_lr=0.05)
+        assert trace.distances[-1] < 0.2 * trace.distances[0]
+
+    def test_a2sgd_final_distance_close_to_dense(self, problem):
+        """The paper's headline theoretical claim: A2SGD converges like dense SGD."""
+        dense = dense_quadratic_descent(problem, iterations=400, base_lr=0.05)
+        a2sgd = a2sgd_quadratic_descent(problem, iterations=400, base_lr=0.05)
+        assert a2sgd.final_distance < max(3.0 * dense.final_distance, 0.5)
+
+    def test_error_feedback_matters(self, problem):
+        """Dropping the local error vector (the ablation) hurts convergence."""
+        with_ef = a2sgd_quadratic_descent(problem, iterations=300, base_lr=0.05,
+                                          error_feedback=True)
+        without_ef = a2sgd_quadratic_descent(problem, iterations=300, base_lr=0.05,
+                                             error_feedback=False)
+        assert with_ef.final_distance < without_ef.final_distance
+
+    def test_distance_trend_is_decreasing(self, problem):
+        trace = a2sgd_quadratic_descent(problem, iterations=200, base_lr=0.05)
+        first_quarter = np.mean(trace.distances[:50])
+        last_quarter = np.mean(trace.distances[-50:])
+        assert last_quarter < first_quarter
+
+    def test_final_synchronization_produces_consensus(self, problem):
+        trace = a2sgd_quadratic_descent(problem, iterations=50, base_lr=0.05)
+        assert trace.final_weights is not None
+        assert trace.final_weights.shape == (problem.dimension,)
+
+    def test_reproducible_given_seed(self, problem):
+        a = a2sgd_quadratic_descent(problem, iterations=50, base_lr=0.05, seed=3)
+        b = a2sgd_quadratic_descent(problem, iterations=50, base_lr=0.05, seed=3)
+        np.testing.assert_allclose(a.distances, b.distances)

@@ -1,0 +1,77 @@
+"""Tests for trainer checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedTrainer, TrainerConfig, load_checkpoint, save_checkpoint
+from repro.core.flatten import flatten_parameters
+
+
+def make_trainer(**overrides) -> DistributedTrainer:
+    base = dict(model="fnn3", preset="tiny", algorithm="a2sgd", world_size=2, epochs=1,
+                batch_size=16, max_iterations_per_epoch=4, num_train=128, num_test=32, seed=0)
+    base.update(overrides)
+    return DistributedTrainer(TrainerConfig(**base))
+
+
+class TestCheckpointRoundtrip:
+    def test_parameters_restored_exactly(self, tmp_path):
+        trainer = make_trainer()
+        trainer.train()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        assert path.exists()
+
+        fresh = make_trainer()
+        load_checkpoint(fresh, path)
+        for original, restored in zip(trainer.replicas, fresh.replicas):
+            np.testing.assert_array_equal(flatten_parameters(original),
+                                          flatten_parameters(restored))
+
+    def test_progress_and_metrics_restored(self, tmp_path):
+        trainer = make_trainer(epochs=2)
+        trainer.train()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+
+        fresh = make_trainer(epochs=2)
+        load_checkpoint(fresh, path)
+        assert fresh._global_iteration == trainer._global_iteration
+        assert fresh.metrics.metric == trainer.metrics.metric
+        assert fresh.metrics.train_loss == trainer.metrics.train_loss
+
+    def test_optimizer_momentum_restored(self, tmp_path):
+        trainer = make_trainer(algorithm="dense")
+        trainer.train()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+
+        fresh = make_trainer(algorithm="dense")
+        load_checkpoint(fresh, path)
+        original_state = trainer.optimizers[0].state_dict()
+        restored_state = fresh.optimizers[0].state_dict()
+        assert set(original_state["velocity"]) == set(restored_state["velocity"])
+        for key in original_state["velocity"]:
+            np.testing.assert_allclose(original_state["velocity"][key],
+                                       restored_state["velocity"][key])
+
+    def test_compressor_residual_restored(self, tmp_path):
+        trainer = make_trainer(algorithm="topk", compressor_kwargs={"ratio": 0.05})
+        trainer.train()
+        assert trainer.compressors[0]._residual is not None
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+
+        fresh = make_trainer(algorithm="topk", compressor_kwargs={"ratio": 0.05})
+        load_checkpoint(fresh, path)
+        np.testing.assert_allclose(fresh.compressors[0]._residual,
+                                   trainer.compressors[0]._residual)
+
+    def test_world_size_mismatch_raises(self, tmp_path):
+        trainer = make_trainer(world_size=2)
+        trainer.train()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        bigger = make_trainer(world_size=4)
+        with pytest.raises(KeyError):
+            load_checkpoint(bigger, path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        trainer = make_trainer()
+        path = save_checkpoint(trainer, tmp_path / "nested" / "dir" / "ckpt.npz")
+        assert path.exists()

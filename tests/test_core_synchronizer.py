@@ -1,0 +1,139 @@
+"""Tests for the gradient synchronizer (Algorithm 1 lines 3–6, all algorithms)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import InProcessWorld
+from repro.compress import get_compressor
+from repro.core import GradientSynchronizer
+
+
+def make_sync(algorithm: str, world_size: int = 4, **kwargs):
+    world = InProcessWorld(world_size)
+    compressors = [get_compressor(algorithm, **kwargs) for _ in range(world_size)]
+    return GradientSynchronizer(world, compressors), world
+
+
+def make_gradients(rng, world_size=4, n=2000, scale=0.01):
+    return [(rng.standard_normal(n) * scale).astype(np.float32) for _ in range(world_size)]
+
+
+class TestConstruction:
+    def test_requires_one_compressor_per_rank(self):
+        world = InProcessWorld(4)
+        with pytest.raises(ValueError):
+            GradientSynchronizer(world, [get_compressor("dense")] * 3)
+
+    def test_rejects_shared_instances(self):
+        world = InProcessWorld(2)
+        shared = get_compressor("a2sgd")
+        with pytest.raises(ValueError):
+            GradientSynchronizer(world, [shared, shared])
+
+    def test_rejects_mixed_algorithms(self):
+        world = InProcessWorld(2)
+        with pytest.raises(ValueError):
+            GradientSynchronizer(world, [get_compressor("dense"), get_compressor("a2sgd")])
+
+    def test_algorithm_property(self):
+        sync, _ = make_sync("a2sgd", 2)
+        assert sync.algorithm == "a2sgd"
+
+
+class TestExchangeSemantics:
+    def test_dense_exchange_returns_exact_average(self, rng):
+        sync, _ = make_sync("dense")
+        gradients = make_gradients(rng)
+        new_gradients, report = sync.exchange(gradients)
+        expected = np.mean(np.stack(gradients), axis=0)
+        for g in new_gradients:
+            np.testing.assert_allclose(g, expected, rtol=1e-4, atol=1e-6)
+        assert report.exchange == "allreduce"
+
+    def test_a2sgd_exchange_uses_global_means_and_local_errors(self, rng):
+        sync, _ = make_sync("a2sgd")
+        gradients = make_gradients(rng)
+        new_gradients, report = sync.exchange(gradients)
+        assert report.exchange == "allreduce"
+        assert report.wire_bits_per_worker == 64.0
+        # Workers get different gradients (their own error vectors)…
+        assert not np.allclose(new_gradients[0], new_gradients[1])
+        # …but the across-worker mean tracks the dense average.
+        dense_avg = np.mean(np.stack(gradients), axis=0)
+        a2sgd_avg = np.mean(np.stack(new_gradients), axis=0)
+        gap = np.linalg.norm(a2sgd_avg - dense_avg) / np.linalg.norm(dense_avg)
+        assert gap < 0.35
+
+    def test_topk_exchange_uses_allgather(self, rng):
+        sync, world = make_sync("topk", world_size=3, ratio=0.01)
+        gradients = make_gradients(rng, world_size=3)
+        new_gradients, report = sync.exchange(gradients)
+        assert report.exchange == "allgather"
+        assert "allgather" in world.stats.collective_counts
+        # All workers apply the same averaged sparse gradient.
+        np.testing.assert_allclose(new_gradients[0], new_gradients[1], atol=1e-7)
+
+    def test_qsgd_exchange_shapes(self, rng):
+        sync, _ = make_sync("qsgd", world_size=2)
+        gradients = make_gradients(rng, world_size=2, n=500)
+        new_gradients, report = sync.exchange(gradients)
+        assert new_gradients[0].shape == (500,)
+        assert report.wire_bits_per_worker == pytest.approx(2.8 * 500 + 32)
+
+    def test_gradient_count_must_match_world(self, rng):
+        sync, _ = make_sync("dense", world_size=4)
+        with pytest.raises(ValueError):
+            sync.exchange(make_gradients(rng, world_size=3))
+
+    def test_gradient_lengths_must_match(self, rng):
+        sync, _ = make_sync("dense", world_size=2)
+        with pytest.raises(ValueError):
+            sync.exchange([np.zeros(10, dtype=np.float32), np.zeros(11, dtype=np.float32)])
+
+
+class TestAccounting:
+    def test_a2sgd_comm_time_far_below_dense(self, rng):
+        sync_dense, world_dense = make_sync("dense", world_size=8)
+        sync_a2sgd, world_a2sgd = make_sync("a2sgd", world_size=8)
+        gradients = make_gradients(rng, world_size=8, n=2_000_000)
+        sync_dense.exchange(gradients)
+        sync_a2sgd.exchange(gradients)
+        assert world_a2sgd.simulated_comm_time < world_dense.simulated_comm_time / 100
+
+    def test_wire_bits_reported_per_algorithm(self, rng):
+        n = 10_000
+        gradients = make_gradients(rng, world_size=2, n=n)
+        for name, expected in [("dense", 32 * n), ("a2sgd", 64),
+                               ("topk", 32 * max(1, round(0.001 * n))),
+                               ("qsgd", 2.8 * n + 32)]:
+            sync, _ = make_sync(name, world_size=2)
+            _, report = sync.exchange(gradients)
+            assert report.wire_bits_per_worker == pytest.approx(expected), name
+
+    def test_compression_time_positive(self, rng):
+        sync, _ = make_sync("topk", world_size=2, ratio=0.01)
+        _, report = sync.exchange(make_gradients(rng, world_size=2))
+        assert report.compression_time_s > 0
+
+    def test_dense_model_average(self, rng):
+        sync, _ = make_sync("a2sgd", world_size=3)
+        params = [np.full(10, float(r), dtype=np.float32) for r in range(3)]
+        averaged = sync.dense_model_average(params)
+        for result in averaged:
+            np.testing.assert_allclose(result, np.ones(10), rtol=1e-6)
+
+
+class TestErrorFeedbackAcrossIterations:
+    def test_topk_error_feedback_transmits_everything_eventually(self, rng):
+        # Over many iterations the sum of applied updates approaches the sum
+        # of the raw gradients (nothing is permanently lost).
+        sync, _ = make_sync("topk", world_size=2, ratio=0.05)
+        total_applied = np.zeros(400)
+        total_raw = np.zeros(400)
+        for _ in range(60):
+            gradients = make_gradients(rng, world_size=2, n=400)
+            new_gradients, _ = sync.exchange(gradients)
+            total_applied += new_gradients[0]
+            total_raw += np.mean(np.stack(gradients), axis=0)
+        gap = np.linalg.norm(total_applied - total_raw) / np.linalg.norm(total_raw)
+        assert gap < 0.6

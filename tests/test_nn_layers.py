@@ -1,0 +1,153 @@
+"""Tests for individual NN layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(6, 3)
+        out = layer(Tensor(rng.standard_normal((5, 6)).astype(np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_init_from_rng(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(3))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_flow_to_weight_and_bias(self, rng):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(rng.standard_normal((4, 3)).astype(np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.weight.grad.shape == (2, 3)
+        assert layer.bias.grad is not None and layer.bias.grad.shape == (2,)
+
+
+class TestConv2dLayer:
+    def test_output_shape_padding(self, rng):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_strided_shape(self, rng):
+        layer = nn.Conv2d(1, 4, 3, stride=2, padding=1)
+        out = layer(Tensor(rng.standard_normal((1, 1, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_bias_disabled(self):
+        layer = nn.Conv2d(2, 2, 3, bias=False)
+        assert layer.bias is None
+
+    def test_gradients_reach_weights(self, rng):
+        layer = nn.Conv2d(2, 3, 3, padding=1)
+        out = layer(Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (3, 2, 3, 3)
+
+
+class TestBatchNorm:
+    def test_bn1d_normalizes_training_batch(self, rng):
+        bn = nn.BatchNorm1d(5)
+        x = Tensor((rng.standard_normal((64, 5)) * 3 + 7).astype(np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(5), atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=0), np.ones(5), atol=1e-2)
+
+    def test_bn1d_running_stats_update(self, rng):
+        bn = nn.BatchNorm1d(3, momentum=0.5)
+        x = Tensor((rng.standard_normal((32, 3)) + 10).astype(np.float32))
+        bn(x)
+        assert np.all(bn._buffers["running_mean"] > 1.0)
+
+    def test_bn1d_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(3, momentum=1.0)
+        x = Tensor((rng.standard_normal((32, 3)) + 4).astype(np.float32))
+        bn(x)
+        bn.eval()
+        y = Tensor(np.zeros((2, 3), dtype=np.float32))
+        out = bn(y)
+        # Zero input minus positive running mean -> negative outputs.
+        assert np.all(out.data < 0)
+
+    def test_bn2d_per_channel_normalization(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor((rng.standard_normal((8, 4, 6, 6)) * 2 + 3).astype(np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-3)
+
+    def test_bn2d_gradients_to_scale_and_shift(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+        # The shift gradient of a sum is the number of contributing positions.
+        np.testing.assert_allclose(bn.bias.grad, np.full(2, 4 * 3 * 3), rtol=1e-4)
+
+
+class TestDropoutLayer:
+    def test_training_zeroes_some_elements(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones(1000, dtype=np.float32)))
+        zero_fraction = float((out.data == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_eval_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones(10, dtype=np.float32))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestEmbeddingLayer:
+    def test_lookup_shape(self):
+        layer = nn.Embedding(20, 6)
+        out = layer(np.array([[0, 1, 2], [3, 4, 5]]))
+        assert out.shape == (2, 3, 6)
+
+    def test_gradient_accumulates_per_token(self):
+        layer = nn.Embedding(10, 4)
+        out = layer(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(layer.weight.grad[1], np.full(4, 2.0))
+        np.testing.assert_allclose(layer.weight.grad[3], np.zeros(4))
+
+
+class TestActivationsAndFlatten:
+    def test_relu_layer(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh_sigmoid_layers(self):
+        x = Tensor(np.array([0.0], dtype=np.float32))
+        assert nn.Tanh()(x).item() == pytest.approx(0.0)
+        assert nn.Sigmoid()(x).item() == pytest.approx(0.5)
+
+    def test_flatten_layer(self):
+        out = nn.Flatten()(Tensor(np.zeros((4, 2, 3), dtype=np.float32)))
+        assert out.shape == (4, 6)
+
+    def test_loss_layers(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)).astype(np.float32), requires_grad=True)
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1, 2, 0]))
+        assert loss.size == 1
+        mse = nn.MSELoss()(Tensor(np.ones(3, dtype=np.float32)), Tensor(np.zeros(3, dtype=np.float32)))
+        assert mse.item() == pytest.approx(1.0)
+
+    def test_pooling_layers(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)).astype(np.float32))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert nn.AvgPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert nn.GlobalAvgPool2d()(x).shape == (1, 2)

@@ -1,0 +1,86 @@
+"""Tests for the LSTM cell and multi-layer LSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_single_step_shapes(self, rng):
+        cell = nn.LSTMCell(6, 8)
+        h0, c0 = cell.initial_state(4)
+        x = Tensor(rng.standard_normal((4, 6)).astype(np.float32))
+        h1, c1 = cell(x, (h0, c0))
+        assert h1.shape == (4, 8)
+        assert c1.shape == (4, 8)
+
+    def test_initial_state_is_zero(self):
+        cell = nn.LSTMCell(3, 5)
+        h, c = cell.initial_state(2)
+        assert np.all(h.data == 0) and np.all(c.data == 0)
+
+    def test_hidden_state_bounded_by_tanh(self, rng):
+        cell = nn.LSTMCell(4, 4)
+        state = cell.initial_state(2)
+        for _ in range(5):
+            x = Tensor(rng.standard_normal((2, 4)).astype(np.float32) * 10)
+            state = cell(x, state)
+        assert np.all(np.abs(state[0].data) <= 1.0 + 1e-6)
+
+    def test_parameter_count(self):
+        cell = nn.LSTMCell(10, 20)
+        expected = 4 * 20 * 10 + 4 * 20 * 20 + 4 * 20 + 4 * 20
+        assert cell.num_parameters() == expected
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = nn.LSTMCell(3, 3)
+        state = cell.initial_state(1)
+        x = Tensor(rng.standard_normal((1, 3)).astype(np.float32))
+        for _ in range(4):
+            state = cell(x, state)
+        state[0].sum().backward()
+        assert cell.weight_ih.grad is not None
+        assert np.abs(cell.weight_hh.grad).sum() > 0
+
+
+class TestLSTM:
+    def test_sequence_output_shape(self, rng):
+        lstm = nn.LSTM(5, 7, num_layers=2)
+        x = Tensor(rng.standard_normal((6, 3, 5)).astype(np.float32))
+        out, states = lstm(x)
+        assert out.shape == (6, 3, 7)
+        assert len(states) == 2
+        assert states[0][0].shape == (3, 7)
+
+    def test_state_carryover_changes_output(self, rng):
+        lstm = nn.LSTM(4, 4)
+        x = Tensor(rng.standard_normal((3, 2, 4)).astype(np.float32))
+        out1, state = lstm(x)
+        out2_fresh, _ = lstm(x)
+        out2_carried, _ = lstm(x, state)
+        np.testing.assert_allclose(out1.data, out2_fresh.data, rtol=1e-5)
+        assert not np.allclose(out2_fresh.data, out2_carried.data)
+
+    def test_wrong_state_length_raises(self, rng):
+        lstm = nn.LSTM(4, 4, num_layers=2)
+        x = Tensor(rng.standard_normal((2, 2, 4)).astype(np.float32))
+        single_state = [lstm.cells[0].initial_state(2)]
+        with pytest.raises(ValueError):
+            lstm(x, single_state)
+
+    def test_detach_state_stops_gradient(self, rng):
+        lstm = nn.LSTM(3, 3)
+        x = Tensor(rng.standard_normal((2, 1, 3)).astype(np.float32))
+        _, state = lstm(x)
+        detached = lstm.detach_state(state)
+        assert all(not h.requires_grad and not c.requires_grad for h, c in detached)
+
+    def test_backward_through_sequence(self, rng):
+        lstm = nn.LSTM(3, 4)
+        x = Tensor(rng.standard_normal((5, 2, 3)).astype(np.float32), requires_grad=True)
+        out, _ = lstm(x)
+        out.sum().backward()
+        assert x.grad is not None and x.grad.shape == (5, 2, 3)
+        assert all(p.grad is not None for p in lstm.parameters())

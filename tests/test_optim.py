@@ -1,0 +1,154 @@
+"""Tests for SGD, LARS and the base optimizer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import LARS, SGD
+from repro.tensor import Tensor
+
+
+def make_param(values) -> nn.Parameter:
+    return nn.Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestOptimizerBase:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+    def test_set_lr_validates(self):
+        opt = SGD([make_param([1.0])], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([2.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_skips_parameters_without_gradient(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay_pulls_towards_zero(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.1).step()
+        assert p.data[0] < 1.0
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                       # velocity = 1, p = -1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()                       # velocity = 1.9, p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        opt1 = SGD([p1], lr=1.0, momentum=0.9)
+        opt2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for opt, p in ((opt1, p1), (opt2, p2)):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        assert p2.data[0] < p1.data[0]
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, nesterov=True)
+
+    def test_negative_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=-0.5)
+
+    def test_state_dict_roundtrip(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=0.5, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_dict()
+
+        q = make_param(p.data.copy())
+        opt2 = SGD([q], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.5
+        q.grad = np.array([1.0], dtype=np.float32)
+        opt2.step()
+        # With the restored velocity the second optimizer reproduces step 2.
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(q.data, p.data, rtol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            p.grad = 2 * p.data          # gradient of x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestLARS:
+    def test_update_direction_matches_gradient_sign(self):
+        p = make_param([1.0, 1.0])
+        p.grad = np.array([1.0, -1.0], dtype=np.float32)
+        LARS([p], lr=0.1, momentum=0.0).step()
+        assert p.data[0] < 1.0 and p.data[1] > 1.0
+
+    def test_trust_ratio_scales_small_gradients_up(self):
+        # Two identical weights; one sees a tiny gradient, one a huge one.
+        p_small, p_large = make_param([1.0]), make_param([1.0])
+        p_small.grad = np.array([1e-6], dtype=np.float32)
+        p_large.grad = np.array([1e2], dtype=np.float32)
+        LARS([p_small], lr=0.1, momentum=0.0).step()
+        LARS([p_large], lr=0.1, momentum=0.0).step()
+        # LARS normalizes by gradient norm, so the applied steps are equal
+        # (up to the epsilon floor in the trust-ratio denominator).
+        np.testing.assert_allclose(1.0 - p_small.data[0], 1.0 - p_large.data[0], rtol=2e-2)
+
+    def test_zero_weight_uses_unit_trust_ratio(self):
+        p = make_param([0.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        LARS([p], lr=0.1, momentum=0.0).step()
+        np.testing.assert_allclose(p.data, [-0.1], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = make_param([1.0])
+        opt = LARS([p], lr=0.1, momentum=0.9)
+        first_delta = None
+        previous = p.data.copy()
+        for i in range(2):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+            delta = previous - p.data
+            previous = p.data.copy()
+            if i == 0:
+                first_delta = delta
+        assert delta[0] > first_delta[0]
+
+    def test_converges_on_quadratic(self):
+        p = make_param([3.0])
+        opt = LARS([p], lr=1.0, momentum=0.9, trust_coefficient=0.01)
+        for _ in range(500):
+            p.grad = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 0.5

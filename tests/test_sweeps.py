@@ -1,0 +1,55 @@
+"""Tests for the sweep helpers used by the CLI and benchmarks."""
+
+import pytest
+
+from repro.analysis.sweeps import best_algorithm_by_total_time, convergence_sweep, cost_sweep
+from repro.core.cost_model import CostModel
+from repro.utils.serialization import save_json
+
+
+class TestConvergenceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return convergence_sweep("fnn3", algorithms=("dense", "a2sgd"), world_sizes=(2,),
+                                 epochs=2, max_iterations_per_epoch=5)
+
+    def test_structure(self, sweep):
+        assert set(sweep) == {"2"}
+        assert set(sweep["2"]) == {"dense", "a2sgd"}
+        entry = sweep["2"]["a2sgd"]
+        assert len(entry["metric"]) == 2
+        assert entry["metric_name"] == "top1"
+        assert entry["wire_bits"] == 64.0
+
+    def test_serializable(self, sweep, tmp_path):
+        path = save_json(sweep, tmp_path / "sweep.json")
+        assert path.exists()
+
+    def test_dense_traffic_larger_than_a2sgd(self, sweep):
+        assert sweep["2"]["dense"]["wire_bits"] > sweep["2"]["a2sgd"]["wire_bits"]
+
+
+class TestCostSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return cost_sweep(models=("vgg16", "lstm_ptb"), algorithms=("dense", "a2sgd", "qsgd"),
+                          world_sizes=(2, 8), cost_model=CostModel())
+
+    def test_structure(self, sweep):
+        assert set(sweep) == {"vgg16", "lstm_ptb"}
+        entry = sweep["vgg16"]
+        assert entry["world_sizes"] == [2, 8]
+        assert set(entry["algorithms"]) == {"dense", "a2sgd", "qsgd"}
+        assert len(entry["algorithms"]["a2sgd"]["iteration_s"]) == 2
+
+    def test_total_time_consistent_with_iteration_time(self, sweep):
+        entry = sweep["lstm_ptb"]["algorithms"]["a2sgd"]
+        assert entry["total_s"][0] > entry["iteration_s"][0]
+
+    def test_best_algorithm_helper(self, sweep):
+        best = best_algorithm_by_total_time(sweep, "lstm_ptb", 8)
+        assert best == "a2sgd"
+
+    def test_serializable(self, sweep, tmp_path):
+        path = save_json(sweep, tmp_path / "cost.json")
+        assert path.exists()

@@ -1,0 +1,362 @@
+"""Unit tests for the core Tensor type and reverse-mode autodiff."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, randn
+from tests.conftest import check_gradient
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float32
+
+    def test_float64_downcast_to_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_integer_tensor_allowed_without_grad(self):
+        t = Tensor(np.arange(5, dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_integer_tensor_cannot_require_grad(self):
+        with pytest.raises(ValueError):
+            Tensor(np.arange(5, dtype=np.int64), requires_grad=True)
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, a.data)
+
+    def test_constructors(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == pytest.approx(4.0)
+        r = randn(5, rng=np.random.default_rng(0))
+        r2 = randn(5, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(r.data, r2.data)
+        assert tensor([1.0]).shape == (1,)
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out = a * 2
+        out.backward(np.ones(2))
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_backward_grad_shape_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 3
+        with pytest.raises(ValueError):
+            out.backward(np.ones(3))
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3).backward()
+        (a * 3).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        out = b + c
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_reused_node_in_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * a          # a used twice by one op
+        b.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2
+        assert is_grad_enabled()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # The topological sort is iterative, so a long chain must not hit the
+        # Python recursion limit.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestElementwiseOps:
+    def test_add_gradients(self, rng):
+        x = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t + 2.0).sum(), x)
+
+    def test_sub_and_rsub(self):
+        a = Tensor([3.0], requires_grad=True)
+        (5.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_mul_gradients(self, rng):
+        x = rng.standard_normal((4,))
+        check_gradient(lambda t: (t * t).sum(), x)
+
+    def test_div_gradients(self, rng):
+        x = rng.standard_normal((4,)) + 3.0
+        check_gradient(lambda t: (1.0 / t).sum(), x)
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_gradient(self, rng):
+        x = np.abs(rng.standard_normal(5)) + 0.5
+        check_gradient(lambda t: (t ** 3).sum(), x)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_broadcast_add_reduces_gradient(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_scalar_operand(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a * 5.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 5.0))
+
+    def test_broadcast_keepdims_axis(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (2, 1)
+        np.testing.assert_allclose(b.grad, np.full((2, 1), 3.0))
+
+    def test_comparisons_are_detached(self):
+        a = Tensor([1.0, -1.0], requires_grad=True)
+        mask = a > 0
+        assert not mask.requires_grad
+        np.testing.assert_allclose(mask.data, [1.0, 0.0])
+        np.testing.assert_allclose((a >= 1.0).data, [1.0, 0.0])
+        np.testing.assert_allclose((a < 0).data, [0.0, 1.0])
+        np.testing.assert_allclose((a <= -1.0).data, [0.0, 1.0])
+
+
+class TestUnaryOps:
+    def test_exp_gradient(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.standard_normal(5))
+
+    def test_log_gradient(self, rng):
+        check_gradient(lambda t: t.log().sum(), np.abs(rng.standard_normal(5)) + 1.0)
+
+    def test_sqrt_gradient(self, rng):
+        check_gradient(lambda t: t.sqrt().sum(), np.abs(rng.standard_normal(5)) + 1.0)
+
+    def test_tanh_gradient(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.standard_normal(5))
+
+    def test_sigmoid_gradient(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.standard_normal(5))
+
+    def test_sigmoid_extreme_values_no_overflow(self):
+        a = Tensor([-500.0, 500.0])
+        out = a.sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-6)
+
+    def test_relu_gradient_masks_negative(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_abs_gradient(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_gradient(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum(), rng.standard_normal((3, 3)))
+
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=0)
+        assert out.shape == (3,)
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean_gradient(self, rng):
+        check_gradient(lambda t: t.mean(), rng.standard_normal((4, 2)))
+
+    def test_mean_axis_value(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        np.testing.assert_allclose(a.mean(axis=1).data, [1.0, 4.0])
+
+    def test_var_matches_numpy(self, rng):
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.var().item(), x.var(), rtol=1e-5)
+
+    def test_max_gradient_no_axis(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_gradient_with_axis_and_ties(self):
+        a = Tensor(np.array([[2.0, 2.0], [1.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        # Ties split the gradient so totals stay exact.
+        np.testing.assert_allclose(a.grad.sum(), 2.0)
+        np.testing.assert_allclose(a.grad[1], [0.0, 1.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self, rng):
+        check_gradient(lambda t: (t.reshape(6) * 2).sum(), rng.standard_normal((2, 3)))
+
+    def test_reshape_tuple_argument(self):
+        a = Tensor(np.zeros((2, 3)))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose_gradient(self, rng):
+        check_gradient(lambda t: (t.T * Tensor(np.ones((3, 2)))).sum(),
+                       rng.standard_normal((2, 3)))
+
+    def test_transpose_with_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = a.transpose((2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_swapaxes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_int_index(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        a[1].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_getitem_slice(self):
+        a = Tensor(np.arange(10, dtype=np.float32), requires_grad=True)
+        a[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_getitem_fancy_index_repeats_accumulate(self):
+        a = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_pad2d_gradient(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = a.pad2d(1)
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        a = Tensor(np.ones((1, 1, 2, 2)))
+        assert a.pad2d(0) is a
+
+
+class TestMatmulAndCombination:
+    def test_matmul_2d_gradient(self, rng):
+        w = rng.standard_normal((3, 2)).astype(np.float32)
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), rng.standard_normal((4, 3)))
+
+    def test_matmul_gradient_wrt_second_operand(self, rng):
+        x = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 2)).astype(np.float32), requires_grad=True)
+        (x @ w).sum().backward()
+        expected = x.data.T @ np.ones((4, 2))
+        np.testing.assert_allclose(w.grad, expected, rtol=1e-5)
+
+    def test_matmul_vector_rhs(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        v = Tensor(rng.standard_normal(4).astype(np.float32))
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.tile(v.data, (3, 1)), rtol=1e-5)
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)).astype(np.float32), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_concatenate_gradient_split(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        out = Tensor.concatenate([a, b])
+        assert out.shape == (5,)
+        out.backward(np.arange(5, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [0, 1, 2])
+        np.testing.assert_allclose(b.grad, [3, 4])
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_where_gradient_routes_by_condition(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        Tensor.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])

@@ -1,0 +1,49 @@
+"""Tests for parameter initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tensor import init
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self, rng):
+        w = init.kaiming_normal((512, 256), rng)
+        expected_std = math.sqrt(2.0 / 256)
+        assert w.data.std() == pytest.approx(expected_std, rel=0.1)
+        assert w.requires_grad
+
+    def test_kaiming_normal_conv_fan_in(self, rng):
+        w = init.kaiming_normal((64, 32, 3, 3), rng)
+        expected_std = math.sqrt(2.0 / (32 * 9))
+        assert w.data.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((128, 64), rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 64)
+        assert np.abs(w.data).max() <= bound + 1e-6
+
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        bound = math.sqrt(6.0 / 150)
+        assert np.abs(w.data).max() <= bound + 1e-6
+
+    def test_uniform_bound(self, rng):
+        w = init.uniform((50, 50), rng, bound=0.25)
+        assert np.abs(w.data).max() <= 0.25
+
+    def test_zeros_and_ones(self):
+        assert init.zeros((3, 2)).data.sum() == 0.0
+        assert init.ones((4,)).data.sum() == 4.0
+        assert init.zeros((3,)).requires_grad and init.ones((3,)).requires_grad
+
+    def test_reproducible_with_same_generator(self):
+        a = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        b = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_dtype_is_float32(self, rng):
+        for builder in (init.kaiming_normal, init.kaiming_uniform, init.xavier_uniform):
+            assert builder((4, 4), rng).dtype == np.float32

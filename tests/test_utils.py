@@ -1,0 +1,152 @@
+"""Tests for the utility modules: RNG, timers, serialization, logging."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    SeedSequenceFactory,
+    Timer,
+    derive_seed,
+    get_logger,
+    load_json,
+    new_rng,
+    save_json,
+    set_global_seed,
+    timed,
+    to_jsonable,
+)
+from repro.utils.rng import get_global_seed, interleave_seeds
+from repro.utils.timer import ManualClock, median_time
+
+
+class TestRNG:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed("a", 1, base=42) == derive_seed("a", 1, base=42)
+
+    def test_derive_seed_sensitive_to_components(self):
+        assert derive_seed("a", base=42) != derive_seed("b", base=42)
+        assert derive_seed("a", base=42) != derive_seed("a", base=43)
+
+    def test_derive_seed_in_63_bit_range(self):
+        seed = derive_seed("anything", 123)
+        assert 0 <= seed < 2**63
+
+    def test_new_rng_reproducible(self):
+        a = new_rng("x", seed=7).standard_normal(5)
+        b = new_rng("x", seed=7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_global_seed_roundtrip(self):
+        original = get_global_seed()
+        try:
+            set_global_seed(99)
+            assert get_global_seed() == 99
+            a = new_rng("y").standard_normal(3)
+            set_global_seed(100)
+            b = new_rng("y").standard_normal(3)
+            assert not np.array_equal(a, b)
+        finally:
+            set_global_seed(original)
+
+    def test_factory_worker_streams_independent(self):
+        factory = SeedSequenceFactory(3)
+        s0 = factory.for_worker(0, "batch").standard_normal(4)
+        s1 = factory.for_worker(1, "batch").standard_normal(4)
+        assert not np.array_equal(s0, s1)
+
+    def test_factory_worker_stream_reproducible(self):
+        a = SeedSequenceFactory(3).for_worker(2, "batch").standard_normal(4)
+        b = SeedSequenceFactory(3).for_worker(2, "batch").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_factory_spawn_changes_streams(self):
+        base = SeedSequenceFactory(3)
+        child = base.spawn("child")
+        assert base.for_purpose("x").standard_normal(1) != child.for_purpose("x").standard_normal(1)
+
+    def test_factory_worker_seeds_and_permutation(self):
+        factory = SeedSequenceFactory(1)
+        seeds = factory.worker_seeds(4)
+        assert len(seeds) == len(set(seeds)) == 4
+        perm = factory.permutation(10)
+        assert sorted(perm) == list(range(10))
+
+    def test_interleave_seeds_order_sensitive(self):
+        assert interleave_seeds([1, 2]) != interleave_seeds([2, 1])
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure("block"):
+            pass
+        with timer.measure("block"):
+            pass
+        assert timer.count("block") == 2
+        assert timer.total("block") >= 0.0
+        assert timer.mean("block") == pytest.approx(timer.total("block") / 2)
+
+    def test_manual_clock(self):
+        clock = ManualClock()
+        timer = Timer(clock=clock)
+        with timer.measure("step"):
+            clock.advance(1.5)
+        assert timer.total("step") == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_reset_and_as_dict(self):
+        timer = Timer()
+        timer.add("x", 2.0)
+        assert timer.as_dict() == {"x": 2.0}
+        timer.reset()
+        assert timer.total("x") == 0.0
+
+    def test_timed_returns_result_and_time(self):
+        result, seconds = timed(lambda a, b: a + b, 2, 3, repeats=2)
+        assert result == 5
+        assert seconds >= 0.0
+
+    def test_timed_requires_positive_repeats(self):
+        with pytest.raises(ValueError):
+            timed(lambda: None, repeats=0)
+
+    def test_median_time_positive(self):
+        assert median_time(lambda: sum(range(100)), repeats=3) >= 0.0
+
+
+class TestSerialization:
+    def test_to_jsonable_handles_numpy_types(self):
+        payload = {"a": np.int64(3), "b": np.float32(1.5), "c": np.arange(3),
+                   "d": np.bool_(True), "e": [np.float64(2.0)], "f": (1, 2)}
+        out = to_jsonable(payload)
+        assert out == {"a": 3, "b": 1.5, "c": [0, 1, 2], "d": True, "e": [2.0], "f": [1, 2]}
+        json.dumps(out)
+
+    def test_to_jsonable_handles_dataclasses(self):
+        from repro.core.timeline import SyncReport
+        out = to_jsonable(SyncReport(compression_time_s=1.0))
+        assert out["compression_time_s"] == 1.0
+
+    def test_to_jsonable_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        data = {"numbers": np.array([1.0, 2.0]), "nested": {"x": np.int32(7)}}
+        path = save_json(data, tmp_path / "sub" / "data.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded == {"numbers": [1.0, 2.0], "nested": {"x": 7}}
+
+
+class TestLogging:
+    def test_get_logger_idempotent(self):
+        a = get_logger("repro.test")
+        b = get_logger("repro.test")
+        assert a is b
+        root = get_logger()
+        assert len(root.handlers) <= 1 or root.name == "repro"
