@@ -1,0 +1,50 @@
+"""Zero-copy fused gradient pipeline vs the seed's per-rank loops.
+
+Times complete training iterations (batching, forward/backward, compression,
+collective, reconstruction, optimizer step) on the Figure-4-style workload
+(FNN-3/tiny, 8 workers, A2SGD) with both pipeline implementations and writes
+the result to ``BENCH_pipeline.json`` at the repository root so subsequent
+PRs accumulate a perf trajectory.
+
+Marked ``bench``: excluded from the tier-1 suite (``pytest.ini`` limits
+default collection to ``tests/``); run it explicitly with
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s
+
+or without pytest via ``python -m repro bench-pipeline``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf_pipeline import (
+    format_benchmark,
+    run_pipeline_benchmark,
+    write_benchmark_json,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+@pytest.mark.bench
+def test_pipeline_speedup(emit):
+    result = run_pipeline_benchmark(model="fnn3", algorithm="a2sgd",
+                                    world_size=8, iterations=60, repeats=3)
+    emit("perf_pipeline", format_benchmark(result))
+    write_benchmark_json(result, BENCH_JSON)
+
+    # Acceptance: the fused pipeline is at least twice as fast end-to-end on
+    # the fig4-style workload.
+    assert result["speedup"] >= 2.0, format_benchmark(result)
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("algorithm", ["dense", "topk", "qsgd"])
+def test_pipeline_speedup_other_algorithms(emit, algorithm):
+    """The fused path must never be slower, whatever the compressor."""
+    result = run_pipeline_benchmark(model="fnn3", algorithm=algorithm,
+                                    world_size=8, iterations=40, repeats=2)
+    emit(f"perf_pipeline_{algorithm}", format_benchmark(result))
+    write_benchmark_json(result, BENCH_JSON)
+    assert result["speedup"] >= 1.0, format_benchmark(result)

@@ -7,6 +7,11 @@ from repro.analysis.convergence import (
     reconstruction_preserves_mean,
     variance_ratio,
 )
+from repro.analysis.perf_pipeline import (
+    format_benchmark,
+    run_pipeline_benchmark,
+    write_benchmark_json,
+)
 from repro.analysis.scaling import scaling_efficiency_table, speedup_curve
 from repro.analysis.sweeps import convergence_sweep, cost_sweep
 from repro.analysis.reporting import (
@@ -28,6 +33,9 @@ __all__ = [
     "speedup_curve",
     "convergence_sweep",
     "cost_sweep",
+    "format_benchmark",
+    "run_pipeline_benchmark",
+    "write_benchmark_json",
     "format_table",
     "format_figure_series",
     "render_table2",

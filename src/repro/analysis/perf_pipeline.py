@@ -1,0 +1,168 @@
+"""Performance harness for the fused gradient pipeline.
+
+Times full training iterations (data batch → forward/backward → compression →
+collective → reconstruction → optimizer step) twice on the same workload:
+
+* **seed path** (``fused_pipeline=False``): per-rank Python loops, concatenate
+  flatten / per-parameter unflatten, one compressor call per rank, looped
+  optimizer step — the implementation the repository seeded with.
+* **fused path** (``fused_pipeline=True``): zero-copy flat ``(P, n)`` buffers,
+  batched compressor kernels, whole-world optimizer step, and the batched
+  replica executor for MLP models.
+
+The result dictionary is what ``BENCH_pipeline.json`` stores; successive PRs
+append runs to that file so the repository accumulates a perf trajectory.
+Runnable without pytest via ``python -m repro bench-pipeline``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.trainer import DistributedTrainer, TrainerConfig
+from repro.version import __version__
+
+
+def _build_trainer(fused: bool, *, model: str, algorithm: str, world_size: int,
+                   iterations: int, seed: int) -> DistributedTrainer:
+    config = TrainerConfig(model=model, preset="tiny", algorithm=algorithm,
+                           world_size=world_size, epochs=1, seed=seed,
+                           max_iterations_per_epoch=iterations,
+                           num_train=max(1024, 16 * world_size * iterations),
+                           num_test=64, fused_pipeline=fused)
+    trainer = DistributedTrainer(config)
+    if trainer.spec.task != "classification":
+        raise ValueError(f"bench-pipeline times the classification iteration loop; "
+                         f"{model!r} is a {trainer.spec.task} model")
+    return trainer
+
+
+def _time_iterations(trainer: DistributedTrainer, iterations: int) -> Dict[str, float]:
+    """Run ``iterations`` classification training iterations, timing stages."""
+    fused = trainer.flat_world is not None
+    iterators = [iter(loader) for loader in trainer.loaders]
+    stage = {"gradients_s": 0.0, "exchange_s": 0.0, "apply_s": 0.0}
+    per_epoch = trainer.iterations_per_epoch
+
+    wall_start = time.perf_counter()
+    for iteration in range(iterations):
+        if iteration and iteration % per_epoch == 0:
+            iterators = [iter(loader) for loader in trainer.loaders]
+        batches = [next(it) for it in iterators]
+        progress = iteration / max(1, iterations)
+
+        t0 = time.perf_counter()
+        if fused:
+            G, _loss = trainer._classification_gradients_fused(batches)
+            t1 = time.perf_counter()
+            new_matrix, _report = trainer.synchronizer.exchange_batched(G)
+            t2 = time.perf_counter()
+            trainer._apply_gradients_fused(new_matrix, progress)
+        else:
+            gradients, _loss = trainer._classification_gradients(batches)
+            t1 = time.perf_counter()
+            new_gradients, _report = trainer.synchronizer.exchange(gradients)
+            t2 = time.perf_counter()
+            trainer._apply_gradients(new_gradients, progress)
+        t3 = time.perf_counter()
+        stage["gradients_s"] += t1 - t0
+        stage["exchange_s"] += t2 - t1
+        stage["apply_s"] += t3 - t2
+    wall = time.perf_counter() - wall_start
+
+    scale = 1e3 / iterations
+    return {
+        "iteration_ms": wall * scale,
+        "gradients_ms": stage["gradients_s"] * scale,
+        "exchange_ms": stage["exchange_s"] * scale,
+        "apply_ms": stage["apply_s"] * scale,
+    }
+
+
+def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
+                           world_size: int = 8, iterations: int = 60,
+                           repeats: int = 3, seed: int = 0) -> Dict:
+    """Time the seed vs fused pipeline on a Figure-4-style workload.
+
+    Returns per-path per-stage times in milliseconds per iteration (best of
+    ``repeats`` runs, after one warm-up) plus the end-to-end speedup.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    results: Dict[str, Dict[str, float]] = {}
+    for label, fused in (("seed_path", False), ("fused_path", True)):
+        best: Optional[Dict[str, float]] = None
+        for attempt in range(repeats + 1):            # first run warms caches
+            trainer = _build_trainer(fused, model=model, algorithm=algorithm,
+                                     world_size=world_size, iterations=iterations,
+                                     seed=seed)
+            timing = _time_iterations(trainer, iterations)
+            if attempt == 0:
+                continue
+            if best is None or timing["iteration_ms"] < best["iteration_ms"]:
+                best = timing
+        results[label] = best
+
+    seed_ms = results["seed_path"]["iteration_ms"]
+    fused_ms = results["fused_path"]["iteration_ms"]
+    return {
+        "benchmark": "pipeline",
+        "version": __version__,
+        "workload": {"model": model, "preset": "tiny", "algorithm": algorithm,
+                     "world_size": world_size, "iterations": iterations,
+                     "repeats": repeats, "seed": seed},
+        "host": {"platform": platform.platform(), "python": platform.python_version(),
+                 "numpy": np.__version__},
+        "seed_path": results["seed_path"],
+        "fused_path": results["fused_path"],
+        "speedup": seed_ms / fused_ms,
+        "stage_speedups": {
+            key: results["seed_path"][key] / results["fused_path"][key]
+            for key in ("gradients_ms", "exchange_ms", "apply_ms")
+            if results["fused_path"][key] > 0
+        },
+    }
+
+
+def write_benchmark_json(result: Dict, path: str | Path) -> Path:
+    """Append ``result`` to the ``runs`` list in a BENCH_pipeline.json file."""
+    path = Path(path)
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    else:
+        document = {}
+    runs = document.get("runs", [])
+    runs.append(result)
+    document = {
+        "description": "Seed vs fused gradient-pipeline timings "
+                       "(ms per iteration; see README: reading BENCH_pipeline.json)",
+        "runs": runs,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_benchmark(result: Dict) -> str:
+    """Human-readable rendering of one benchmark result."""
+    w = result["workload"]
+    lines = [
+        f"Gradient pipeline benchmark — {w['model']}/{w['preset']}, "
+        f"{w['algorithm']}, {w['world_size']} workers, {w['iterations']} iterations",
+        f"{'stage':<14}{'seed path':>12}{'fused':>12}{'speedup':>10}",
+    ]
+    for key, label in (("iteration_ms", "iteration"), ("gradients_ms", "gradients"),
+                       ("exchange_ms", "exchange"), ("apply_ms", "apply")):
+        seed_v = result["seed_path"][key]
+        fused_v = result["fused_path"][key]
+        ratio = seed_v / fused_v if fused_v else float("inf")
+        lines.append(f"{label:<14}{seed_v:>10.3f}ms{fused_v:>10.3f}ms{ratio:>9.2f}x")
+    return "\n".join(lines)

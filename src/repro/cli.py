@@ -31,7 +31,12 @@ from repro.analysis.sweeps import DEFAULT_ALGORITHMS, convergence_sweep, cost_sw
 from repro.compress import get_compressor, list_compressors
 from repro.core.cost_model import CostModel
 from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.models.registry import PAPER_HYPERPARAMETERS, PAPER_PARAMETER_COUNTS, list_models
+from repro.models.registry import (
+    PAPER_HYPERPARAMETERS,
+    PAPER_PARAMETER_COUNTS,
+    get_model_spec,
+    list_models,
+)
 from repro.utils.serialization import save_json
 from repro.utils.timer import median_time
 
@@ -69,6 +74,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare compressors on one gradient")
     compare.add_argument("--size", type=int, default=1_000_000)
     compare.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench-pipeline",
+                           help="time the fused gradient pipeline against the seed path")
+    # The harness times the classification iteration loop.
+    bench.add_argument("--model", default="fnn3",
+                       choices=[name for name in list_models()
+                                if get_model_spec(name, "tiny").task == "classification"])
+    bench.add_argument("--algorithm", default="a2sgd", choices=list_compressors())
+    bench.add_argument("--workers", type=int, default=8)
+    bench.add_argument("--iterations", type=int, default=60)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--output", default="BENCH_pipeline.json",
+                       help="JSON file the run is appended to")
 
     return parser
 
@@ -180,6 +198,24 @@ def cmd_compare(args: argparse.Namespace) -> str:
     return text
 
 
+def cmd_bench_pipeline(args: argparse.Namespace) -> str:
+    from repro.analysis.perf_pipeline import (
+        format_benchmark,
+        run_pipeline_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_pipeline_benchmark(model=args.model, algorithm=args.algorithm,
+                                    world_size=args.workers,
+                                    iterations=args.iterations, repeats=args.repeats)
+    text = format_benchmark(result)
+    print(text)
+    if args.output:
+        path = write_benchmark_json(result, args.output)
+        print(f"appended run to {path}")
+    return text
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -193,6 +229,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cmd_cost(args)
     elif args.command == "compare":
         cmd_compare(args)
+    elif args.command == "bench-pipeline":
+        cmd_bench_pipeline(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

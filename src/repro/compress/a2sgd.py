@@ -20,7 +20,7 @@ paper's convergence analysis bounds.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,21 +60,27 @@ class A2SGDCompressor(Compressor):
     # static pieces of Algorithm 1 (exposed for tests / analysis)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def two_level_means(gradient: np.ndarray) -> Tuple[float, float]:
+    def two_level_means(gradient: np.ndarray,
+                        positive_mask: Optional[np.ndarray] = None) -> Tuple[float, float]:
         """Absolute means of the non-negative and negative entries (µ_+, µ_-).
 
-        Computed from three streaming reductions (sum, absolute sum, positive
-        count) rather than boolean gather operations, so the cost is a few
-        passes over the gradient with no temporary copies — this is the "no
-        complex sampling or sorting" property §3 highlights.
+        Computed from the sign mask and two streaming reductions (total sum
+        and masked positive sum) — no ``np.abs`` temporary and no boolean
+        gathers, which is the "no complex sampling or sorting" property §3
+        highlights.  ``compress`` passes its already-computed sign mask so the
+        mask is built exactly once per gradient.
         """
         gradient = np.asarray(gradient)
+        if positive_mask is None:
+            positive_mask = gradient >= 0
         total = float(gradient.sum(dtype=np.float64))
-        absolute = float(np.abs(gradient).sum(dtype=np.float64))
-        positive_count = int(np.count_nonzero(gradient >= 0))
+        # The positive-side sum is a BLAS dot against the 0/1 mask — faster
+        # than a masked reduction and without the |g| temporary the seed
+        # materialized.
+        positive_sum = float(np.dot(gradient, positive_mask.astype(gradient.dtype)))
+        negative_sum = positive_sum - total
+        positive_count = int(np.count_nonzero(positive_mask))
         negative_count = gradient.size - positive_count
-        positive_sum = (absolute + total) / 2.0
-        negative_sum = (absolute - total) / 2.0
         mu_plus = positive_sum / positive_count if positive_count else 0.0
         mu_minus = negative_sum / negative_count if negative_count else 0.0
         # Guard against tiny negative values produced by floating-point
@@ -95,7 +101,7 @@ class A2SGDCompressor(Compressor):
         positive_mask = gradient >= 0
 
         if self.two_means:
-            mu_plus, mu_minus = self.two_level_means(gradient)
+            mu_plus, mu_minus = self.two_level_means(gradient, positive_mask)
             encoded = np.where(positive_mask, gradient.dtype.type(mu_plus),
                                gradient.dtype.type(-mu_minus))
             payload = np.array([mu_plus, mu_minus], dtype=np.float64)
@@ -121,6 +127,80 @@ class A2SGDCompressor(Compressor):
             reconstructed = np.full(positive_mask.shape, global_payload[0])
         reconstructed = reconstructed.astype(ctx["error"].dtype)
         return ctx["error"] + reconstructed
+
+    # ------------------------------------------------------------------ #
+    # batched kernels: every rank in one set of axis reductions
+    # ------------------------------------------------------------------ #
+    supports_batch = True
+
+    @classmethod
+    def compress_batch(cls, compressors: Sequence["A2SGDCompressor"], G: np.ndarray
+                       ) -> Tuple[List[np.ndarray], List[Dict]]:
+        reference = compressors[0]
+        if any(c.error_feedback != reference.error_feedback
+               or c.two_means != reference.two_means for c in compressors):
+            return super().compress_batch(compressors, G)
+
+        G = np.asarray(G, dtype=np.float32)
+        P, n = G.shape
+        masks = G >= 0
+
+        if reference.two_means:
+            totals = G.sum(axis=1, dtype=np.float64)
+            # Same per-row BLAS dot as two_level_means so the batched means
+            # are bit-identical to the looped path.
+            masks_f32 = masks.astype(np.float32)
+            positive_sums = np.array([float(np.dot(G[p], masks_f32[p]))
+                                      for p in range(P)])
+            negative_sums = positive_sums - totals
+            positive_counts = np.count_nonzero(masks, axis=1)
+            negative_counts = n - positive_counts
+            mu_plus = np.maximum(0.0, np.where(
+                positive_counts > 0, positive_sums / np.maximum(positive_counts, 1), 0.0))
+            mu_minus = np.maximum(0.0, np.where(
+                negative_counts > 0, negative_sums / np.maximum(negative_counts, 1), 0.0))
+            encoded = np.where(masks, mu_plus[:, None].astype(np.float32),
+                               (-mu_minus[:, None]).astype(np.float32))
+            means = np.stack([mu_plus, mu_minus], axis=1)           # (P, 2) float64
+        else:
+            mu = G.mean(axis=1).astype(np.float64)
+            encoded = np.broadcast_to(mu[:, None].astype(np.float32), (P, n))
+            means = np.stack([mu, np.zeros(P)], axis=1)
+
+        if reference.error_feedback:
+            errors = G - encoded
+        else:
+            errors = np.zeros((P, n), dtype=np.float32)
+
+        payloads: List[np.ndarray] = []
+        contexts: List[Dict] = []
+        for p, compressor in enumerate(compressors):
+            payloads.append(means[p])
+            contexts.append({"positive_mask": masks[p], "error": errors[p]})
+        cls._record_batch(compressors, cls.WIRE_BITS, G, encoded)
+        return payloads, contexts
+
+    @classmethod
+    def decompress_batch(cls, compressors: Sequence["A2SGDCompressor"],
+                         exchanged: Sequence, contexts: Sequence[Dict]) -> np.ndarray:
+        reference = compressors[0]
+        if any(c.two_means != reference.two_means for c in compressors):
+            return super().decompress_batch(compressors, exchanged, contexts)
+        global_means = np.stack([np.asarray(e, dtype=np.float64) for e in exchanged])
+        if global_means.shape[1:] != (2,):
+            raise ValueError("A2SGD expects a global payload of exactly two means")
+        # _stack_rows is zero-copy here: compress_batch stored the per-rank
+        # masks/errors as consecutive row views of one shared matrix.
+        masks = cls._stack_rows([ctx["positive_mask"] for ctx in contexts])
+        # float32 selection is bit-identical to the looped float64 select +
+        # astype: the cast commutes with picking, and float32(-µ) == -float32(µ).
+        means32 = global_means.astype(np.float32)
+        if reference.two_means:
+            reconstructed = np.where(masks, means32[:, 0:1], -means32[:, 1:2])
+        else:
+            reconstructed = np.broadcast_to(means32[:, 0:1], masks.shape).copy()
+        reconstructed += cls._stack_rows([ctx["error"] for ctx in contexts])
+        return reconstructed
 
     # ------------------------------------------------------------------ #
     # analytics (Table 2)

@@ -65,6 +65,16 @@ class Compressor:
     exchange: ExchangeKind = ExchangeKind.ALLREDUCE
     #: Whether the compressor keeps a persistent residual across iterations.
     uses_error_feedback: bool = False
+    #: True when the class provides vectorized ``compress_batch`` /
+    #: ``decompress_batch`` kernels over the stacked (world_size, n) gradient
+    #: matrix.  False means the batch entry points fall back to the per-rank
+    #: loop, so custom compressors work unchanged with the fused synchronizer.
+    supports_batch: bool = False
+    #: For Allgather compressors: True when ``decompress_gathered`` depends
+    #: only on the gathered payloads and a rank-invariant context (the usual
+    #: case — every rank reconstructs the same averaged gradient), letting
+    #: ``decompress_batch`` compute one rank and broadcast the row.
+    gathered_rank_invariant: bool = False
 
     def __init__(self) -> None:
         self.stats = CompressionStats()
@@ -87,6 +97,93 @@ class Compressor:
     def reset_state(self) -> None:
         """Clear any persistent state (error-feedback memory, statistics)."""
         self.stats = CompressionStats()
+
+    # ------------------------------------------------------------------ #
+    # batched protocol (one call per iteration instead of one per rank)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compress_batch(cls, compressors: Sequence["Compressor"], G: np.ndarray
+                       ) -> Tuple[List[np.ndarray], List[Dict]]:
+        """Compress the stacked ``(world_size, n)`` gradient matrix.
+
+        Row ``p`` of ``G`` is rank ``p``'s flat gradient and ``compressors[p]``
+        is that rank's instance (per-rank error-feedback state lives on the
+        instances exactly as in the looped path).  Returns the per-rank
+        payloads and contexts, bit-identical to calling ``compress`` rank by
+        rank.  This default *is* that loop; subclasses with
+        ``supports_batch = True`` override it with vectorized kernels.
+        """
+        payloads: List[np.ndarray] = []
+        contexts: List[Dict] = []
+        for compressor, row in zip(compressors, np.asarray(G)):
+            payload, ctx = compressor.compress(row)
+            payloads.append(payload)
+            contexts.append(ctx)
+        return payloads, contexts
+
+    @classmethod
+    def decompress_batch(cls, compressors: Sequence["Compressor"],
+                         exchanged: Sequence, contexts: Sequence[Dict]) -> np.ndarray:
+        """Reconstruct every rank's update as one ``(world_size, n)`` matrix.
+
+        ``exchanged[p]`` is rank ``p``'s collective result (the reduced
+        payload for Allreduce, the payload list for Allgather).  Rows are
+        bit-identical to the per-rank ``decompress``/``decompress_gathered``
+        loop.  When ``gathered_rank_invariant`` is set the Allgather
+        reconstruction is computed once and broadcast, turning the seed's
+        O(P²·n) reconstruction into O(P·n); the returned matrix may then be a
+        read-only broadcast view.
+        """
+        if cls.exchange is ExchangeKind.ALLGATHER:
+            if cls.gathered_rank_invariant:
+                row = np.asarray(compressors[0].decompress_gathered(
+                    exchanged[0], contexts[0]), dtype=np.float32)
+                return np.broadcast_to(row, (len(compressors), row.size))
+            rows = [np.asarray(c.decompress_gathered(e, ctx), dtype=np.float32)
+                    for c, e, ctx in zip(compressors, exchanged, contexts)]
+        else:
+            rows = [np.asarray(c.decompress(e, ctx), dtype=np.float32)
+                    for c, e, ctx in zip(compressors, exchanged, contexts)]
+        return np.stack(rows)
+
+    @staticmethod
+    def _stack_rows(rows: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack per-rank vectors into a matrix, zero-copy when the rows are
+        already consecutive rows of one shared matrix (the common case after a
+        batched compress)."""
+        first = rows[0]
+        base = first.base if isinstance(first, np.ndarray) else None
+        if (base is not None and base.ndim == 2 and base.shape[0] == len(rows)
+                and all(isinstance(r, np.ndarray) and r.base is base
+                        and r.shape == base.shape[1:]
+                        and r.ctypes.data == base.ctypes.data + p * base.strides[0]
+                        for p, r in enumerate(rows))):
+            return base
+        return np.stack(rows)
+
+    @staticmethod
+    def _stack_state(compressors: Sequence["Compressor"], attr: str, P: int, n: int,
+                     dtype=np.float32) -> np.ndarray:
+        """Gather a per-rank state vector (e.g. ``_residual``) into ``(P, n)``.
+
+        Zero rows stand in for missing/mismatched state, mirroring the lazy
+        initialization of the looped path.  When every rank's state is already
+        a row view of one shared ``(P, n)`` matrix — which is how the batched
+        kernels write state back — that matrix is returned without copying.
+        """
+        rows = [getattr(c, attr, None) for c in compressors]
+        base = rows[0].base if isinstance(rows[0], np.ndarray) else None
+        if (base is not None and base.shape == (P, n) and base.dtype == np.dtype(dtype)
+                and all(isinstance(r, np.ndarray) and r.base is base
+                        and r.shape == (n,)
+                        and r.ctypes.data == base.ctypes.data + p * base.strides[0]
+                        for p, r in enumerate(rows))):
+            return base
+        M = np.zeros((P, n), dtype=dtype)
+        for p, r in enumerate(rows):
+            if isinstance(r, np.ndarray) and r.shape == (n,):
+                M[p] = r
+        return M
 
     # ------------------------------------------------------------------ #
     # analytic properties (Table 2)
@@ -115,6 +212,19 @@ class Compressor:
         denom = float(np.linalg.norm(original)) or 1.0
         error = float(np.linalg.norm(original - transmitted_estimate)) / denom
         self.stats.record(wire_bits, error)
+
+    @staticmethod
+    def _record_batch(compressors: Sequence["Compressor"], wire_bits: float,
+                      originals: np.ndarray, transmitted: np.ndarray) -> None:
+        """Vectorized statistics for a batched compress: the row norms are
+        computed with two matrix reductions instead of 2·P norm calls."""
+        difference = originals - transmitted
+        errors = np.sqrt(np.einsum("ij,ij->i", difference, difference,
+                                   dtype=np.float64))
+        denominators = np.sqrt(np.einsum("ij,ij->i", originals, originals,
+                                         dtype=np.float64))
+        for compressor, error, denominator in zip(compressors, errors, denominators):
+            compressor.stats.record(wire_bits, float(error) / (float(denominator) or 1.0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r}, exchange={self.exchange.value})"

@@ -24,7 +24,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.compress.base import ExchangeKind, sparsity_k
+from repro.compress.base import Compressor, ExchangeKind, sparsity_k
 from repro.compress.topk import TopKCompressor
 
 
@@ -90,12 +90,80 @@ class DGCCompressor(TopKCompressor):
         self._residual[indices] = 0.0
         self._velocity[indices] = 0.0
 
-        payload = np.concatenate([indices.astype(np.float64), values.astype(np.float64)])
+        payload = self.pack_payload(indices, values)
         sparse_estimate = np.zeros_like(gradient)
         sparse_estimate[indices] = values
         wire = self.wire_bits(gradient.size)
         self._record(wire, gradient, sparse_estimate)
         return payload, {"n": gradient.size, "k": len(indices)}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compress_batch(cls, compressors, G):
+        """Batched DGC: momentum correction, masking and selection over the
+        stacked ``(P, n)`` matrix.
+
+        The per-rank clipping norms are computed with the same
+        ``np.linalg.norm`` call as the looped path (a P-element Python loop)
+        so the clipped gradients — and therefore every downstream value — are
+        bit-identical to compressing rank by rank.
+        """
+        reference = compressors[0]
+        if any(c.ratio != reference.ratio or c.momentum != reference.momentum
+               or c.clip_norm_factor != reference.clip_norm_factor
+               for c in compressors):
+            return Compressor.compress_batch(compressors, G)
+
+        G = np.asarray(G, dtype=np.float32)
+        P, n = G.shape
+        if reference.clip_norm_factor is None:
+            clipped = G
+            state_dtype = np.float32
+        else:
+            # Same per-rank norm + scalar clip as the looped _clip.  The
+            # numpy-scalar threshold promotes the clipped gradient (and hence
+            # the velocity/residual state) to float64, exactly as the looped
+            # path does; a rank with a zero-norm gradient keeps float32 there,
+            # so that degenerate mix falls back to the loop.
+            if any(float(np.linalg.norm(G[p])) == 0.0 for p in range(P)):
+                return Compressor.compress_batch(compressors, G)
+            clipped = np.stack([reference._clip(G[p]) for p in range(P)])
+            state_dtype = clipped.dtype
+
+        velocities = cls._stack_state(compressors, "_velocity", P, n, dtype=state_dtype)
+        residuals = cls._stack_state(compressors, "_residual", P, n, dtype=state_dtype)
+        velocities = reference.momentum * velocities + clipped
+        residuals = residuals + velocities
+
+        selections = cls.select_batch(compressors, residuals)
+        ragged = not isinstance(selections, np.ndarray)
+        if ragged:
+            values = [residuals[p, idx] for p, idx in enumerate(selections)]
+            for p, idx in enumerate(selections):
+                residuals[p, idx] = 0.0
+                velocities[p, idx] = 0.0
+        else:
+            values = np.take_along_axis(residuals, selections, axis=1)
+            np.put_along_axis(residuals, selections, 0.0, axis=1)
+            np.put_along_axis(velocities, selections, 0.0, axis=1)
+        for p, compressor in enumerate(compressors):
+            compressor._residual = residuals[p]
+            compressor._velocity = velocities[p]
+
+        sparse_estimates = np.zeros((P, n), dtype=np.float32)
+        if ragged:
+            for p, indices in enumerate(selections):
+                sparse_estimates[p, indices] = values[p]
+        else:
+            np.put_along_axis(sparse_estimates, selections,
+                              np.asarray(values, dtype=np.float32), axis=1)
+
+        payloads, contexts = [], []
+        for p in range(P):
+            payloads.append(cls.pack_payload(selections[p], values[p]))
+            contexts.append({"n": n, "k": len(selections[p])})
+        cls._record_batch(compressors, reference.wire_bits(n), G, sparse_estimates)
+        return payloads, contexts
 
     def computation_complexity(self, n: int) -> str:
         return "O(n + k log n)"

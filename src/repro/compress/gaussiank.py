@@ -69,5 +69,13 @@ class GaussianKCompressor(TopKCompressor):
             indices = indices[keep]
         return indices
 
+    @classmethod
+    def select_batch(cls, compressors, C):
+        """Per-rank thresholds depend on each row's sample moments and can
+        select different counts per rank, so selection stays a per-rank loop
+        (returning a ragged list); the residual update, payload packing and
+        gathered reconstruction still use the batched kernels."""
+        return [compressor.select(row) for compressor, row in zip(compressors, C)]
+
     def computation_complexity(self, n: int) -> str:
         return "O(n)"

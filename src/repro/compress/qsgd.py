@@ -17,7 +17,7 @@ the O(n²) behaviour analytically when reproducing Figure 2/Table 2.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,30 +88,58 @@ class QSGDCompressor(Compressor):
         size = self.bucket_size or n
         return np.arange(0, n + size, size)[:max(2, int(np.ceil(n / size)) + 1)]
 
+    def _bucket_sizes(self, n: int) -> np.ndarray:
+        bounds = self._bucket_bounds(n)
+        return np.minimum(bounds[1:], n) - bounds[:-1]
+
+    def _quantize_rows(self, M: np.ndarray,
+                       rngs: Sequence[np.random.Generator]) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucketed quantization of ``(P, n)`` rows, vectorized over buckets.
+
+        Rows are zero-padded to whole buckets and reshaped to
+        ``(P, buckets, bucket_size)`` so the per-bucket norms and the
+        stochastic rounding are single axis operations.  The rounding draws
+        come from ``rngs[p]`` in rank order — one ``random()`` call per rank —
+        so a one-row call and a stacked call consume each rank's stream
+        identically.
+        """
+        P, n = M.shape
+        size = int(self.bucket_size or n)
+        bounds = self._bucket_bounds(n)
+        num_buckets = len(bounds) - 1
+        padded = np.zeros((P, num_buckets * size), dtype=np.float32)
+        padded[:, :n] = M
+        blocks = padded.reshape(P, num_buckets, size)
+
+        norms32 = np.sqrt((blocks * blocks).sum(axis=2, dtype=np.float32))
+        safe_norms = np.where(norms32 > 0, norms32, np.float32(1.0))
+        scaled = np.abs(blocks) / safe_norms[:, :, None] * self.levels
+        lower = np.floor(scaled)
+        probability_up = scaled - lower
+        draws = np.stack([rng.random((num_buckets, size)) for rng in rngs])
+        rounded = np.clip(lower + (draws < probability_up), 0, self.levels)
+        signed = (np.sign(blocks) * rounded).astype(np.int8)
+        return norms32.astype(np.float64), signed.reshape(P, -1)[:, :n]
+
     def quantize_bucketed(self, vector: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Quantize per bucket; returns (per-bucket norms, signed levels)."""
-        n = vector.size
-        bounds = self._bucket_bounds(n)
-        norms = np.zeros(len(bounds) - 1, dtype=np.float64)
-        levels = np.zeros(n, dtype=np.int8)
-        for i, (start, end) in enumerate(zip(bounds[:-1], bounds[1:])):
-            end = min(int(end), n)
-            if start >= n:
-                break
-            norms[i], levels[start:end] = self.quantize(vector[start:end])
-        return norms, levels
+        vector = np.asarray(vector, dtype=np.float32)
+        norms, levels = self._quantize_rows(vector[None, :], [self.rng])
+        return norms[0], levels[0]
 
     def dequantize_bucketed(self, norms: np.ndarray, levels: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`quantize_bucketed`."""
-        n = levels.size
-        bounds = self._bucket_bounds(n)
-        out = np.zeros(n, dtype=np.float64)
-        for i, (start, end) in enumerate(zip(bounds[:-1], bounds[1:])):
-            end = min(int(end), n)
-            if start >= n:
-                break
-            out[start:end] = self.dequantize(float(norms[i]), levels[start:end])
-        return out
+        """Inverse of :meth:`quantize_bucketed` (row- or matrix-shaped).
+
+        Accepts ``(B,)``/``(n,)`` vectors or stacked ``(P, B)``/``(P, n)``
+        matrices; the per-bucket scales are expanded with one ``np.repeat``
+        instead of a Python loop over buckets.
+        """
+        norms = np.asarray(norms, dtype=np.float64)
+        levels = np.asarray(levels)
+        n = levels.shape[-1]
+        sizes = self._bucket_sizes(n)
+        scales = np.repeat(norms, sizes, axis=-1)
+        return np.asarray(levels, dtype=np.float64) / self.levels * scales
 
     # ------------------------------------------------------------------ #
     def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
@@ -147,6 +175,44 @@ class QSGDCompressor(Compressor):
             levels = payload[1 + num_buckets:]
             total += self.dequantize_bucketed(norms, levels)
         return (total / len(payloads)).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    supports_batch = True
+    gathered_rank_invariant = True
+
+    @classmethod
+    def compress_batch(cls, compressors: Sequence["QSGDCompressor"], G: np.ndarray
+                       ) -> Tuple[List[np.ndarray], List[Dict]]:
+        reference = compressors[0]
+        if any(c.levels != reference.levels or c.error_feedback != reference.error_feedback
+               or c.bucket_size != reference.bucket_size for c in compressors):
+            return super().compress_batch(compressors, G)
+
+        G = np.asarray(G, dtype=np.float32)
+        P, n = G.shape
+        if reference.error_feedback:
+            residuals = cls._stack_state(compressors, "_residual", P, n)
+            corrected = residuals + G
+        else:
+            corrected = G
+
+        norms, levels = reference._quantize_rows(corrected, [c.rng for c in compressors])
+        estimates = reference.dequantize_bucketed(norms, levels).astype(np.float32)
+        if reference.error_feedback:
+            new_residuals = corrected - estimates
+            for p, compressor in enumerate(compressors):
+                compressor._residual = new_residuals[p]
+
+        num_buckets = norms.shape[1]
+        payloads: List[np.ndarray] = []
+        contexts: List[Dict] = []
+        wire = reference.wire_bits(n)
+        for p, compressor in enumerate(compressors):
+            payloads.append(np.concatenate([[float(num_buckets)], norms[p],
+                                            levels[p].astype(np.float64)]))
+            compressor._record(wire, corrected[p], estimates[p])
+            contexts.append({"n": n})
+        return payloads, contexts
 
     # ------------------------------------------------------------------ #
     def wire_bits(self, n: int, world_size: int = 1) -> float:

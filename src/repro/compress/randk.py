@@ -35,5 +35,12 @@ class RandKCompressor(TopKCompressor):
         k = min(k, corrected.size)
         return self.rng.choice(corrected.size, size=k, replace=False)
 
+    @classmethod
+    def select_batch(cls, compressors, C):
+        """Rank-local RNG streams force a per-rank draw loop (in rank order,
+        so the draws are bit-identical to the looped path); everything else in
+        the batched compress stays vectorized."""
+        return [compressor.select(row) for compressor, row in zip(compressors, C)]
+
     def computation_complexity(self, n: int) -> str:
         return "O(k)"

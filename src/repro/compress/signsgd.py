@@ -21,6 +21,9 @@ class SignSGDCompressor(Compressor):
     name = "signsgd"
     exchange = ExchangeKind.ALLGATHER
     uses_error_feedback = True
+    #: decompress_gathered only reads the gathered payloads and n, so the
+    #: batched path reconstructs once and broadcasts the row to every rank.
+    gathered_rank_invariant = True
 
     def __init__(self, error_feedback: bool = True):
         super().__init__()

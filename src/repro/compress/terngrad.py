@@ -22,6 +22,9 @@ class TernGradCompressor(Compressor):
     name = "terngrad"
     exchange = ExchangeKind.ALLGATHER
     uses_error_feedback = False
+    #: decompress_gathered only reads the gathered payloads and n, so the
+    #: batched path reconstructs once and broadcasts the row to every rank.
+    gathered_rank_invariant = True
 
     def __init__(self, rng: Optional[np.random.Generator] = None,
                  clip_std: Optional[float] = 2.5):

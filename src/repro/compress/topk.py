@@ -8,11 +8,19 @@ part from the memory.  The paper's experiments use ``k = 0.001 n``.
 Workers exchange sparse payloads with Allgather (sparse vectors with different
 supports cannot be averaged by an Allreduce); each worker then averages the
 densified contributions of all workers.
+
+Payload layout: one float32 array ``[indices..., values...]`` where the
+indices are int32 bit patterns reinterpreted as float32
+(:meth:`TopKCompressor.pack_payload`).  The bit-view is lossless for any
+index (an int32 survives a float32 reinterpretation exactly), unlike the
+seed's float64 encoding, which doubled the payload memory and would lose
+index precision past 2⁵³ coordinates.  ``unpack_payload`` still accepts the
+legacy float64 layout for old hand-built payloads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +44,8 @@ class TopKCompressor(Compressor):
     name = "topk"
     exchange = ExchangeKind.ALLGATHER
     uses_error_feedback = True
+    supports_batch = True
+    gathered_rank_invariant = True
 
     def __init__(self, ratio: float = 0.001, error_feedback: bool = True,
                  include_index_bits: bool = False):
@@ -46,6 +56,29 @@ class TopKCompressor(Compressor):
         self.error_feedback = bool(error_feedback)
         self.include_index_bits = bool(include_index_bits)
         self._residual: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # payload packing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def pack_payload(indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Pack (indices, values) into one float32 ``[indices..., values...]``
+        array, indices stored as int32 bit patterns."""
+        idx_bits = np.ascontiguousarray(indices, dtype=np.int32).view(np.float32)
+        return np.concatenate([idx_bits, np.asarray(values, dtype=np.float32)])
+
+    @staticmethod
+    def unpack_payload(payload: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`pack_payload`; also accepts the legacy float64
+        layout where indices were stored as plain numbers."""
+        payload = np.asarray(payload)
+        k = payload.size // 2
+        head = np.ascontiguousarray(payload[:k])
+        if payload.dtype == np.float32:
+            indices = head.view(np.int32).astype(np.int64)
+        else:
+            indices = head.astype(np.int64)
+        return indices, payload[k:]
 
     # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
@@ -77,9 +110,9 @@ class TopKCompressor(Compressor):
             self._residual = corrected.copy()
             self._residual[indices] = 0.0
 
-        # Payload layout: [indices..., values...] in one float array so the
+        # Payload layout: [indices..., values...] in one float32 array so the
         # collective layer only ever moves flat numeric buffers.
-        payload = np.concatenate([indices.astype(np.float64), values.astype(np.float64)])
+        payload = self.pack_payload(indices, values)
         sparse_estimate = np.zeros_like(gradient)
         sparse_estimate[indices] = values
         wire = self.wire_bits(gradient.size)
@@ -91,12 +124,83 @@ class TopKCompressor(Compressor):
         n = int(ctx["n"])
         dense = np.zeros(n, dtype=np.float64)
         for payload in payloads:
-            payload = np.asarray(payload, dtype=np.float64)
-            k = payload.size // 2
-            indices = payload[:k].astype(np.int64)
-            values = payload[k:]
-            np.add.at(dense, indices, values)
+            indices, values = self.unpack_payload(payload)
+            # Indices are unique within one payload (they come from a top-k /
+            # random-subset selection), so a direct fancy-index add suffices —
+            # no unbuffered np.add.at needed.
+            dense[indices] += values.astype(np.float64)
         return (dense / len(payloads)).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # batched kernels
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def select_batch(cls, compressors: Sequence["TopKCompressor"], C: np.ndarray
+                     ) -> Union[np.ndarray, List[np.ndarray]]:
+        """Per-rank selections over the stacked corrected matrix.
+
+        Top-K itself is one ``argpartition`` along axis 1; subclasses with
+        rank-local randomness or data-dependent thresholds (Rand-K,
+        Gaussian-K) override this with a per-rank loop and may return a ragged
+        list when selection sizes differ across ranks.
+        """
+        P, n = C.shape
+        k = sparsity_k(n, compressors[0].ratio)
+        if k >= n:
+            return np.tile(np.arange(n), (P, 1))
+        return np.argpartition(np.abs(C), -k, axis=1)[:, -k:]
+
+    @classmethod
+    def compress_batch(cls, compressors: Sequence["TopKCompressor"], G: np.ndarray
+                       ) -> Tuple[List[np.ndarray], List[Dict]]:
+        reference = compressors[0]
+        if any(c.ratio != reference.ratio or c.error_feedback != reference.error_feedback
+               for c in compressors):
+            return super().compress_batch(compressors, G)
+
+        G = np.asarray(G, dtype=np.float32)
+        P, n = G.shape
+        if reference.error_feedback:
+            residuals = cls._stack_state(compressors, "_residual", P, n)
+            corrected = residuals + G
+        else:
+            corrected = G
+
+        selections = cls.select_batch(compressors, corrected)
+        ragged = not isinstance(selections, np.ndarray)
+
+        if reference.error_feedback:
+            new_residuals = corrected.copy()
+            if ragged:
+                for p, indices in enumerate(selections):
+                    new_residuals[p, indices] = 0.0
+            else:
+                np.put_along_axis(new_residuals, selections, 0.0, axis=1)
+            for p, compressor in enumerate(compressors):
+                compressor._residual = new_residuals[p]
+
+        if ragged:
+            values = [corrected[p, indices] for p, indices in enumerate(selections)]
+        else:
+            values = np.take_along_axis(corrected, selections, axis=1)
+
+        sparse_estimates = np.zeros((P, n), dtype=np.float32)
+        if ragged:
+            for p, indices in enumerate(selections):
+                sparse_estimates[p, indices] = values[p]
+        else:
+            np.put_along_axis(sparse_estimates, selections, values, axis=1)
+
+        payloads: List[np.ndarray] = []
+        contexts: List[Dict] = []
+        for p in range(P):
+            payloads.append(cls.pack_payload(selections[p], values[p]))
+            contexts.append({"n": n, "k": len(selections[p])})
+        cls._record_batch(compressors, reference.wire_bits(n), corrected, sparse_estimates)
+        return payloads, contexts
+
+    # decompress_batch: inherited — reconstruction is rank-invariant, so the
+    # base class computes one rank's gathered average and broadcasts it.
 
     # ------------------------------------------------------------------ #
     def wire_bits(self, n: int, world_size: int = 1) -> float:

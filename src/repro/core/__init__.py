@@ -1,5 +1,7 @@
 """Core orchestration: distributed trainer, synchronizer, cost model, experiments."""
 
+from repro.core.batched_replicas import BatchedReplicaExecutor
+from repro.core.flat_buffer import FlatLayout, ModelFlatBuffers, WorldFlatBuffers
 from repro.core.flatten import flatten_gradients, flatten_parameters, unflatten_into_gradients, unflatten_into_parameters
 from repro.core.metrics import TrainingMetrics, evaluate_classifier, evaluate_language_model, top1_accuracy
 from repro.core.timeline import IterationTimeline, SyncReport
@@ -11,6 +13,10 @@ from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 
 __all__ = [
+    "BatchedReplicaExecutor",
+    "FlatLayout",
+    "ModelFlatBuffers",
+    "WorldFlatBuffers",
     "flatten_gradients",
     "flatten_parameters",
     "unflatten_into_gradients",

@@ -1,0 +1,154 @@
+"""Batched forward/backward over all simulated replicas of an MLP model.
+
+The trainer keeps ``P`` genuinely separate model replicas (A2SGD's replicas
+diverge — each worker adds back its own error vector), so the seed ran ``P``
+independent autograd passes per iteration.  For the paper's FNN workloads the
+replicas share one architecture and differ only in their weights, which means
+the whole world can be evaluated as a single batched computation: every
+Linear layer's weights are stacked as a ``(P, out, in)`` operand and the
+forward/backward pass is a handful of batched matmuls instead of ``P`` Python
+graph traversals.
+
+Zero-copy by construction: the stacked weight operands are strided views of
+the world's flat ``(P, n)`` parameter matrix (:class:`WorldFlatBuffers`), and
+the backward pass writes layer gradients straight into the flat ``(P, n)``
+gradient matrix the compressors consume.  No flatten/unflatten step exists.
+
+The executor handles the ``Linear``/``ReLU`` sandwich used by the FNN models
+(hand-derived backward, identical math to the autograd closures: softmax
+cross-entropy ``(p - 1[y])/B``, ReLU masking, ``dW = dZᵀX``, ``db = Σ dZ``,
+``dX = dZ W``).  Models with other layers (conv, recurrent, dropout) fall
+back to the per-replica autograd loop — still through the flat buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.flat_buffer import WorldFlatBuffers
+from repro.nn.activations import ReLU
+from repro.nn.container import Sequential
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+def _linear_relu_stack(model: Module) -> Optional[List[Tuple[str, Optional[Linear]]]]:
+    """The model's layer sequence if it is an MLP this executor can run."""
+    if isinstance(model, Sequential):
+        net = model
+    else:
+        net = getattr(model, "net", None)
+        if not isinstance(net, Sequential):
+            return None
+        # Only trust models whose forward is "flatten input, then net" —
+        # anything else (extra heads, state) needs the autograd path.
+        extra_children = [m for name, m in model._modules.items() if m is not net]
+        if extra_children:
+            return None
+    steps: List[Tuple[str, Optional[Linear]]] = []
+    for layer in net:
+        if isinstance(layer, Linear):
+            steps.append(("linear", layer))
+        elif isinstance(layer, ReLU):
+            steps.append(("relu", None))
+        else:
+            return None
+    if not steps or steps[0][0] != "linear" or steps[-1][0] != "linear":
+        return None
+    return steps
+
+
+class BatchedReplicaExecutor:
+    """One fused forward/backward for ``P`` replicas of a Linear/ReLU MLP."""
+
+    def __init__(self, replicas: Sequence[Module], world: WorldFlatBuffers):
+        steps = _linear_relu_stack(replicas[0])
+        if steps is None:
+            raise ValueError("model is not a Linear/ReLU stack")
+        self.world = world
+
+        index_of = {id(p): i for i, p in enumerate(world.replica_buffers[0].parameters)}
+        self._plan: List[Tuple[str, Optional[np.ndarray], Optional[np.ndarray],
+                               Optional[np.ndarray], Optional[np.ndarray]]] = []
+        for kind, layer in steps:
+            if kind == "relu":
+                self._plan.append(("relu", None, None, None, None))
+                continue
+            w_index = index_of[id(layer.weight)]
+            weights = world.stacked_param_view(w_index)       # (P, out, in) view
+            grad_w = world.stacked_grad_view(w_index)
+            if layer.bias is not None:
+                b_index = index_of[id(layer.bias)]
+                biases = world.stacked_param_view(b_index)    # (P, out) view
+                grad_b = world.stacked_grad_view(b_index)
+            else:
+                biases = grad_b = None
+            self._plan.append(("linear", weights, biases, grad_w, grad_b))
+
+    @staticmethod
+    def supports(model: Module) -> bool:
+        """Whether this executor can run the model (Linear/ReLU MLP)."""
+        return _linear_relu_stack(model) is not None
+
+    # ------------------------------------------------------------------ #
+    def forward_backward(self, inputs: np.ndarray, targets: np.ndarray) -> List[float]:
+        """Cross-entropy forward + backward for every replica at once.
+
+        ``inputs`` is the stacked per-replica batch ``(P, B, ...)`` and
+        ``targets`` the integer labels ``(P, B)``.  Layer gradients are
+        written directly into the world's flat gradient matrix (zero-copy);
+        the per-replica mean losses are returned.
+        """
+        P = self.world.world_size
+        if inputs.shape[0] != P:
+            raise ValueError(f"expected {P} replica batches, got {inputs.shape[0]}")
+        batch = inputs.shape[1]
+        X = np.asarray(inputs, dtype=np.float32).reshape(P, batch, -1)
+        targets = np.asarray(targets, dtype=np.int64).reshape(P, batch)
+
+        # ---- forward ---------------------------------------------------- #
+        caches: List[Tuple] = []
+        for kind, weights, biases, _, _ in self._plan:
+            if kind == "relu":
+                mask = X > 0
+                X = X * mask
+                caches.append(("relu", mask))
+            else:
+                caches.append(("linear", X))
+                X = np.matmul(X, weights.transpose(0, 2, 1))
+                if biases is not None:
+                    X = X + biases[:, None, :]
+        logits = X                                            # (P, B, C)
+
+        # ---- softmax cross-entropy (per replica) ------------------------ #
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        sum_exp = exp.sum(axis=2, keepdims=True)
+        log_probs = shifted - np.log(sum_exp)
+        replica_index = np.arange(P)[:, None]
+        batch_index = np.arange(batch)[None, :]
+        losses = -log_probs[replica_index, batch_index, targets].mean(axis=1)
+
+        dZ = exp / sum_exp
+        dZ[replica_index, batch_index, targets] -= 1.0
+        dZ /= batch
+
+        # ---- backward ---------------------------------------------------- #
+        for (kind, weights, biases, grad_w, grad_b), cache in zip(
+                reversed(self._plan), reversed(caches)):
+            if kind == "relu":
+                dZ = dZ * cache[1]
+            else:
+                layer_input = cache[1]
+                grad_w[...] = np.matmul(dZ.transpose(0, 2, 1), layer_input)
+                if grad_b is not None:
+                    grad_b[...] = dZ.sum(axis=1)
+                dZ = np.matmul(dZ, weights)
+
+        # Expose the freshly written flat storage through param.grad so the
+        # looped optimizer path / introspection see the same gradients.
+        for buffers in self.world.replica_buffers:
+            buffers.attach_grads()
+        return [float(value) for value in losses]

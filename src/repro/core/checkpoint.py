@@ -31,10 +31,19 @@ def _compressor_state(compressor) -> Dict[str, np.ndarray]:
 
 
 def _restore_compressor_state(compressor, state: Dict[str, np.ndarray]) -> None:
-    if "residual" in state:
-        compressor._residual = np.array(state["residual"], copy=True)
-    if "velocity" in state:
-        compressor._velocity = np.array(state["velocity"], copy=True)
+    for kind in ("residual", "velocity"):
+        if kind not in state:
+            continue
+        attr = f"_{kind}"
+        current = getattr(compressor, attr, None)
+        value = state[kind]
+        if (isinstance(current, np.ndarray) and current.shape == value.shape
+                and current.dtype == value.dtype):
+            # Write in place so state that aliases a shared (P, n) matrix
+            # (rows written by the batched kernels) keeps its zero-copy home.
+            current[...] = value
+        else:
+            setattr(compressor, attr, np.array(value, copy=True))
 
 
 def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:

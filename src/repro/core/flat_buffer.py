@@ -1,0 +1,218 @@
+"""Zero-copy flat gradient/parameter buffers for the fused training pipeline.
+
+The paper's algorithms — and every compressor — operate on the model as one
+flat vector of ``n`` parameters.  The seed implementation materialized that
+view each iteration with ``np.concatenate`` (and copied it back per
+parameter), which costs a Python loop plus two O(n) copies per replica per
+iteration.  This module removes those copies structurally:
+
+* :class:`FlatLayout` records the (offset, size, shape) of every parameter in
+  registration order — the single source of truth for the flat ordering used
+  by ``core.flatten``, the compressors and the optimizers.
+* :class:`ModelFlatBuffers` owns one contiguous float32 vector for the
+  parameters and one for the gradients of a model.  Parameter data is
+  *adopted*: each ``Parameter.data`` is re-pointed at a strided view of the
+  flat vector, and each ``Parameter.grad`` is *pinned*
+  (:meth:`repro.tensor.Tensor.pin_grad`) to a view of the gradient vector, so
+  autograd accumulates directly into flat storage and
+  ``flatten_gradients`` / ``unflatten_into_gradients`` become no-ops.
+* :class:`WorldFlatBuffers` stacks the per-replica vectors as rows of one
+  ``(P, n)`` matrix, which is exactly the batched-gradient operand the
+  ``compress_batch`` kernels and the fused optimizer step consume — the
+  synchronizer reads the training gradients with zero copies.
+
+Adoption is transparent to the rest of the stack: ``p.data[...] = v`` writes
+(checkpoint load, ``unflatten_into_parameters``) mutate the shared storage in
+place, and reads see the live values.  The one rule is that nothing may
+re-*bind* ``p.data`` to a new array after adoption; nothing in this codebase
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class FlatLayout:
+    """Offsets/sizes/shapes of a model's parameters in registration order."""
+
+    def __init__(self, names: Sequence[str], shapes: Sequence[Tuple[int, ...]]):
+        self.names: List[str] = list(names)
+        self.shapes: List[Tuple[int, ...]] = [tuple(s) for s in shapes]
+        self.sizes: np.ndarray = np.array([int(np.prod(s)) if s else 1 for s in self.shapes],
+                                          dtype=np.int64)
+        self.offsets: np.ndarray = np.concatenate([[0], np.cumsum(self.sizes)])
+        self.total_size: int = int(self.offsets[-1])
+
+    @classmethod
+    def from_model(cls, model: Module) -> "FlatLayout":
+        names, shapes = [], []
+        for name, param in model.named_parameters():
+            names.append(name)
+            shapes.append(param.data.shape)
+        if not names:
+            raise ValueError("model has no parameters")
+        return cls(names, shapes)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def segments(self) -> Iterator[Tuple[int, int, Tuple[int, ...]]]:
+        """Yield ``(offset, size, shape)`` per parameter in flat order."""
+        for i, shape in enumerate(self.shapes):
+            yield int(self.offsets[i]), int(self.sizes[i]), shape
+
+    def matches(self, model: Module) -> bool:
+        """Whether the model's parameters have this exact layout."""
+        params = [p for _, p in model.named_parameters()]
+        return (len(params) == len(self.shapes)
+                and all(p.data.shape == s for p, s in zip(params, self.shapes)))
+
+
+def _segment_views(storage: np.ndarray, layout: FlatLayout) -> List[np.ndarray]:
+    """Per-parameter shaped views into a flat (or row-of-matrix) vector."""
+    views = []
+    for offset, size, shape in layout.segments():
+        views.append(storage[offset:offset + size].reshape(shape))
+    return views
+
+
+class ModelFlatBuffers:
+    """Flat parameter + gradient storage for one model replica.
+
+    Parameters
+    ----------
+    model:
+        The model to adopt.  Its ``Parameter.data`` arrays are copied into the
+        flat vector once and re-pointed at views of it; ``Parameter.grad`` is
+        pinned so backward passes accumulate into the flat gradient vector.
+    param_store / grad_store:
+        Optional preallocated float32 vectors of length ``layout.total_size``
+        (typically rows of a :class:`WorldFlatBuffers` matrix).  Allocated
+        when omitted.
+    """
+
+    def __init__(self, model: Module, layout: Optional[FlatLayout] = None,
+                 param_store: Optional[np.ndarray] = None,
+                 grad_store: Optional[np.ndarray] = None):
+        self.model = model
+        self.layout = layout if layout is not None else FlatLayout.from_model(model)
+        if not self.layout.matches(model):
+            raise ValueError("model parameters do not match the provided layout")
+        n = self.layout.total_size
+        self.params = param_store if param_store is not None else np.empty(n, dtype=np.float32)
+        self.grads = grad_store if grad_store is not None else np.zeros(n, dtype=np.float32)
+        for store in (self.params, self.grads):
+            if store.shape != (n,) or store.dtype != np.float32:
+                raise ValueError("flat stores must be float32 vectors of the layout size")
+
+        self.parameters: List[Parameter] = [p for _, p in model.named_parameters()]
+        self._param_views = _segment_views(self.params, self.layout)
+        self._grad_views = _segment_views(self.grads, self.layout)
+        for param, pview, gview in zip(self.parameters, self._param_views, self._grad_views):
+            pview[...] = param.data            # adopt current values
+            param.data = pview                 # re-point at flat storage
+            param.pin_grad(gview)              # autograd writes into flat storage
+        # Let core.flatten recognise adopted models and skip the copy loops.
+        model._flat_buffers = self
+
+    # ------------------------------------------------------------------ #
+    def zero_grads(self) -> None:
+        """One memset for the whole replica instead of a per-parameter loop."""
+        self.grads.fill(0.0)
+        for param in self.parameters:
+            param.grad = None
+
+    def grad_vector(self) -> np.ndarray:
+        """The flat gradient vector (zero-copy).
+
+        Parameters that received no gradient since :meth:`zero_grads`
+        contribute zeros, matching ``flatten_gradients(missing_as_zero=True)``.
+        """
+        return self.grads
+
+    def set_grad_vector(self, flat: np.ndarray) -> None:
+        """Write a flat gradient back (the fused ``unflatten_into_gradients``).
+
+        Also re-attaches every parameter's pinned view so ``param.grad``
+        reflects the written values.
+        """
+        self.grads[...] = flat
+        for param, gview in zip(self.parameters, self._grad_views):
+            param.grad = gview
+
+    def attach_grads(self) -> None:
+        """Point every ``param.grad`` at its pinned flat view.
+
+        Used after code (e.g. the batched replica executor) has written the
+        flat gradient storage directly without going through autograd.
+        """
+        for param, gview in zip(self.parameters, self._grad_views):
+            param.grad = gview
+
+    def param_vector(self) -> np.ndarray:
+        """The flat parameter vector (zero-copy; mutating it moves the model)."""
+        return self.params
+
+    def param_view(self, index: int) -> np.ndarray:
+        return self._param_views[index]
+
+    def grad_view(self, index: int) -> np.ndarray:
+        return self._grad_views[index]
+
+
+class WorldFlatBuffers:
+    """Per-world flat storage: replica ``p``'s vectors are rows ``p``.
+
+    The ``(P, n)`` gradient matrix is exactly the stacked operand the batched
+    compressor kernels and the fused optimizer step consume, so one training
+    iteration moves gradients from backward pass to optimizer update without
+    a single flatten/unflatten copy.
+    """
+
+    def __init__(self, replicas: Sequence[Module]):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.layout = FlatLayout.from_model(replicas[0])
+        P, n = len(replicas), self.layout.total_size
+        self.param_matrix = np.empty((P, n), dtype=np.float32)
+        self.grad_matrix = np.zeros((P, n), dtype=np.float32)
+        self.replica_buffers: List[ModelFlatBuffers] = [
+            ModelFlatBuffers(model, self.layout,
+                             param_store=self.param_matrix[p],
+                             grad_store=self.grad_matrix[p])
+            for p, model in enumerate(replicas)
+        ]
+
+    @property
+    def world_size(self) -> int:
+        return self.param_matrix.shape[0]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.param_matrix.shape[1]
+
+    def zero_grads(self) -> None:
+        """Zero every replica's gradients with one memset of the matrix."""
+        self.grad_matrix.fill(0.0)
+        for buffers in self.replica_buffers:
+            for param in buffers.parameters:
+                param.grad = None
+
+    def grad_matrix_view(self) -> np.ndarray:
+        """The stacked ``(P, n)`` gradient operand (zero-copy)."""
+        return self.grad_matrix
+
+    def stacked_param_view(self, index: int) -> np.ndarray:
+        """Parameter ``index`` of every replica as one ``(P, *shape)`` view."""
+        offset, size, shape = list(self.layout.segments())[index]
+        return self.param_matrix[:, offset:offset + size].reshape((self.world_size,) + shape)
+
+    def stacked_grad_view(self, index: int) -> np.ndarray:
+        """Gradient ``index`` of every replica as one ``(P, *shape)`` view."""
+        offset, size, shape = list(self.layout.segments())[index]
+        return self.grad_matrix[:, offset:offset + size].reshape((self.world_size,) + shape)

@@ -115,6 +115,57 @@ class GradientSynchronizer:
         return new_gradients, report
 
     # ------------------------------------------------------------------ #
+    def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        """Synchronize one iteration from the stacked ``(P, n)`` gradient matrix.
+
+        The batched twin of :meth:`exchange`: compression and reconstruction
+        run through the compressor's ``compress_batch``/``decompress_batch``
+        kernels (one fused call over all ranks; bit-identical to the per-rank
+        loop, which remains the fallback for compressors without batched
+        kernels).  Returns the reconstructed ``(P, n)`` matrix — possibly a
+        read-only broadcast view when every rank reconstructs the same
+        gradient — plus the usual timing/traffic report.
+
+        The measured kernel time is divided by the world size: the simulation
+        executes all ranks' compression in one call on one host, while the
+        modelled deployment runs the per-worker kernels in parallel.
+        """
+        G = np.asarray(G, dtype=np.float32)
+        if G.ndim != 2 or G.shape[0] != self.world.world_size:
+            raise ValueError(f"expected a ({self.world.world_size}, n) gradient matrix, "
+                             f"got shape {G.shape}")
+        n = G.shape[1]
+        reference = self.compressors[0]
+        exchange_kind = reference.exchange
+        wire_bits = reference.wire_bits(n, self.world.world_size)
+        logical_bytes = wire_bits / 8.0
+        batch = type(reference)
+
+        start = time.perf_counter()
+        payloads, contexts = batch.compress_batch(self.compressors, G)
+        kernel_time = time.perf_counter() - start
+
+        comm_before = self.world.simulated_comm_time
+        if exchange_kind is ExchangeKind.ALLREDUCE:
+            exchanged = self.world.allreduce(payloads, CollectiveOp.MEAN,
+                                             logical_bytes=logical_bytes)
+        else:
+            exchanged = self.world.allgather(payloads, logical_bytes=logical_bytes)
+        comm_time = self.world.simulated_comm_time - comm_before
+
+        start = time.perf_counter()
+        new_matrix = batch.decompress_batch(self.compressors, exchanged, contexts)
+        kernel_time += time.perf_counter() - start
+
+        report = SyncReport(
+            compression_time_s=float(kernel_time) / self.world.world_size,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange=exchange_kind.value,
+        )
+        return new_matrix, report
+
+    # ------------------------------------------------------------------ #
     def dense_model_average(self, parameter_vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
         """The final dense synchronization of Algorithm 1 (lines 9–10).
 

@@ -30,6 +30,8 @@ import numpy as np
 from repro.comm.inprocess import InProcessWorld
 from repro.comm.network_model import NetworkModel
 from repro.compress.registry import get_compressor
+from repro.core.batched_replicas import BatchedReplicaExecutor
+from repro.core.flat_buffer import WorldFlatBuffers
 from repro.core.flatten import (
     average_parameters,
     flatten_gradients,
@@ -45,9 +47,9 @@ from repro.data.registry import get_dataset
 from repro.data.synthetic_text import LanguageModelBatcher
 from repro.models.registry import ModelSpec, get_model_spec
 from repro.nn.module import Module
-from repro.optim.lars import LARS
+from repro.optim.lars import LARS, lars_flat_update
 from repro.optim.lr_schedule import build_lr_policy
-from repro.optim.sgd import SGD
+from repro.optim.sgd import SGD, sgd_flat_update
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import SeedSequenceFactory
 
@@ -81,6 +83,12 @@ class TrainerConfig:
     network: Optional[NetworkModel] = None
     #: Evaluate every k epochs (always evaluates on the last epoch).
     eval_every: int = 1
+    #: Use the zero-copy fused pipeline: flat (P, n) gradient/parameter
+    #: buffers, batched compressor kernels and whole-buffer optimizer steps
+    #: (plus the batched replica executor for MLP models).  False runs the
+    #: seed's per-rank loops — kept for A/B benchmarking and as the reference
+    #: semantics the fused path is tested against.
+    fused_pipeline: bool = True
 
 
 class DistributedTrainer:
@@ -116,6 +124,22 @@ class DistributedTrainer:
                                          momentum=config.momentum,
                                          weight_decay=config.weight_decay)
                            for replica in self.replicas]
+
+        # Fused pipeline: adopt every replica into one (P, n) flat world so
+        # gradients flow backward pass → compressor → optimizer with no
+        # flatten/unflatten copies and one batched kernel call per stage.
+        self.flat_world: Optional[WorldFlatBuffers] = None
+        self.executor: Optional[BatchedReplicaExecutor] = None
+        if config.fused_pipeline:
+            self.flat_world = WorldFlatBuffers(self.replicas)
+            self._velocity_matrix = np.zeros_like(self.flat_world.param_matrix)
+            self._step_scratch = np.empty_like(self.flat_world.param_matrix)
+            for rank, optimizer in enumerate(self.optimizers):
+                optimizer.bind_flat(self.flat_world.replica_buffers[rank],
+                                    velocity_store=self._velocity_matrix[rank])
+            if (self.spec.task == "classification"
+                    and BatchedReplicaExecutor.supports(self.replicas[0])):
+                self.executor = BatchedReplicaExecutor(self.replicas, self.flat_world)
 
         self._setup_data()
         self.metrics = TrainingMetrics(metric_name=self.spec.metric)
@@ -200,6 +224,67 @@ class DistributedTrainer:
             optimizer.step()
 
     # ------------------------------------------------------------------ #
+    # fused (zero-copy) iteration path
+    # ------------------------------------------------------------------ #
+    def _classification_gradients_fused(self, batches: Sequence) -> tuple[np.ndarray, float]:
+        """Gradients for all replicas directly in the flat (P, n) matrix."""
+        world = self.flat_world
+        if self.executor is not None:
+            # The batched executor writes every parameter's gradient, so no
+            # zeroing pass is needed.
+            inputs = np.stack([batch[0] for batch in batches])
+            targets = np.stack([batch[1] for batch in batches])
+            losses = self.executor.forward_backward(inputs, targets)
+        else:
+            world.zero_grads()
+            losses = []
+            for replica, (inputs, targets) in zip(self.replicas, batches):
+                logits = replica(Tensor(inputs))
+                loss = F.cross_entropy(logits, targets)
+                loss.backward()                       # accumulates into the matrix
+                losses.append(loss.item())
+        return world.grad_matrix, float(np.mean(losses))
+
+    def _language_model_gradients_fused(self, batches: Sequence, states: List
+                                        ) -> tuple[np.ndarray, float, List]:
+        world = self.flat_world
+        world.zero_grads()
+        losses: List[float] = []
+        new_states: List = []
+        for rank, (replica, (inputs, targets)) in enumerate(zip(self.replicas, batches)):
+            logits, state = replica(inputs, states[rank])
+            loss = F.cross_entropy(logits, targets.reshape(-1))
+            loss.backward()
+            losses.append(loss.item())
+            new_states.append(replica.detach_state(state))
+        return world.grad_matrix, float(np.mean(losses)), new_states
+
+    def _apply_gradients_fused(self, new_matrix: np.ndarray, epoch_progress: float) -> None:
+        """One whole-world optimizer step on the stacked (P, n) matrices.
+
+        All per-rank optimizers share identical hyperparameters and their
+        momentum rows alias ``self._velocity_matrix``, so a single fused
+        kernel call updates every replica; ``state_dict``/checkpointing still
+        observe per-rank state through the row views.
+        """
+        lr = max(self.lr_policy.lr_at(epoch_progress, self.base_lr), 1e-12)
+        for optimizer in self.optimizers:
+            optimizer.set_lr(lr)
+        reference = self.optimizers[0]
+        world = self.flat_world
+        if isinstance(reference, LARS):
+            lars_flat_update(world.param_matrix, new_matrix,
+                             world.layout.offsets[:-1], world.layout.sizes, lr,
+                             reference.momentum, reference.weight_decay,
+                             reference.trust_coefficient, reference.eps,
+                             velocity=self._velocity_matrix, scratch=self._step_scratch)
+        else:
+            sgd_flat_update(world.param_matrix, new_matrix, lr,
+                            reference.momentum, reference.weight_decay,
+                            reference.nesterov,
+                            velocity=self._velocity_matrix, scratch=self._step_scratch)
+
+    # ------------------------------------------------------------------ #
     # training loops
     # ------------------------------------------------------------------ #
     def train(self) -> TrainingMetrics:
@@ -216,35 +301,49 @@ class DistributedTrainer:
         return self.metrics
 
     def _train_classification(self) -> None:
+        fused = self.flat_world is not None
         for epoch in range(self.config.epochs):
             iterators = [iter(loader) for loader in self.loaders]
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 batches = [next(it) for it in iterators]
-                start = time.perf_counter()
-                gradients, loss = self._classification_gradients(batches)
-                compute_time = time.perf_counter() - start
-                new_gradients, report = self.synchronizer.exchange(gradients)
                 progress = epoch + iteration / max(1, self.iterations_per_epoch)
-                self._apply_gradients(new_gradients, progress)
+                start = time.perf_counter()
+                if fused:
+                    G, loss = self._classification_gradients_fused(batches)
+                    compute_time = time.perf_counter() - start
+                    new_matrix, report = self.synchronizer.exchange_batched(G)
+                    self._apply_gradients_fused(new_matrix, progress)
+                else:
+                    gradients, loss = self._classification_gradients(batches)
+                    compute_time = time.perf_counter() - start
+                    new_gradients, report = self.synchronizer.exchange(gradients)
+                    self._apply_gradients(new_gradients, progress)
                 self.timeline.record(compute_time, report)
                 epoch_losses.append(loss)
                 self._global_iteration += 1
             self._finish_epoch(epoch, float(np.mean(epoch_losses)))
 
     def _train_language_model(self) -> None:
+        fused = self.flat_world is not None
         for epoch in range(self.config.epochs):
             iterators = [shard.batches() for shard in self.lm_shards]
             states: List = [None] * self.config.world_size
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 batches = [next(it) for it in iterators]
-                start = time.perf_counter()
-                gradients, loss, states = self._language_model_gradients(batches, states)
-                compute_time = time.perf_counter() - start
-                new_gradients, report = self.synchronizer.exchange(gradients)
                 progress = epoch + iteration / max(1, self.iterations_per_epoch)
-                self._apply_gradients(new_gradients, progress)
+                start = time.perf_counter()
+                if fused:
+                    G, loss, states = self._language_model_gradients_fused(batches, states)
+                    compute_time = time.perf_counter() - start
+                    new_matrix, report = self.synchronizer.exchange_batched(G)
+                    self._apply_gradients_fused(new_matrix, progress)
+                else:
+                    gradients, loss, states = self._language_model_gradients(batches, states)
+                    compute_time = time.perf_counter() - start
+                    new_gradients, report = self.synchronizer.exchange(gradients)
+                    self._apply_gradients(new_gradients, progress)
                 self.timeline.record(compute_time, report)
                 epoch_losses.append(loss)
                 self._global_iteration += 1

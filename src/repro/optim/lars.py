@@ -4,16 +4,60 @@ The paper's VGG-16 large-batch configuration uses LARS (You et al., 2017) on
 top of SGD: each layer's update is rescaled by the trust ratio
 ``||w|| / (||g|| + wd * ||w||)`` so that layers with small gradients relative
 to their weights still make progress under large batch sizes.
+
+Like :class:`repro.optim.sgd.SGD`, LARS has a fused flat path: with the
+parameters adopted into one contiguous vector, the per-layer norms are
+segment reductions (``np.add.reduceat`` over the flat layout) and the
+trust-scaled update is a handful of whole-buffer operations — no
+per-parameter Python loop.  Momentum state is keyed by parameter index and
+checkpointable through ``state_dict`` in either mode.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-from repro.nn.module import Parameter
 from repro.optim.sgd import Optimizer
+
+
+def lars_flat_update(params: np.ndarray, grads: np.ndarray, offsets: np.ndarray,
+                     sizes: np.ndarray, lr: float, momentum: float = 0.0,
+                     weight_decay: float = 0.0, trust_coefficient: float = 0.001,
+                     eps: float = 1e-8, velocity: Optional[np.ndarray] = None,
+                     scratch: Optional[np.ndarray] = None) -> None:
+    """Fused LARS update on flat storage (shape ``(n,)`` or ``(P, n)``).
+
+    ``offsets``/``sizes`` describe the per-layer segments of the flat vector
+    (:class:`repro.core.flat_buffer.FlatLayout`); layer norms are computed
+    with one ``reduceat`` per operand instead of a Python loop over layers.
+    """
+    if scratch is None:
+        scratch = np.empty_like(params)
+    if weight_decay:
+        np.multiply(params, np.float32(weight_decay), out=scratch)
+        scratch += grads
+    else:
+        scratch[...] = grads
+
+    starts = np.asarray(offsets, dtype=np.int64)
+    grad_norms = np.sqrt(np.add.reduceat(scratch * scratch, starts, axis=-1))
+    weight_norms = np.sqrt(np.add.reduceat(params * params, starts, axis=-1))
+    trust = np.where((weight_norms > 0) & (grad_norms > 0),
+                     np.float32(trust_coefficient) * weight_norms
+                     / (grad_norms + np.float32(eps)),
+                     np.float32(1.0))
+    scratch *= np.repeat(trust, sizes, axis=-1)
+
+    if momentum:
+        if velocity is None:
+            raise ValueError("momentum > 0 requires a velocity buffer")
+        velocity *= np.float32(momentum)
+        velocity += scratch
+        scratch[...] = velocity
+    scratch *= np.float32(lr)
+    params -= scratch
 
 
 class LARS(Optimizer):
@@ -35,7 +79,7 @@ class LARS(Optimizer):
         Numerical floor for the denominator of the trust ratio.
     """
 
-    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.9,
+    def __init__(self, params: Iterable, lr: float, momentum: float = 0.9,
                  weight_decay: float = 0.0, trust_coefficient: float = 0.001,
                  eps: float = 1e-8):
         super().__init__(params, lr)
@@ -43,10 +87,9 @@ class LARS(Optimizer):
         self.weight_decay = float(weight_decay)
         self.trust_coefficient = float(trust_coefficient)
         self.eps = float(eps)
-        self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for p in self.params:
+        for index, p in enumerate(self.params):
             if p.grad is None:
                 continue
             grad = p.grad
@@ -62,11 +105,20 @@ class LARS(Optimizer):
 
             scaled = trust_ratio * grad
             if self.momentum:
-                buf = self._velocity.get(id(p))
-                if buf is None:
-                    buf = np.zeros_like(p.data)
-                    self._velocity[id(p)] = buf
+                buf = self._momentum_buffer(index, p)
                 buf *= self.momentum
                 buf += scaled
                 scaled = buf
             p.data -= self.lr * scaled
+
+    def step_flat(self, grad_vector: Optional[np.ndarray] = None) -> None:
+        """Fused whole-buffer LARS update (requires :meth:`bind_flat`)."""
+        if self._flat is None:
+            raise RuntimeError("step_flat requires bind_flat() first")
+        grads = self._flat.grads if grad_vector is None else grad_vector
+        layout = self._flat.layout
+        velocity = self._ensure_flat_velocity() if self.momentum else None
+        lars_flat_update(self._flat.params, grads, layout.offsets[:-1], layout.sizes,
+                         self.lr, self.momentum, self.weight_decay,
+                         self.trust_coefficient, self.eps, velocity=velocity,
+                         scratch=self._flat_scratch())

@@ -3,6 +3,21 @@
 The distributed trainer updates the model with whatever gradient the
 compression/synchronization pipeline produced (Algorithm 1 line 7 in the
 paper); the optimizer itself is identical to single-node SGD.
+
+Two execution paths share one set of momentum state:
+
+* :meth:`SGD.step` — the classic per-parameter loop (works on any model).
+* :meth:`SGD.step_flat` — the fused path: after :meth:`Optimizer.bind_flat`
+  the parameters live in one contiguous float32 vector (see
+  :mod:`repro.core.flat_buffer`) and the whole update is a handful of
+  whole-buffer axpy operations via :func:`sgd_flat_update`.  The same kernel
+  applies to a stacked ``(P, n)`` world matrix, so the trainer can update all
+  replicas with one call.
+
+Momentum buffers are keyed by *parameter index* (position in the parameter
+list), not ``id(p)``: CPython reuses object ids after garbage collection, so
+an id-keyed dictionary can silently attach a dead parameter's momentum to a
+new tensor.  Index keys are stable and are also what ``state_dict`` stores.
 """
 
 from __future__ import annotations
@@ -11,19 +26,55 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.nn.module import Parameter
+
+def sgd_flat_update(params: np.ndarray, grads: np.ndarray, lr: float,
+                    momentum: float = 0.0, weight_decay: float = 0.0,
+                    nesterov: bool = False, velocity: Optional[np.ndarray] = None,
+                    scratch: Optional[np.ndarray] = None) -> None:
+    """Fused SGD update on flat storage (shape ``(n,)`` or ``(P, n)``).
+
+    Elementwise identical to the per-parameter loop in :meth:`SGD.step`:
+    ``g ← grad + wd·w``, ``v ← µ·v + g``, ``w ← w − lr·(g + µ·v | v)``.
+    ``velocity`` is required when ``momentum > 0`` and is updated in place.
+    ``scratch`` (same shape) avoids reallocating the work buffer every call.
+    """
+    if scratch is None:
+        scratch = np.empty_like(params)
+    if weight_decay:
+        np.multiply(params, np.float32(weight_decay), out=scratch)
+        scratch += grads
+    else:
+        scratch[...] = grads
+    if momentum:
+        if velocity is None:
+            raise ValueError("momentum > 0 requires a velocity buffer")
+        velocity *= np.float32(momentum)
+        velocity += scratch
+        if nesterov:
+            scratch += np.float32(momentum) * velocity
+        else:
+            scratch[...] = velocity
+    scratch *= np.float32(lr)
+    params -= scratch
 
 
 class Optimizer:
-    """Base optimizer: holds parameters and a mutable learning rate."""
+    """Base optimizer: holds parameters, a mutable learning rate and
+    (optionally) a binding to flat parameter storage for the fused path."""
 
-    def __init__(self, params: Iterable[Parameter], lr: float):
-        self.params: List[Parameter] = list(params)
+    def __init__(self, params: Iterable, lr: float):
+        self.params: List = list(params)
         if not self.params:
             raise ValueError("optimizer received no parameters")
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+        self._flat = None                       # ModelFlatBuffers when bound
+        self._velocity_flat: Optional[np.ndarray] = None
+        self._scratch: Optional[np.ndarray] = None
+        #: Momentum buffers keyed by parameter index (unbound mode only; the
+        #: flat-bound mode keeps them as segments of one contiguous vector).
+        self._velocity: Dict[int, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -37,6 +88,84 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+
+    # ------------------------------------------------------------------ #
+    # fused flat path
+    # ------------------------------------------------------------------ #
+    def bind_flat(self, buffers, velocity_store: Optional[np.ndarray] = None) -> None:
+        """Bind this optimizer to a model's flat storage.
+
+        ``buffers`` is a :class:`repro.core.flat_buffer.ModelFlatBuffers`
+        whose parameter list must be exactly this optimizer's parameters.
+        ``velocity_store`` optionally supplies the flat momentum buffer (e.g.
+        a row of a world-level ``(P, n)`` velocity matrix); it is allocated on
+        first use otherwise.  After binding, the looped :meth:`step` and the
+        fused :meth:`step_flat` share the same momentum state.
+        """
+        if len(buffers.parameters) != len(self.params) or any(
+                a is not b for a, b in zip(buffers.parameters, self.params)):
+            raise ValueError("flat buffers do not hold this optimizer's parameters")
+        self._flat = buffers
+        if velocity_store is not None:
+            if velocity_store.shape != buffers.params.shape:
+                raise ValueError("velocity store must match the flat parameter shape")
+            velocity_store.fill(0.0)
+            self._velocity_flat = velocity_store
+        self._scratch = None
+
+    def _ensure_flat_velocity(self) -> np.ndarray:
+        if self._velocity_flat is None:
+            self._velocity_flat = np.zeros_like(self._flat.params)
+        return self._velocity_flat
+
+    def _flat_scratch(self) -> np.ndarray:
+        if self._scratch is None or self._scratch.shape != self._flat.params.shape:
+            self._scratch = np.empty_like(self._flat.params)
+        return self._scratch
+
+    def _velocity_segment(self, index: int) -> np.ndarray:
+        """Momentum buffer for parameter ``index`` as a flat-storage view."""
+        layout = self._flat.layout
+        offset, size = int(layout.offsets[index]), int(layout.sizes[index])
+        flat = self._ensure_flat_velocity()
+        return flat[offset:offset + size].reshape(layout.shapes[index])
+
+    def _momentum_buffer(self, index: int, param) -> np.ndarray:
+        if self._flat is not None:
+            return self._velocity_segment(index)
+        buf = self._velocity.get(index)
+        if buf is None:
+            buf = np.zeros_like(param.data)
+            self._velocity[index] = buf
+        return buf
+
+    def _velocity_entries(self) -> Dict[int, np.ndarray]:
+        if self._flat is not None and self._velocity_flat is not None:
+            return {i: self._velocity_segment(i).copy() for i in range(len(self.params))}
+        return {i: buf.copy() for i, buf in self._velocity.items()}
+
+    def _restore_velocity(self, entries: Dict[int, np.ndarray]) -> None:
+        for index, value in entries.items():
+            index = int(index)
+            if index >= len(self.params):
+                raise KeyError(f"velocity entry {index} out of range")
+            if self._flat is not None:
+                self._velocity_segment(index)[...] = np.asarray(value).reshape(
+                    self._flat.layout.shapes[index])
+            else:
+                self._velocity[index] = np.array(value, copy=True)
+
+    def state_dict(self) -> dict:
+        """Momentum buffers keyed by parameter position (for checkpointing)."""
+        return {"lr": self.lr, "momentum": getattr(self, "momentum", 0.0),
+                "velocity": self._velocity_entries()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self._restore_velocity(state.get("velocity", {}))
+
+    def step_flat(self, grad_vector: Optional[np.ndarray] = None) -> None:
+        raise NotImplementedError
 
 
 class SGD(Optimizer):
@@ -56,7 +185,7 @@ class SGD(Optimizer):
         Use Nesterov momentum.
     """
 
-    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0,
+    def __init__(self, params: Iterable, lr: float, momentum: float = 0.0,
                  weight_decay: float = 0.0, nesterov: bool = False):
         super().__init__(params, lr)
         if momentum < 0:
@@ -66,37 +195,33 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
-        self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
         """Apply one update to every parameter that has a gradient."""
-        for p in self.params:
+        for index, p in enumerate(self.params):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
-                buf = self._velocity.get(id(p))
-                if buf is None:
-                    buf = np.zeros_like(p.data)
-                    self._velocity[id(p)] = buf
+                buf = self._momentum_buffer(index, p)
                 buf *= self.momentum
                 buf += grad
                 grad = grad + self.momentum * buf if self.nesterov else buf
             p.data -= self.lr * grad
 
-    def state_dict(self) -> dict:
-        """Momentum buffers keyed by parameter position (for checkpointing)."""
-        return {
-            "lr": self.lr,
-            "momentum": self.momentum,
-            "velocity": {i: self._velocity[id(p)].copy()
-                         for i, p in enumerate(self.params) if id(p) in self._velocity},
-        }
+    def step_flat(self, grad_vector: Optional[np.ndarray] = None) -> None:
+        """Fused whole-buffer update (requires :meth:`bind_flat`).
 
-    def load_state_dict(self, state: dict) -> None:
-        self.lr = float(state["lr"])
-        for i, p in enumerate(self.params):
-            if i in state["velocity"]:
-                self._velocity[id(p)] = np.array(state["velocity"][i], copy=True)
+        ``grad_vector`` defaults to the bound flat gradient storage; passing
+        the synchronizer's reconstructed gradient avoids writing it back into
+        ``param.grad`` first.
+        """
+        if self._flat is None:
+            raise RuntimeError("step_flat requires bind_flat() first")
+        grads = self._flat.grads if grad_vector is None else grad_vector
+        velocity = self._ensure_flat_velocity() if self.momentum else None
+        sgd_flat_update(self._flat.params, grads, self.lr, self.momentum,
+                        self.weight_decay, self.nesterov, velocity=velocity,
+                        scratch=self._flat_scratch())

@@ -67,23 +67,27 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op",
+                 "_grad_view")
     __array_priority__ = 100.0  # make NumPy defer to Tensor's reflected ops
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, *,
                  _parents: Tuple["Tensor", ...] = (), _op: str = "leaf"):
-        if isinstance(data, Tensor):
-            data = data.data
-        arr = np.asarray(data)
-        if arr.dtype == np.float64:
-            arr = arr.astype(np.float32)
-        elif arr.dtype not in (np.float32, np.int64, np.int32, np.bool_):
+        if type(data) is np.ndarray:
+            arr = data
+        elif isinstance(data, Tensor):
+            arr = data.data
+        else:
+            arr = np.asarray(data)
+        dtype = arr.dtype
+        if dtype != np.float32 and dtype not in (np.int64, np.int32, np.bool_):
             arr = arr.astype(np.float32)
         self.data: np.ndarray = arr
         if requires_grad and not np.issubdtype(arr.dtype, np.floating):
             raise ValueError("only floating point tensors can require gradients")
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
+        self._grad_view: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
         self.op: str = _op
@@ -125,6 +129,26 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def pin_grad(self, view: Optional[np.ndarray]) -> None:
+        """Pin gradient storage to a preallocated array (usually a strided view
+        into a flat per-replica buffer — see :mod:`repro.core.flat_buffer`).
+
+        While pinned, the first ``backward`` accumulation writes into ``view``
+        in place and sets ``self.grad`` to it, so flattening the gradients of a
+        pinned model is a no-op.  Passing ``None`` unpins.  Code that assigns
+        ``self.grad`` directly still works: the pinned view is only used when a
+        fresh gradient buffer would otherwise have been allocated.
+        """
+        if view is not None:
+            if view.shape != self.data.shape:
+                raise ValueError(f"pinned view shape {view.shape} does not match "
+                                 f"tensor shape {self.data.shape}")
+            if view.dtype != self.data.dtype:
+                raise ValueError("pinned view dtype must match the tensor dtype")
+        self._grad_view = view
+        if self.grad is not None:
+            self.grad = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}, op={self.op!r}{grad_flag})"
@@ -139,7 +163,12 @@ class Tensor:
     def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str,
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create an op output, wiring the backward closure when needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = False
+        if _GRAD_ENABLED:
+            for p in parents:
+                if p.requires_grad:
+                    requires = True
+                    break
         out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else (),
                      _op=op)
         if requires:
@@ -147,12 +176,29 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``self.grad`` (allocating on first use)."""
-        grad = np.asarray(grad, dtype=self.data.dtype if np.issubdtype(self.data.dtype, np.floating) else np.float32)
-        if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        """Accumulate ``grad`` into ``self.grad`` (allocating on first use).
+
+        When gradient storage is pinned (:meth:`pin_grad`) the accumulation
+        happens in place inside the pinned buffer, so no per-parameter arrays
+        are allocated on the training hot path.
+        """
+        if type(grad) is not np.ndarray:
+            grad = np.asarray(grad)
+        if grad.dtype != self.data.dtype:
+            target = self.data.dtype if np.issubdtype(self.data.dtype, np.floating) else np.float32
+            grad = grad.astype(target)
+        current = self.grad
+        pinned = self._grad_view
+        if current is None:
+            if pinned is not None:
+                pinned[...] = grad
+                self.grad = pinned
+            else:
+                self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        elif current is pinned:
+            pinned += grad
         else:
-            self.grad = self.grad + grad
+            self.grad = current + grad
 
     # ------------------------------------------------------------------ #
     # backward pass

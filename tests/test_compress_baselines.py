@@ -55,8 +55,8 @@ class TestTopK:
         g = np.array([0.1, -5.0, 0.2, 4.0, -0.3], dtype=np.float32)
         compressor = TopKCompressor(ratio=0.4)  # k = 2
         payload, ctx = compressor.compress(g)
-        k = ctx["k"]
-        indices = payload[:k].astype(int)
+        indices, _ = TopKCompressor.unpack_payload(payload)
+        assert ctx["k"] == 2
         assert set(indices) == {1, 3}
 
     def test_payload_layout(self, gradient_vector):
@@ -64,7 +64,24 @@ class TestTopK:
         payload, ctx = compressor.compress(gradient_vector)
         k = ctx["k"]
         assert payload.shape == (2 * k,)
+        assert payload.dtype == np.float32   # indices ride as int32 bit views
         assert k == sparsity_k(gradient_vector.size, 0.01)
+
+    def test_payload_pack_roundtrip_large_indices(self):
+        # int32 bit patterns survive the float32 reinterpretation exactly,
+        # unlike a float cast, which loses index precision for huge models.
+        indices = np.array([0, 1, 2**31 - 1, 123456789], dtype=np.int64)
+        values = np.array([1.5, -2.0, 0.25, 3.0], dtype=np.float32)
+        packed = TopKCompressor.pack_payload(indices, values)
+        out_idx, out_vals = TopKCompressor.unpack_payload(packed)
+        np.testing.assert_array_equal(out_idx, indices)
+        np.testing.assert_array_equal(out_vals, values)
+
+    def test_unpack_accepts_legacy_float64_payloads(self):
+        legacy = np.array([0.0, 3.0, 2.0, 4.0])   # indices as plain numbers
+        indices, values = TopKCompressor.unpack_payload(legacy)
+        np.testing.assert_array_equal(indices, [0, 3])
+        np.testing.assert_array_equal(values, [2.0, 4.0])
 
     def test_error_feedback_accumulates_untransmitted_mass(self):
         g = np.array([1.0, 0.1, 0.1, 0.1], dtype=np.float32)
@@ -80,8 +97,9 @@ class TestTopK:
         # transmitted (the classic error-feedback guarantee).
         transmitted_indices = set()
         for _ in range(40):
-            payload, ctx = compressor.compress(g)
-            transmitted_indices.update(int(i) for i in payload[:ctx["k"]])
+            payload, _ = compressor.compress(g)
+            indices, _values = TopKCompressor.unpack_payload(payload)
+            transmitted_indices.update(int(i) for i in indices)
         assert transmitted_indices == {0, 1, 2, 3}
 
     def test_no_error_feedback_keeps_no_residual(self, gradient_vector):
@@ -100,11 +118,15 @@ class TestTopK:
         assert dense[3] == pytest.approx(2.0)   # only worker B sent index 3
         assert dense[5] == 0.0
 
-    def test_duplicate_indices_within_one_payload_accumulate(self):
-        compressor = TopKCompressor(ratio=0.2)
-        payloads = [np.array([2.0, 2.0, 1.0, 1.0])]
-        dense = compressor.decompress_gathered(payloads, {"n": 5, "k": 2})
-        assert dense[2] == pytest.approx(2.0)
+    def test_unique_indices_reconstruct_exactly(self):
+        # The decompress contract requires unique indices per payload (every
+        # selector — top-k, random subset, threshold — produces them), which
+        # lets reconstruction use direct fancy-index addition.
+        compressor = TopKCompressor(ratio=0.4)
+        payload = TopKCompressor.pack_payload(np.array([2, 4]),
+                                              np.array([1.0, -3.0], dtype=np.float32))
+        dense = compressor.decompress_gathered([payload], {"n": 5, "k": 2})
+        np.testing.assert_allclose(dense, [0.0, 0.0, 1.0, 0.0, -3.0])
 
     def test_wire_bits_paper_counts_values_only(self):
         compressor = TopKCompressor(ratio=0.001)
@@ -265,14 +287,16 @@ class TestRandK:
         compressor = RandKCompressor(ratio=0.01, rng=np.random.default_rng(0))
         payload, ctx = compressor.compress(gradient_vector)
         assert ctx["k"] == sparsity_k(gradient_vector.size, 0.01)
-        indices = payload[:ctx["k"]].astype(int)
+        indices, _ = RandKCompressor.unpack_payload(payload)
         assert len(np.unique(indices)) == len(indices)
 
     def test_different_iterations_select_different_sets(self, gradient_vector):
         compressor = RandKCompressor(ratio=0.01, rng=np.random.default_rng(0))
-        p1, ctx1 = compressor.compress(gradient_vector)
-        p2, ctx2 = compressor.compress(gradient_vector)
-        assert set(p1[:ctx1["k"]].astype(int)) != set(p2[:ctx2["k"]].astype(int))
+        p1, _ = compressor.compress(gradient_vector)
+        p2, _ = compressor.compress(gradient_vector)
+        i1, _v1 = RandKCompressor.unpack_payload(p1)
+        i2, _v2 = RandKCompressor.unpack_payload(p2)
+        assert set(i1) != set(i2)
 
     def test_complexity(self):
         assert RandKCompressor().computation_complexity(100) == "O(k)"

@@ -1,0 +1,169 @@
+"""Batched compressor kernels must be bit-identical to the per-rank loop.
+
+For every registered algorithm, running ``compress_batch`` /
+``decompress_batch`` over the stacked (P, n) gradient matrix must produce
+exactly the payloads, contexts, reconstructions and error-feedback state that
+the rank-by-rank ``compress`` / ``decompress`` loop produces — including
+across iterations, where the residual state feeds back into the next
+compression.  Stochastic compressors hold one RNG per rank, seeded
+identically in both runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_compressor, list_compressors
+from repro.compress.base import ExchangeKind
+
+
+WORLD_SIZE = 4
+N = 1000
+ITERATIONS = 4
+
+
+def make_compressors(name):
+    """Two identical banks of per-rank compressors (deterministic RNGs)."""
+
+    def bank():
+        compressors = []
+        for rank in range(WORLD_SIZE):
+            kwargs = {}
+            if name in ("topk", "gaussiank", "randk", "dgc"):
+                kwargs["ratio"] = 0.05
+            compressor = get_compressor(name, **kwargs)
+            if hasattr(compressor, "rng"):
+                compressor.rng = np.random.default_rng(1000 + rank)
+            compressors.append(compressor)
+        return compressors
+
+    return bank(), bank()
+
+
+def gradient_stream(seed=7):
+    rng = np.random.default_rng(seed)
+    for _ in range(ITERATIONS):
+        yield (rng.standard_normal((WORLD_SIZE, N)) * 0.01).astype(np.float32)
+
+
+def reduce_exchanged(payloads, kind):
+    """A deterministic stand-in for the collective (mean / gather)."""
+    if kind is ExchangeKind.ALLREDUCE:
+        mean = np.mean(np.stack([np.asarray(p, dtype=np.float64) for p in payloads]), axis=0)
+        return [mean.copy() for _ in payloads]
+    return [[np.asarray(p).copy() for p in payloads] for _ in payloads]
+
+
+def run_looped(compressors, G, kind):
+    payloads, contexts = [], []
+    for compressor, row in zip(compressors, G):
+        payload, ctx = compressor.compress(row.copy())
+        payloads.append(payload)
+        contexts.append(ctx)
+    exchanged = reduce_exchanged(payloads, kind)
+    if kind is ExchangeKind.ALLREDUCE:
+        rows = [c.decompress(e, ctx) for c, e, ctx in zip(compressors, exchanged, contexts)]
+    else:
+        rows = [c.decompress_gathered(e, ctx)
+                for c, e, ctx in zip(compressors, exchanged, contexts)]
+    return payloads, contexts, np.stack([np.asarray(r, dtype=np.float32) for r in rows])
+
+
+def run_batched(compressors, G, kind):
+    cls = type(compressors[0])
+    payloads, contexts = cls.compress_batch(compressors, G.copy())
+    exchanged = reduce_exchanged(payloads, kind)
+    matrix = cls.decompress_batch(compressors, exchanged, contexts)
+    return payloads, contexts, np.asarray(matrix, dtype=np.float32)
+
+
+@pytest.mark.parametrize("name", list_compressors())
+def test_batched_bit_identical_to_loop(name):
+    looped, batched = make_compressors(name)
+    kind = looped[0].exchange
+    for iteration, G in enumerate(gradient_stream()):
+        lp, lc, lrows = run_looped(looped, G, kind)
+        bp, bc, brows = run_batched(batched, G, kind)
+
+        for rank in range(WORLD_SIZE):
+            np.testing.assert_array_equal(
+                np.asarray(lp[rank]), np.asarray(bp[rank]),
+                err_msg=f"{name}: payload mismatch rank {rank} iter {iteration}")
+            assert lc[rank].keys() == bc[rank].keys()
+            for key in lc[rank]:
+                np.testing.assert_array_equal(
+                    np.asarray(lc[rank][key]), np.asarray(bc[rank][key]),
+                    err_msg=f"{name}: ctx[{key}] mismatch rank {rank} iter {iteration}")
+        np.testing.assert_array_equal(
+            lrows, brows, err_msg=f"{name}: reconstruction mismatch iter {iteration}")
+
+        # Error-feedback state must also track bit-for-bit across iterations.
+        for rank, (lo, ba) in enumerate(zip(looped, batched)):
+            for attr in ("_residual", "_velocity"):
+                lstate, bstate = getattr(lo, attr, None), getattr(ba, attr, None)
+                if lstate is None and bstate is None:
+                    continue
+                assert lstate is not None and bstate is not None, \
+                    f"{name}: {attr} present in only one path (rank {rank})"
+                np.testing.assert_array_equal(
+                    lstate, bstate,
+                    err_msg=f"{name}: {attr} diverged rank {rank} iter {iteration}")
+
+
+@pytest.mark.parametrize("name", list_compressors())
+def test_batched_stats_track_loop(name):
+    """Wire-traffic accounting must not depend on the execution path."""
+    looped, batched = make_compressors(name)
+    kind = looped[0].exchange
+    for G in gradient_stream(seed=21):
+        run_looped(looped, G, kind)
+        run_batched(batched, G, kind)
+    for lo, ba in zip(looped, batched):
+        assert lo.stats.iterations == ba.stats.iterations
+        assert lo.stats.total_wire_bits == ba.stats.total_wire_bits
+        assert lo.stats.last_compression_error == pytest.approx(
+            ba.stats.last_compression_error, rel=1e-5, abs=1e-9)
+
+
+def test_mixed_configuration_falls_back_to_loop():
+    """compress_batch with heterogeneous per-rank settings must still be
+    correct (it falls back to the per-rank loop internally)."""
+    ratios = [0.05, 0.1, 0.05, 0.1]
+    batched = [get_compressor("topk", ratio=r) for r in ratios]
+    looped = [get_compressor("topk", ratio=r) for r in ratios]
+    G = (np.random.default_rng(3).standard_normal((4, N)) * 0.01).astype(np.float32)
+    bp, bc = type(batched[0]).compress_batch(batched, G.copy())
+    for compressor, row, payload, ctx in zip(looped, G, bp, bc):
+        expected_payload, expected_ctx = compressor.compress(row.copy())
+        np.testing.assert_array_equal(np.asarray(payload), np.asarray(expected_payload))
+        assert ctx["k"] == expected_ctx["k"]
+
+
+def test_custom_compressor_without_batch_kernels_works():
+    """Third-party compressors that only implement compress/decompress work
+    through the default batch entry points unchanged."""
+    from repro.compress.base import Compressor
+
+    class NegatingCompressor(Compressor):
+        name = "negate"
+        exchange = ExchangeKind.ALLREDUCE
+
+        def compress(self, gradient):
+            return -np.asarray(gradient), {"n": gradient.size}
+
+        def decompress(self, global_payload, ctx):
+            return -np.asarray(global_payload)
+
+        def wire_bits(self, n, world_size=1):
+            return 32.0 * n
+
+        def computation_complexity(self, n):
+            return "O(n)"
+
+    compressors = [NegatingCompressor() for _ in range(3)]
+    G = np.random.default_rng(0).standard_normal((3, 16)).astype(np.float32)
+    payloads, contexts = NegatingCompressor.compress_batch(compressors, G)
+    np.testing.assert_allclose(np.stack(payloads), -G)
+    exchanged = reduce_exchanged(payloads, ExchangeKind.ALLREDUCE)
+    matrix = NegatingCompressor.decompress_batch(compressors, exchanged, contexts)
+    expected = np.broadcast_to(np.mean(G, axis=0, dtype=np.float64).astype(np.float32), G.shape)
+    np.testing.assert_allclose(matrix, expected, atol=1e-6)

@@ -45,8 +45,8 @@ class TestDGCStatefulBehaviour:
 
     def test_transmitted_coordinates_are_masked(self, gradient_vector):
         compressor = DGCCompressor(ratio=0.01)
-        payload, ctx = compressor.compress(gradient_vector)
-        indices = payload[:ctx["k"]].astype(int)
+        payload, _ = compressor.compress(gradient_vector)
+        indices, _values = DGCCompressor.unpack_payload(payload)
         assert np.all(compressor._residual[indices] == 0.0)
         assert np.all(compressor._velocity[indices] == 0.0)
 

@@ -123,6 +123,43 @@ class TestAccounting:
             np.testing.assert_allclose(result, np.ones(10), rtol=1e-6)
 
 
+class TestBatchedExchange:
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("dense", {}), ("a2sgd", {}), ("topk", {"ratio": 0.05}),
+        ("randk", {"ratio": 0.05}), ("gaussiank", {"ratio": 0.05}),
+        ("dgc", {"ratio": 0.05}), ("qsgd", {}),
+    ])
+    def test_exchange_batched_matches_loop(self, rng, algorithm, kwargs):
+        """End-to-end through the world: matrix path ≡ per-rank loop path."""
+        sync_loop, _ = make_sync(algorithm, world_size=4, **kwargs)
+        sync_batch, _ = make_sync(algorithm, world_size=4, **kwargs)
+        # Align the per-rank RNG streams of stochastic compressors.
+        for rank, (a, b) in enumerate(zip(sync_loop.compressors, sync_batch.compressors)):
+            if hasattr(a, "rng"):
+                a.rng = np.random.default_rng(50 + rank)
+                b.rng = np.random.default_rng(50 + rank)
+        for _ in range(3):
+            gradients = make_gradients(rng, world_size=4, n=600)
+            G = np.stack(gradients)
+            looped, report_loop = sync_loop.exchange([g.copy() for g in gradients])
+            batched, report_batch = sync_batch.exchange_batched(G)
+            np.testing.assert_array_equal(np.stack(looped), np.asarray(batched))
+            assert report_loop.exchange == report_batch.exchange
+            assert report_loop.wire_bits_per_worker == report_batch.wire_bits_per_worker
+
+    def test_exchange_batched_validates_shape(self, rng):
+        sync, _ = make_sync("dense", world_size=3)
+        with pytest.raises(ValueError):
+            sync.exchange_batched(np.zeros((2, 10), dtype=np.float32))
+        with pytest.raises(ValueError):
+            sync.exchange_batched(np.zeros(10, dtype=np.float32))
+
+    def test_exchange_batched_reports_positive_kernel_time(self, rng):
+        sync, _ = make_sync("a2sgd", world_size=2)
+        _, report = sync.exchange_batched(np.stack(make_gradients(rng, world_size=2)))
+        assert report.compression_time_s > 0
+
+
 class TestErrorFeedbackAcrossIterations:
     def test_topk_error_feedback_transmits_everything_eventually(self, rng):
         # Over many iterations the sum of applied updates approaches the sum

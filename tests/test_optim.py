@@ -107,6 +107,87 @@ class TestSGD:
         assert abs(p.data[0]) < 1e-3
 
 
+class TestStepFlat:
+    """The fused whole-buffer step must match the per-parameter loop."""
+
+    @staticmethod
+    def build_model():
+        return nn.Sequential(nn.Linear(7, 5, rng=np.random.default_rng(1)), nn.ReLU(),
+                             nn.Linear(5, 3, rng=np.random.default_rng(2)))
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (SGD, {}),
+        (SGD, {"momentum": 0.9}),
+        (SGD, {"momentum": 0.9, "weight_decay": 0.01}),
+        (SGD, {"momentum": 0.9, "weight_decay": 0.01, "nesterov": True}),
+        (LARS, {"momentum": 0.9, "weight_decay": 0.01}),
+    ])
+    def test_step_flat_matches_looped_step(self, cls, kwargs):
+        from repro.core.flat_buffer import ModelFlatBuffers
+
+        looped_model = self.build_model()
+        looped_opt = cls(looped_model.parameters(), lr=0.1, **kwargs)
+        fused_model = self.build_model()
+        buffers = ModelFlatBuffers(fused_model)
+        fused_opt = cls(fused_model.parameters(), lr=0.1, **kwargs)
+        fused_opt.bind_flat(buffers)
+
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            flat_grad = rng.standard_normal(buffers.params.size).astype(np.float32)
+            offset = 0
+            for p in looped_model.parameters():
+                p.grad = flat_grad[offset:offset + p.size].reshape(p.data.shape).copy()
+                offset += p.size
+            looped_opt.step()
+            fused_opt.step_flat(flat_grad)
+            np.testing.assert_allclose(
+                buffers.params,
+                np.concatenate([p.data.reshape(-1) for p in looped_model.parameters()]),
+                rtol=1e-6, atol=1e-7)
+
+    def test_step_flat_requires_binding(self):
+        opt = SGD([make_param([1.0])], lr=0.1)
+        with pytest.raises(RuntimeError):
+            opt.step_flat(np.zeros(1, dtype=np.float32))
+
+    def test_bind_flat_rejects_foreign_buffers(self):
+        from repro.core.flat_buffer import ModelFlatBuffers
+
+        model_a, model_b = self.build_model(), self.build_model()
+        buffers_b = ModelFlatBuffers(model_b)
+        opt_a = SGD(model_a.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            opt_a.bind_flat(buffers_b)
+
+    def test_bound_looped_step_shares_momentum_with_step_flat(self):
+        """After bind_flat, step() and step_flat() use the same velocity, so
+        mixing them cannot silently fork the optimizer state."""
+        from repro.core.flat_buffer import ModelFlatBuffers
+
+        model = self.build_model()
+        buffers = ModelFlatBuffers(model)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        opt.bind_flat(buffers)
+
+        grad = np.ones(buffers.params.size, dtype=np.float32)
+        opt.step_flat(grad)
+        buffers.set_grad_vector(grad)
+        opt.step()                       # second update through the loop path
+        state = opt.state_dict()["velocity"]
+        # velocity = 1 then 1.9 — the loop step continued the flat buffer
+        np.testing.assert_allclose(state[0], np.full_like(state[0], 1.9), rtol=1e-6)
+
+    def test_index_keyed_velocity_survives_parameter_gc(self):
+        """Velocity is keyed by parameter index, so momentum cannot leak from
+        a garbage-collected parameter whose id() gets reused."""
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert 0 in opt._velocity and id(p) not in opt._velocity
+
+
 class TestLARS:
     def test_update_direction_matches_gradient_sign(self):
         p = make_param([1.0, 1.0])

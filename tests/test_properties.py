@@ -119,10 +119,10 @@ class TestSparsifierProperties:
     def test_topk_residual_plus_payload_equals_corrected(self, gradient, ratio):
         """Error feedback never loses mass: residual + transmitted == accumulated."""
         compressor = TopKCompressor(ratio=ratio)
-        payload, ctx = compressor.compress(gradient)
-        k = ctx["k"]
+        payload, _ = compressor.compress(gradient)
+        indices, values = TopKCompressor.unpack_payload(payload)
         transmitted = np.zeros_like(gradient)
-        transmitted[payload[:k].astype(int)] = payload[k:]
+        transmitted[indices] = values
         np.testing.assert_allclose(transmitted + compressor._residual, gradient, atol=1e-5)
 
     @given(gradient_arrays, st.floats(min_value=0.01, max_value=0.5))
@@ -130,7 +130,7 @@ class TestSparsifierProperties:
     def test_topk_selects_exactly_k_unique_indices(self, gradient, ratio):
         compressor = TopKCompressor(ratio=ratio)
         payload, ctx = compressor.compress(gradient)
-        indices = payload[:ctx["k"]].astype(int)
+        indices, _values = TopKCompressor.unpack_payload(payload)
         assert len(np.unique(indices)) == ctx["k"]
         assert np.all((0 <= indices) & (indices < gradient.size))
 
@@ -140,7 +140,8 @@ class TestSparsifierProperties:
         compressor = TopKCompressor(ratio=0.25, error_feedback=False)
         payload, ctx = compressor.compress(gradient)
         k = ctx["k"]
-        selected = set(payload[:k].astype(int))
+        indices, _values = TopKCompressor.unpack_payload(payload)
+        selected = set(indices)
         threshold = np.sort(np.abs(gradient))[-k]
         must_be_selected = {int(i) for i in np.nonzero(np.abs(gradient) > threshold)[0]}
         assert must_be_selected.issubset(selected)
