@@ -9,7 +9,7 @@ PRs accumulate a perf trajectory.
 Marked ``bench``: excluded from the tier-1 suite (``pytest.ini`` limits
 default collection to ``tests/``); run it explicitly with
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s -m bench
 
 or without pytest via ``python -m repro bench-pipeline``.
 """

@@ -12,7 +12,7 @@ Run with ``python examples/distributed_resnet_cifar.py [--workers 4] [--epochs 3
 import argparse
 
 from repro.analysis.reporting import format_figure_series, format_table
-from repro.core import ExperimentConfig, run_experiment
+from repro.core import ExperimentSpec, run_experiment
 
 ALGORITHMS = ("dense", "topk", "qsgd", "gaussiank", "a2sgd")
 
@@ -24,18 +24,18 @@ def main() -> None:
     parser.add_argument("--iterations", type=int, default=15, help="iterations per epoch")
     args = parser.parse_args()
 
+    base = ExperimentSpec(model="resnet20", preset="tiny", world_size=args.workers,
+                          epochs=args.epochs, batch_size=8,
+                          max_iterations_per_epoch=args.iterations,
+                          num_train=512, num_test=128, seed=0)
     results = {}
     for algorithm in ALGORITHMS:
         # The sparsifiers use a denser ratio than the paper's 0.001 because the
         # run is only a few dozen iterations long (see DESIGN.md).
         kwargs = {"ratio": 0.05} if algorithm in ("topk", "gaussiank") else {}
-        config = ExperimentConfig(model="resnet20", preset="tiny", algorithm=algorithm,
-                                  world_size=args.workers, epochs=args.epochs,
-                                  batch_size=8, max_iterations_per_epoch=args.iterations,
-                                  num_train=512, num_test=128, seed=0,
-                                  compressor_kwargs=kwargs)
         print(f"training resnet20/tiny with {algorithm} on {args.workers} workers ...")
-        results[algorithm] = run_experiment(config)
+        results[algorithm] = run_experiment(
+            base.replace(algorithm=algorithm, compressor_kwargs=kwargs))
 
     epochs = results["dense"].metrics.epochs
     accuracy_series = {name: result.metrics.metric for name, result in results.items()}

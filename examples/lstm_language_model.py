@@ -14,7 +14,7 @@ Run with ``python examples/lstm_language_model.py [--workers 2] [--epochs 2]``.
 import argparse
 
 from repro.analysis.reporting import format_figure_series, format_table
-from repro.core import ExperimentConfig, run_experiment
+from repro.core import ExperimentSpec, run_algorithm_sweep
 from repro.core.cost_model import CostModel
 
 
@@ -22,14 +22,11 @@ def train_tiny_lstm(workers: int, epochs: int) -> None:
     print("=" * 72)
     print("Part 1 — training the tiny LSTM preset with A2SGD vs dense SGD")
     print("=" * 72)
-    results = {}
-    for algorithm in ("dense", "a2sgd"):
-        config = ExperimentConfig(model="lstm_ptb", preset="tiny", algorithm=algorithm,
-                                  world_size=workers, epochs=epochs, seq_len=10,
-                                  max_iterations_per_epoch=25, base_lr=5.0,
-                                  num_train=8000, num_test=1600, seed=0)
-        print(f"training lstm_ptb/tiny with {algorithm} ...")
-        results[algorithm] = run_experiment(config)
+    spec = ExperimentSpec(model="lstm_ptb", preset="tiny", world_size=workers,
+                          epochs=epochs, seq_len=10, max_iterations_per_epoch=25,
+                          base_lr=5.0, num_train=8000, num_test=1600, seed=0)
+    print("training lstm_ptb/tiny with dense and a2sgd ...")
+    results = run_algorithm_sweep(spec, ["dense", "a2sgd"])
 
     epochs_axis = results["dense"].metrics.epochs
     series = {name: result.metrics.metric for name, result in results.items()}

@@ -14,7 +14,7 @@ minute on a laptop.
 
 import numpy as np
 
-from repro import A2SGDCompressor, DenseCompressor, ExperimentConfig, run_experiment
+from repro import A2SGDCompressor, DenseCompressor, ExperimentSpec, run_algorithm_sweep
 from repro.analysis.reporting import format_table
 
 
@@ -56,13 +56,15 @@ def distributed_quickstart() -> None:
     print("Part 2 — distributed training with 4 simulated workers")
     print("=" * 72)
 
+    # One declarative spec describes the experiment; the sweep replaces just
+    # the algorithm per cell.  The same spec serializes to JSON and runs via
+    # ``python -m repro run --config <file>``.
+    spec = ExperimentSpec(model="fnn3", preset="tiny", world_size=4, epochs=4,
+                          batch_size=16, max_iterations_per_epoch=20,
+                          num_train=512, num_test=128, seed=0)
+    results = run_algorithm_sweep(spec, ["dense", "a2sgd"])
     rows = []
-    for algorithm in ("dense", "a2sgd"):
-        config = ExperimentConfig(model="fnn3", preset="tiny", algorithm=algorithm,
-                                  world_size=4, epochs=4, batch_size=16,
-                                  max_iterations_per_epoch=20,
-                                  num_train=512, num_test=128, seed=0)
-        result = run_experiment(config)
+    for algorithm, result in results.items():
         rows.append([
             algorithm,
             f"{result.final_metric:.1f}%",

@@ -45,14 +45,21 @@ from repro.compress import (
     TopKCompressor,
     get_compressor,
 )
+from repro.registry import Registry, RegistryKeyError
 from repro.core import (
+    CALLBACKS,
+    Callback,
     CostModel,
     DistributedTrainer,
     ExperimentConfig,
     ExperimentResult,
+    ExperimentSpec,
     GradientSynchronizer,
     IterationTimeline,
+    SpecError,
+    TrainState,
     TrainingMetrics,
+    run_algorithm_sweep,
     run_experiment,
 )
 from repro.comm import (
@@ -82,7 +89,16 @@ __all__ = [
     "TrainingMetrics",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSpec",
+    "SpecError",
     "run_experiment",
+    "run_algorithm_sweep",
+    # registry + callbacks
+    "Registry",
+    "RegistryKeyError",
+    "CALLBACKS",
+    "Callback",
+    "TrainState",
     # comm
     "InProcessWorld",
     "NetworkModel",

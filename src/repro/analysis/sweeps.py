@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.cost_model import CostModel
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import run_experiment
+from repro.core.spec import ExperimentSpec
 
 DEFAULT_ALGORITHMS = ("dense", "topk", "qsgd", "gaussiank", "a2sgd")
 
@@ -33,19 +34,20 @@ def convergence_sweep(model: str, algorithms: Sequence[str] = DEFAULT_ALGORITHMS
     Returns ``{world_size: {algorithm: {"epochs": [...], "metric": [...],
     "final": float, "wire_bits": float}}}`` (keys stringified for JSON).
     """
+    base = ExperimentSpec(
+        model=model, preset="tiny", epochs=epochs, batch_size=16,
+        max_iterations_per_epoch=max_iterations_per_epoch,
+        num_train=384, num_test=96, seed=seed, base_lr=base_lr, seq_len=10,
+    )
     results: Dict[str, Dict] = {}
     for world_size in world_sizes:
         row: Dict[str, Dict] = {}
         for algorithm in algorithms:
             kwargs = ({"ratio": sparsifier_ratio}
                       if algorithm in ("topk", "gaussiank", "randk", "dgc") else {})
-            config = ExperimentConfig(
-                model=model, preset="tiny", algorithm=algorithm, world_size=world_size,
-                epochs=epochs, batch_size=16, max_iterations_per_epoch=max_iterations_per_epoch,
-                num_train=384, num_test=96, seed=seed, compressor_kwargs=kwargs,
-                base_lr=base_lr, seq_len=10,
-            )
-            result = run_experiment(config)
+            spec = base.replace(algorithm=algorithm, world_size=world_size,
+                                compressor_kwargs=kwargs)
+            result = run_experiment(spec)
             row[algorithm] = {
                 "epochs": list(result.metrics.epochs),
                 "metric": [float(v) for v in result.metrics.metric],

@@ -3,10 +3,15 @@
 Commands
 --------
 ``info``
-    List the registered models, compressors and the Table-1 hyperparameters.
+    List the registered models, compressors, datasets, callbacks and the
+    Table-1 hyperparameters.
 ``run``
-    Train one (model, algorithm, world-size) configuration with the simulated
-    distributed trainer and print its convergence curve.
+    Train one configuration with the simulated distributed trainer — either
+    from flags or from a declarative JSON spec (``--config spec.json``) —
+    and print its convergence curve.
+``validate``
+    Check an experiment spec file without running it; prints the resolved
+    configuration or every problem found.
 ``sweep``
     Run a Figure-3-style convergence sweep (several algorithms × worker
     counts) and write the results to JSON.
@@ -16,21 +21,33 @@ Commands
 ``compare``
     Compare every registered compressor on one synthetic gradient (traffic,
     measured kernel time, compression error).
+``bench-pipeline``
+    Time the fused gradient pipeline against the seed path.
+
+Dispatch uses ``set_defaults(handler=...)`` — each subparser binds its
+implementation, so adding a command is one ``sub.add_parser`` block with no
+if/elif ladder to extend.  Flags shared between training commands live on
+parent parsers.  On ``run``, explicit flags override the spec file: the
+flag parsers default to ``argparse.SUPPRESS`` so only user-provided values
+are merged onto the :class:`~repro.core.spec.ExperimentSpec`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_figure_series, format_table
 from repro.analysis.sweeps import DEFAULT_ALGORITHMS, convergence_sweep, cost_sweep
 from repro.compress import get_compressor, list_compressors
+from repro.core.callbacks import CALLBACKS
 from repro.core.cost_model import CostModel
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import run_experiment
+from repro.core.spec import ExperimentSpec, SpecError
+from repro.data.registry import DATASETS
 from repro.models.registry import (
     PAPER_HYPERPARAMETERS,
     PAPER_PARAMETER_COUNTS,
@@ -40,40 +57,93 @@ from repro.models.registry import (
 from repro.utils.serialization import save_json
 from repro.utils.timer import median_time
 
+#: argparse dest -> ExperimentSpec field, for the ``run`` flag/spec merge.
+RUN_FLAG_FIELDS: Dict[str, str] = {
+    "model": "model",
+    "preset": "preset",
+    "algorithm": "algorithm",
+    "workers": "world_size",
+    "epochs": "epochs",
+    "iterations": "max_iterations_per_epoch",
+    "batch_size": "batch_size",
+    "seed": "seed",
+    "eval_every": "eval_every",
+    "fused_pipeline": "fused_pipeline",
+}
+
+#: Flag-mode baseline for ``repro run`` (historical CLI defaults; the
+#: remaining fields use the ExperimentSpec defaults).
+CLI_RUN_DEFAULTS: Dict[str, object] = {"max_iterations_per_epoch": 12, "batch_size": 16}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="A2SGD reproduction command-line interface")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="list models, compressors and paper hyperparameters")
+    # Shared parent parsers (add_help=False so they compose into subparsers).
+    output_parent = argparse.ArgumentParser(add_help=False)
+    output_parent.add_argument("--output", default=None, help="optional JSON output path")
 
-    run = sub.add_parser("run", help="train one configuration with the simulated trainer")
-    run.add_argument("--model", default="fnn3", choices=list_models())
-    run.add_argument("--algorithm", default="a2sgd", choices=list_compressors())
-    run.add_argument("--workers", type=int, default=4)
-    run.add_argument("--epochs", type=int, default=3)
-    run.add_argument("--iterations", type=int, default=12, help="iterations per epoch")
-    run.add_argument("--batch-size", type=int, default=16)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--output", default=None, help="optional JSON output path")
+    train_parent = argparse.ArgumentParser(add_help=False)
+    train_parent.add_argument("--model", default=argparse.SUPPRESS, choices=list_models())
+    train_parent.add_argument("--preset", default=argparse.SUPPRESS,
+                              choices=["tiny", "paper"],
+                              help="model size preset (default: tiny)")
+    train_parent.add_argument("--algorithm", default=argparse.SUPPRESS,
+                              choices=list_compressors())
+    train_parent.add_argument("--workers", type=int, default=argparse.SUPPRESS)
+    train_parent.add_argument("--epochs", type=int, default=argparse.SUPPRESS)
+    train_parent.add_argument("--iterations", type=int, default=argparse.SUPPRESS,
+                              help="iterations per epoch")
+    train_parent.add_argument("--batch-size", type=int, default=argparse.SUPPRESS)
+    train_parent.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    train_parent.add_argument("--eval-every", type=int, default=argparse.SUPPRESS,
+                              help="evaluate every k epochs (always on the last)")
+    train_parent.add_argument("--fused", dest="fused_pipeline",
+                              action=argparse.BooleanOptionalAction,
+                              default=argparse.SUPPRESS,
+                              help="use the zero-copy fused pipeline (--no-fused for "
+                                   "the seed per-rank loops)")
 
-    sweep = sub.add_parser("sweep", help="Figure-3-style convergence sweep")
+    info = sub.add_parser("info",
+                          help="list models, compressors, datasets, callbacks and "
+                               "paper hyperparameters")
+    info.set_defaults(handler=lambda args: cmd_info())
+
+    run = sub.add_parser("run", parents=[train_parent, output_parent],
+                         help="train one configuration with the simulated trainer")
+    run.add_argument("--config", default=None, metavar="SPEC.json",
+                     help="experiment spec file; explicit flags override its fields")
+    run.add_argument("--callback", action="append", default=None, metavar="NAME",
+                     help=f"add a registered callback (repeatable); "
+                          f"one of {CALLBACKS.list()}")
+    run.set_defaults(handler=cmd_run)
+
+    validate = sub.add_parser("validate",
+                              help="check an experiment spec file without running it")
+    validate.add_argument("config", metavar="SPEC.json", help="experiment spec file")
+    validate.set_defaults(handler=cmd_validate)
+
+    sweep = sub.add_parser("sweep", parents=[output_parent],
+                           help="Figure-3-style convergence sweep")
     sweep.add_argument("--model", default="fnn3", choices=list_models())
     sweep.add_argument("--workers", type=int, nargs="+", default=[2, 4, 8])
     sweep.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
     sweep.add_argument("--epochs", type=int, default=3)
-    sweep.add_argument("--output", default=None, help="optional JSON output path")
+    sweep.set_defaults(handler=cmd_sweep)
 
-    cost = sub.add_parser("cost", help="paper-scale cost model (Figures 4/5, Table 2)")
+    cost = sub.add_parser("cost", parents=[output_parent],
+                          help="paper-scale cost model (Figures 4/5, Table 2)")
     cost.add_argument("--models", nargs="+", default=["fnn3", "vgg16", "resnet20", "lstm_ptb"])
     cost.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
     cost.add_argument("--workers", type=int, nargs="+", default=[2, 4, 8, 16])
-    cost.add_argument("--output", default=None, help="optional JSON output path")
+    cost.set_defaults(handler=cmd_cost)
 
     compare = sub.add_parser("compare", help="compare compressors on one gradient")
     compare.add_argument("--size", type=int, default=1_000_000)
     compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(handler=cmd_compare)
 
     bench = sub.add_parser("bench-pipeline",
                            help="time the fused gradient pipeline against the seed path")
@@ -87,12 +157,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        help="JSON file the run is appended to")
+    bench.set_defaults(handler=cmd_bench_pipeline)
 
     return parser
 
 
 # ---------------------------------------------------------------------- #
-# command implementations (each returns the text it printed, for testing)
+# command implementations (each returns the text it printed, for testing,
+# or an int exit code)
 # ---------------------------------------------------------------------- #
 def cmd_info() -> str:
     rows = []
@@ -110,24 +182,46 @@ def cmd_info() -> str:
           get_compressor(name).computation_complexity(1_000_000)]
          for name in list_compressors()],
         title="Gradient compressors")
-    text = models_table + "\n\n" + compressors_table
+    datasets_table = format_table(
+        ["dataset", "description"],
+        [[name, description] for name, description in DATASETS.describe().items()],
+        title="Datasets")
+    callbacks_table = format_table(
+        ["callback", "description"],
+        [[name, description] for name, description in CALLBACKS.describe().items()],
+        title="Trainer callbacks (usable via spec \"callbacks\" or --callback)")
+    text = "\n\n".join([models_table, compressors_table, datasets_table, callbacks_table])
     print(text)
     return text
 
 
-def cmd_run(args: argparse.Namespace) -> str:
-    config = ExperimentConfig(model=args.model, preset="tiny", algorithm=args.algorithm,
-                              world_size=args.workers, epochs=args.epochs,
-                              batch_size=args.batch_size,
-                              max_iterations_per_epoch=args.iterations, seed=args.seed)
-    result = run_experiment(config)
+def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Merge ``run`` flags over the spec file (or the flag-mode defaults)."""
+    if args.config:
+        spec = ExperimentSpec.from_file(args.config)
+    else:
+        spec = ExperimentSpec(**CLI_RUN_DEFAULTS)
+    overrides = {field: getattr(args, dest)
+                 for dest, field in RUN_FLAG_FIELDS.items() if hasattr(args, dest)}
+    if args.callback:
+        overrides["callbacks"] = [*spec.callbacks, *args.callback]
+    return spec.replace(**overrides) if overrides else spec
+
+
+def cmd_run(args: argparse.Namespace):
+    try:
+        spec = _spec_from_run_args(args).validate()
+    except SpecError as error:
+        print(error, file=sys.stderr)
+        return 1
+    result = run_experiment(spec)
     rows = [[epoch, f"{loss:.4f}", f"{metric:.2f}"]
             for epoch, loss, metric in zip(result.metrics.epochs, result.metrics.train_loss,
                                            result.metrics.metric)]
     text = format_table(
         ["epoch", "train loss", result.metric_name],
         rows,
-        title=(f"{args.model} / {args.algorithm} / {args.workers} workers — "
+        title=(f"{spec.model} / {spec.algorithm} / {spec.world_size} workers — "
                f"{result.wire_bits_per_iteration:,.0f} bits/worker/iteration, "
                f"{result.wall_time_s:.1f}s wall time"))
     print(text)
@@ -135,6 +229,22 @@ def cmd_run(args: argparse.Namespace) -> str:
         path = save_json(result.as_dict(), args.output)
         print(f"results written to {path}")
     return text
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.from_file(args.config).validate()
+    except SpecError as error:
+        print(f"{args.config}: INVALID", file=sys.stderr)
+        print(error, file=sys.stderr)
+        return 1
+    print(f"{args.config}: OK")
+    print(spec.describe())
+    derived = spec.to_trainer_config()
+    print(f"derived TrainerConfig: model={derived.model!r} preset={derived.preset!r} "
+          f"algorithm={derived.algorithm!r} world_size={derived.world_size} "
+          f"epochs={derived.epochs} fused_pipeline={derived.fused_pipeline}")
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> str:
@@ -219,21 +329,8 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "info":
-        cmd_info()
-    elif args.command == "run":
-        cmd_run(args)
-    elif args.command == "sweep":
-        cmd_sweep(args)
-    elif args.command == "cost":
-        cmd_cost(args)
-    elif args.command == "compare":
-        cmd_compare(args)
-    elif args.command == "bench-pipeline":
-        cmd_bench_pipeline(args)
-    else:  # pragma: no cover - argparse enforces the choices
-        return 2
-    return 0
+    outcome = args.handler(args)
+    return outcome if isinstance(outcome, int) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,21 @@ def ethernet_10gbps() -> NetworkModel:
     return NetworkModel(latency_s=25e-6, bandwidth_Bps=10e9 / 8.0, name="10Gbps Ethernet")
 
 
+# Named fabrics resolvable from an ExperimentSpec's ``"network": "<name>"``.
+from repro.registry import Registry  # noqa: E402  (registry has no comm deps)
+
+NETWORKS = Registry("network")
+NETWORKS.register("infiniband_100gbps", infiniband_100gbps, aliases=("infiniband", "ib100"),
+                  description="the paper's 100 Gbps InfiniBand fabric")
+NETWORKS.register("ethernet_10gbps", ethernet_10gbps, aliases=("ethernet",),
+                  description="10 Gbps commodity Ethernet for what-if comparisons")
+
+
+def get_network(name: str) -> NetworkModel:
+    """Construct a named network model, e.g. ``get_network("ethernet_10gbps")``."""
+    return NETWORKS.create(name)
+
+
 @dataclass(frozen=True)
 class CollectiveTimeModel:
     """Closed-form collective costs on top of a :class:`NetworkModel`.

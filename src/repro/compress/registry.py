@@ -3,11 +3,16 @@
 Maps the algorithm names used throughout the paper's figures ("Dense",
 "TopK", "GaussianK", "QSGD", "A2SGD") to constructors, so experiments and
 benchmarks can be parameterised by name.
+
+Since the unified-registry refactor this module is a thin shim over
+:class:`repro.registry.Registry`: ``COMPRESSORS`` is the registry instance
+and ``COMPRESSOR_REGISTRY`` / ``get_compressor`` / ``list_compressors`` are
+kept as the historical public surface.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.compress.a2sgd import A2SGDCompressor
 from repro.compress.base import Compressor
@@ -19,18 +24,30 @@ from repro.compress.randk import RandKCompressor
 from repro.compress.signsgd import SignSGDCompressor
 from repro.compress.terngrad import TernGradCompressor
 from repro.compress.topk import TopKCompressor
+from repro.registry import Registry
 
-COMPRESSOR_REGISTRY: Dict[str, Callable[..., Compressor]] = {
-    "dense": DenseCompressor,
-    "a2sgd": A2SGDCompressor,
-    "topk": TopKCompressor,
-    "gaussiank": GaussianKCompressor,
-    "qsgd": QSGDCompressor,
-    "randk": RandKCompressor,
-    "terngrad": TernGradCompressor,
-    "signsgd": SignSGDCompressor,
-    "dgc": DGCCompressor,
-}
+COMPRESSORS = Registry("compressor")
+COMPRESSORS.register("dense", DenseCompressor, aliases=("dense_sgd",),
+                     description="full 32-bit gradients (baseline distributed SGD)")
+COMPRESSORS.register("a2sgd", A2SGDCompressor, aliases=("a2",),
+                     description="the paper's two-scalar (mu+, mu-) compressor")
+COMPRESSORS.register("topk", TopKCompressor,
+                     description="magnitude-based sparsification (Stich et al.)")
+COMPRESSORS.register("gaussiank", GaussianKCompressor,
+                     description="Gaussian-threshold sparsification (Shi et al.)")
+COMPRESSORS.register("qsgd", QSGDCompressor,
+                     description="multi-level stochastic quantization (Alistarh et al.)")
+COMPRESSORS.register("randk", RandKCompressor,
+                     description="uniform random-k sparsification")
+COMPRESSORS.register("terngrad", TernGradCompressor,
+                     description="ternary {-1, 0, +1} quantization")
+COMPRESSORS.register("signsgd", SignSGDCompressor,
+                     description="1-bit sign quantization with majority vote")
+COMPRESSORS.register("dgc", DGCCompressor,
+                     description="deep gradient compression (momentum correction)")
+
+#: Legacy name: the registry doubles as the old module-level dict.
+COMPRESSOR_REGISTRY = COMPRESSORS
 
 #: The five algorithms compared in every figure of the paper's evaluation.
 PAPER_ALGORITHMS: List[str] = ["dense", "topk", "qsgd", "gaussiank", "a2sgd"]
@@ -38,19 +55,13 @@ PAPER_ALGORITHMS: List[str] = ["dense", "topk", "qsgd", "gaussiank", "a2sgd"]
 
 def list_compressors() -> List[str]:
     """Registered compressor names."""
-    return sorted(COMPRESSOR_REGISTRY)
+    return COMPRESSORS.list()
 
 
 def get_compressor(name: str, **kwargs) -> Compressor:
-    """Construct a compressor by (case-insensitive) name.
+    """Construct a compressor by (case/punctuation-insensitive) name.
 
     Extra keyword arguments are forwarded to the constructor, e.g.
     ``get_compressor("topk", ratio=0.01)``.
     """
-    key = name.lower().replace("-", "").replace("_", "")
-    aliases = {"top_k": "topk", "gaussian_k": "gaussiank", "rand_k": "randk",
-               "a2": "a2sgd", "densesgd": "dense"}
-    key = aliases.get(key, key)
-    if key not in COMPRESSOR_REGISTRY:
-        raise KeyError(f"unknown compressor {name!r}; available: {list_compressors()}")
-    return COMPRESSOR_REGISTRY[key](**kwargs)
+    return COMPRESSORS.create(name, **kwargs)

@@ -1,6 +1,18 @@
 """Core orchestration: distributed trainer, synchronizer, cost model, experiments."""
 
 from repro.core.batched_replicas import BatchedReplicaExecutor
+from repro.core.callbacks import (
+    CALLBACKS,
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStoppingCallback,
+    EvaluationCallback,
+    MetricsCallback,
+    ProgressCallback,
+    TimelineCallback,
+    TrainState,
+)
 from repro.core.flat_buffer import FlatLayout, ModelFlatBuffers, WorldFlatBuffers
 from repro.core.flatten import flatten_gradients, flatten_parameters, unflatten_into_gradients, unflatten_into_parameters
 from repro.core.metrics import TrainingMetrics, evaluate_classifier, evaluate_language_model, top1_accuracy
@@ -10,10 +22,26 @@ from repro.core.trainer import DistributedTrainer, TrainerConfig
 from repro.core.cost_model import CompressionTimingEstimator, CostModel, IterationCostBreakdown
 from repro.core.algorithm1 import a2sgd_quadratic_descent, dense_quadratic_descent
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
-from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.spec import ExperimentSpec, SpecError
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_algorithm_sweep,
+    run_experiment,
+)
 
 __all__ = [
     "BatchedReplicaExecutor",
+    "CALLBACKS",
+    "Callback",
+    "CallbackList",
+    "TrainState",
+    "TimelineCallback",
+    "EvaluationCallback",
+    "MetricsCallback",
+    "ProgressCallback",
+    "CheckpointCallback",
+    "EarlyStoppingCallback",
     "FlatLayout",
     "ModelFlatBuffers",
     "WorldFlatBuffers",
@@ -37,7 +65,10 @@ __all__ = [
     "dense_quadratic_descent",
     "save_checkpoint",
     "load_checkpoint",
+    "ExperimentSpec",
+    "SpecError",
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "run_algorithm_sweep",
 ]

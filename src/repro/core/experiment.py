@@ -1,69 +1,47 @@
 """High-level experiment runner used by examples and the benchmark harness.
 
-An :class:`ExperimentConfig` describes one cell of the paper's evaluation
-grid (model × algorithm × worker count); :func:`run_experiment` trains it and
-returns an :class:`ExperimentResult` with the convergence curve, timing
-breakdown and traffic accounting, ready to be rendered into the paper's
-figures and tables.
+An :class:`~repro.core.spec.ExperimentSpec` describes one cell of the
+paper's evaluation grid (model × algorithm × world size × network);
+:func:`run_experiment` trains it and returns an :class:`ExperimentResult`
+with the convergence curve, timing breakdown and traffic accounting, ready
+to be rendered into the paper's figures and tables.
+
+:class:`ExperimentConfig` is the pre-spec name of the same object, kept as a
+constructor-kwarg-compatible deprecation shim: it *is* an ``ExperimentSpec``
+(every old keyword still works) and its ``trainer_config()`` method forwards
+to :meth:`ExperimentSpec.to_trainer_config`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
-from repro.comm.network_model import NetworkModel
 from repro.core.metrics import TrainingMetrics
+from repro.core.spec import ExperimentSpec
 from repro.core.timeline import IterationTimeline
 from repro.core.trainer import DistributedTrainer, TrainerConfig
 from repro.utils.serialization import to_jsonable
 
 
-@dataclass
-class ExperimentConfig:
-    """One (model, algorithm, world size) experiment."""
+class ExperimentConfig(ExperimentSpec):
+    """Deprecated alias of :class:`~repro.core.spec.ExperimentSpec`.
 
-    model: str = "fnn3"
-    preset: str = "tiny"
-    algorithm: str = "a2sgd"
-    world_size: int = 4
-    epochs: int = 3
-    seed: int = 0
-    max_iterations_per_epoch: Optional[int] = 20
-    batch_size: Optional[int] = None
-    base_lr: Optional[float] = None
-    num_train: Optional[int] = None
-    num_test: Optional[int] = None
-    seq_len: int = 12
-    compressor_kwargs: Dict[str, object] = field(default_factory=dict)
-    network: Optional[NetworkModel] = None
+    Kept so code written against the old constructor-kwarg API keeps
+    working unchanged; new code should import ``ExperimentSpec``.
+    """
 
     def trainer_config(self) -> TrainerConfig:
-        """Translate into the trainer's configuration object."""
-        return TrainerConfig(
-            model=self.model,
-            preset=self.preset,
-            algorithm=self.algorithm,
-            world_size=self.world_size,
-            epochs=self.epochs,
-            seed=self.seed,
-            batch_size=self.batch_size,
-            base_lr=self.base_lr,
-            max_iterations_per_epoch=self.max_iterations_per_epoch,
-            seq_len=self.seq_len,
-            num_train=self.num_train,
-            num_test=self.num_test,
-            compressor_kwargs=dict(self.compressor_kwargs),
-            network=self.network,
-        )
+        """Translate into the trainer's configuration object (old name)."""
+        return self.to_trainer_config()
 
 
 @dataclass
 class ExperimentResult:
     """Everything a figure/table needs about one finished experiment."""
 
-    config: ExperimentConfig
+    config: ExperimentSpec
     metrics: TrainingMetrics
     timeline: IterationTimeline
     num_parameters: int
@@ -89,10 +67,16 @@ class ExperimentResult:
         })
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Train one configuration end to end and collect its results."""
+def run_experiment(config: ExperimentSpec,
+                   callbacks: Optional[Iterable] = None) -> ExperimentResult:
+    """Train one spec end to end and collect its results.
+
+    ``callbacks`` (instances, registered names, or ``{"name": ...}`` dicts)
+    run in addition to any callbacks declared on the spec itself.
+    """
     start = time.perf_counter()
-    trainer = DistributedTrainer(config.trainer_config())
+    all_callbacks = [*config.callbacks, *(callbacks or [])]
+    trainer = DistributedTrainer(config.to_trainer_config(), callbacks=all_callbacks)
     metrics = trainer.train()
     wall = time.perf_counter() - start
     return ExperimentResult(
@@ -105,11 +89,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
 
 
-def run_algorithm_sweep(base: ExperimentConfig,
+def run_algorithm_sweep(base: ExperimentSpec,
                         algorithms: List[str]) -> Dict[str, ExperimentResult]:
-    """Run the same experiment for several algorithms (one Figure 3 panel)."""
+    """Run the same experiment for several algorithms (one Figure 3 panel).
+
+    Each cell gets an independent deep copy of ``base`` via
+    :meth:`ExperimentSpec.replace`, so mutable fields (``compressor_kwargs``,
+    ``network``) are never shared between runs.
+    """
     results: Dict[str, ExperimentResult] = {}
     for algorithm in algorithms:
-        config = ExperimentConfig(**{**base.__dict__, "algorithm": algorithm})
-        results[algorithm] = run_experiment(config)
+        results[algorithm] = run_experiment(base.replace(algorithm=algorithm))
     return results

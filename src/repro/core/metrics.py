@@ -67,10 +67,12 @@ def evaluate_language_model(model: Module, batcher: LanguageModelBatcher,
 
 @dataclass
 class TrainingMetrics:
-    """Per-epoch history collected by the trainer.
+    """Per-epoch history of one training run.
 
     ``metric`` holds top-1 accuracy (percent) for classification models and
     perplexity for language models — the same quantities Figure 3 plots.
+    Rows are appended by :class:`repro.core.callbacks.MetricsCallback` (one
+    of the trainer's built-in lifecycle callbacks) at every ``on_epoch_end``.
     """
 
     metric_name: str = "top1"

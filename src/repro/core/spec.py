@@ -1,0 +1,261 @@
+"""Declarative experiment specification.
+
+An :class:`ExperimentSpec` is the single serializable description of one
+cell of the paper's evaluation grid (model × compressor × world-size ×
+network).  It *derives* the trainer's :class:`~repro.core.trainer.TrainerConfig`
+field-by-field from ``dataclasses.fields`` instead of hand-mirroring it, so
+adding a trainer knob automatically makes it spec- and JSON-addressable.
+
+The spec round-trips through JSON::
+
+    spec = ExperimentSpec(model="fnn3", algorithm="a2sgd", world_size=8)
+    spec.to_file("spec.json")
+    same = ExperimentSpec.from_file("spec.json")
+    assert same.to_trainer_config() == spec.to_trainer_config()
+
+and powers ``repro run --config spec.json`` / ``repro validate`` as well as
+:func:`repro.core.experiment.run_experiment` and the sweeps in
+:mod:`repro.analysis.sweeps`.
+
+Non-scalar fields serialize declaratively:
+
+* ``network`` — ``None``, a registered fabric name (``"ethernet_10gbps"``),
+  or ``{"latency_s": ..., "bandwidth_Bps": ..., "name": ...}``;
+* ``callbacks`` — registered names (``"progress"``) or
+  ``{"name": "early_stopping", "patience": 2}`` dicts, resolved through the
+  ``CALLBACKS`` registry when the trainer is built.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import difflib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.comm.network_model import NETWORKS, NetworkModel
+from repro.compress.registry import COMPRESSORS
+from repro.core.callbacks import CALLBACKS, Callback
+from repro.core.trainer import TrainerConfig
+from repro.models.registry import MODELS, list_models, list_presets
+from repro.registry import RegistryKeyError
+from repro.utils.serialization import to_jsonable
+
+
+class SpecError(ValueError):
+    """An invalid or unparseable experiment spec, with actionable messages."""
+
+    def __init__(self, problems: Union[str, List[str]]):
+        self.problems = [problems] if isinstance(problems, str) else list(problems)
+        super().__init__("invalid experiment spec:\n" +
+                         "\n".join(f"  - {p}" for p in self.problems))
+
+
+@dataclass
+class ExperimentSpec:
+    """One fully-described experiment, serializable and trainer-derivable."""
+
+    model: str = "fnn3"
+    preset: str = "tiny"
+    algorithm: str = "a2sgd"
+    world_size: int = 4
+    epochs: int = 3
+    seed: int = 0
+    #: Per-worker batch size; None defers to Table 1's global batch / P.
+    batch_size: Optional[int] = None
+    #: Override the base learning rate (None defers to Table 1).
+    base_lr: Optional[float] = None
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    #: Cap on iterations per epoch; None runs full epochs.
+    max_iterations_per_epoch: Optional[int] = 20
+    seq_len: int = 12
+    num_train: Optional[int] = None
+    num_test: Optional[int] = None
+    #: Extra kwargs forwarded to the compressor constructor.
+    compressor_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: None, a registered fabric name, a NetworkModel, or its dict form.
+    network: Union[None, str, dict, NetworkModel] = None
+    eval_every: int = 1
+    fused_pipeline: bool = True
+    #: Callback specs: registered names or {"name": ..., **kwargs} dicts
+    #: (ready Callback instances are accepted but not JSON-serializable).
+    callbacks: List[object] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+    def resolved_network(self) -> Optional[NetworkModel]:
+        """The spec's network as a :class:`NetworkModel` (or None)."""
+        if self.network is None or isinstance(self.network, NetworkModel):
+            return self.network
+        if isinstance(self.network, str):
+            return NETWORKS.create(self.network)
+        if isinstance(self.network, dict):
+            return NetworkModel(**self.network)
+        raise SpecError(f"network must be None, a name, a dict or a NetworkModel; "
+                        f"got {self.network!r}")
+
+    def to_trainer_config(self) -> TrainerConfig:
+        """Derive the trainer's config from this spec.
+
+        Every ``TrainerConfig`` field is copied from the identically-named
+        spec field — no hand-maintained mirror — with the declarative forms
+        (network name/dict) resolved and mutable values deep-copied so one
+        trainer run cannot leak state into the spec or a sibling run.
+        """
+        kwargs = {f.name: getattr(self, f.name)
+                  for f in dataclasses.fields(TrainerConfig)}
+        kwargs["compressor_kwargs"] = copy.deepcopy(dict(self.compressor_kwargs))
+        kwargs["network"] = self.resolved_network()
+        return TrainerConfig(**kwargs)
+
+    def replace(self, **overrides) -> "ExperimentSpec":
+        """A copy with ``overrides`` applied and mutable fields deep-copied.
+
+        Unlike a shallow ``dataclasses.replace``, sibling specs produced by
+        ``replace`` never share ``compressor_kwargs`` / ``callbacks`` /
+        ``network`` objects, so sweeps cannot leak state across cells.
+        """
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise SpecError([_unknown_field_message(name, self) for name in sorted(unknown)])
+        fresh = copy.deepcopy(self)
+        for name, value in overrides.items():
+            setattr(fresh, name, value)
+        return fresh
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict form (raises on non-serializable callback objects)."""
+        payload = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        try:
+            return to_jsonable(payload)
+        except TypeError as error:
+            raise SpecError(f"spec is not serializable: {error}; use registered "
+                            f"callback names or {{'name': ...}} dicts instead of "
+                            f"instances") from None
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentSpec":
+        """Build a spec from a dict, rejecting unknown keys with suggestions."""
+        if not isinstance(payload, dict):
+            raise SpecError(f"expected a JSON object, got {type(payload).__name__}")
+        known = [f.name for f in dataclasses.fields(cls)]
+        problems = []
+        for key in payload:
+            if key not in known:
+                suggestions = difflib.get_close_matches(str(key), known, n=1)
+                hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+                problems.append(f"unknown field {key!r}{hint} (known fields: {known})")
+        if problems:
+            raise SpecError(problems)
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a JSON file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise SpecError(f"spec file {str(path)!r} does not exist") from None
+        except json.JSONDecodeError as error:
+            raise SpecError(f"spec file {str(path)!r} is not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    def to_file(self, path: Union[str, Path], indent: int = 2) -> Path:
+        """Write the spec as JSON; round-trips through :meth:`from_file`."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ExperimentSpec":
+        """Check every field, raising :class:`SpecError` listing all problems."""
+        problems: List[str] = []
+
+        # Same normalized lookup the runtime uses, so validate() never rejects
+        # a spec that get_model_spec() would accept (e.g. "lstm-ptb").
+        if f"{self.model}/{self.preset}" not in MODELS:
+            problems.append(f"unknown model/preset {self.model!r}/{self.preset!r}; "
+                            f"models: {list_models()}, presets for a model via "
+                            f"list_presets(); e.g. fnn3 has {list_presets('fnn3')}")
+        try:
+            COMPRESSORS.canonical(str(self.algorithm))
+        except RegistryKeyError as error:
+            problems.append(str(error))
+
+        for name, minimum in (("world_size", 1), ("epochs", 1), ("eval_every", 1),
+                              ("seq_len", 2)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < minimum:
+                problems.append(f"{name} must be an integer >= {minimum}, got {value!r}")
+        for name in ("batch_size", "max_iterations_per_epoch", "num_train", "num_test"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                problems.append(f"{name} must be None or an integer >= 1, got {value!r}")
+
+        if not isinstance(self.compressor_kwargs, dict):
+            problems.append(f"compressor_kwargs must be a dict, "
+                            f"got {type(self.compressor_kwargs).__name__}")
+        if not isinstance(self.fused_pipeline, bool):
+            problems.append(f"fused_pipeline must be true/false, got {self.fused_pipeline!r}")
+
+        if isinstance(self.network, str) and self.network not in NETWORKS:
+            problems.append(f"unknown network {self.network!r}; "
+                            f"available: {NETWORKS.list()} (or a latency/bandwidth dict)")
+        elif isinstance(self.network, dict):
+            missing = {"latency_s", "bandwidth_Bps"} - set(self.network)
+            extra = set(self.network) - {"latency_s", "bandwidth_Bps", "name"}
+            if missing or extra:
+                detail = (f"missing {sorted(missing)}" if missing else "") + \
+                         (" and " if missing and extra else "") + \
+                         (f"has unexpected keys {sorted(extra)}" if extra else "")
+                problems.append(f"network dict {detail}; expected "
+                                f"{{'latency_s': <s>, 'bandwidth_Bps': <B/s>, 'name': ...}}")
+        elif self.network is not None and not isinstance(self.network, NetworkModel):
+            problems.append(f"network must be None, a name, a dict or a NetworkModel, "
+                            f"got {type(self.network).__name__}")
+
+        for entry in self.callbacks:
+            if isinstance(entry, Callback):
+                continue
+            name = entry.get("name") if isinstance(entry, dict) else entry
+            if not isinstance(name, str) or name not in CALLBACKS:
+                problems.append(f"unknown callback {entry!r}; registered callbacks: "
+                                f"{CALLBACKS.list()}")
+                continue
+            # Constructibility: a name whose class needs kwargs (e.g.
+            # "checkpoint" without a path) must fail here, not mid-run.
+            kwargs = {k: v for k, v in entry.items() if k != "name"} \
+                if isinstance(entry, dict) else {}
+            try:
+                CALLBACKS.create(name, **kwargs)
+            except Exception as error:
+                problems.append(f"callback {entry!r} cannot be constructed: {error}")
+
+        if problems:
+            raise SpecError(problems)
+        return self
+
+    def describe(self) -> str:
+        """One human-readable line per field (used by ``repro validate``)."""
+        lines = [f"{f.name:26s} = {getattr(self, f.name)!r}"
+                 for f in dataclasses.fields(self)]
+        return "\n".join(lines)
+
+
+def _unknown_field_message(name: str, spec: ExperimentSpec) -> str:
+    known = [f.name for f in dataclasses.fields(spec)]
+    suggestions = difflib.get_close_matches(name, known, n=1)
+    hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+    return f"unknown field {name!r}{hint} (known fields: {known})"

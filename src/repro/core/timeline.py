@@ -28,6 +28,8 @@ class IterationTimeline:
     ``compute`` is the measured forward/backward time of the simulated
     workers (max across workers per iteration), ``compression`` the measured
     compressor time, and ``communication`` the simulated collective time.
+    Fed one record per iteration by
+    :class:`repro.core.callbacks.TimelineCallback` at ``on_iteration_end``.
     """
 
     compute_s: float = 0.0

@@ -17,13 +17,20 @@ Note that with A2SGD the replicas genuinely diverge during training (each
 worker adds back its own error vector), so the trainer really does keep
 ``world_size`` models — this is essential to reproducing the algorithm's
 behaviour rather than an implementation convenience.
+
+Cross-cutting concerns — metrics collection, timeline recording, evaluation
+cadence, checkpointing, progress logging — live in
+:mod:`repro.core.callbacks`, not here: the trainer drives the
+``Callback`` lifecycle hooks and new per-iteration behaviours plug in as
+callbacks without touching this file.  The fused and seed paths fire the
+same hooks.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +38,15 @@ from repro.comm.inprocess import InProcessWorld
 from repro.comm.network_model import NetworkModel
 from repro.compress.registry import get_compressor
 from repro.core.batched_replicas import BatchedReplicaExecutor
+from repro.core.callbacks import (
+    Callback,
+    CallbackList,
+    EvaluationCallback,
+    MetricsCallback,
+    TimelineCallback,
+    TrainState,
+    resolve_callbacks,
+)
 from repro.core.flat_buffer import WorldFlatBuffers
 from repro.core.flatten import (
     average_parameters,
@@ -49,6 +65,7 @@ from repro.models.registry import ModelSpec, get_model_spec
 from repro.nn.module import Module
 from repro.optim.lars import LARS, lars_flat_update
 from repro.optim.lr_schedule import build_lr_policy
+from repro.optim.registry import OPTIMIZERS
 from repro.optim.sgd import SGD, sgd_flat_update
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import SeedSequenceFactory
@@ -92,9 +109,14 @@ class TrainerConfig:
 
 
 class DistributedTrainer:
-    """Simulated data-parallel training of one model with one algorithm."""
+    """Simulated data-parallel training of one model with one algorithm.
 
-    def __init__(self, config: TrainerConfig):
+    ``callbacks`` accepts :class:`~repro.core.callbacks.Callback` instances,
+    registered callback names, or ``{"name": ..., **kwargs}`` dicts; they run
+    after the built-in timeline/evaluation/metrics callbacks, in order.
+    """
+
+    def __init__(self, config: TrainerConfig, callbacks: Optional[Iterable] = None):
         if config.world_size < 1:
             raise ValueError("world_size must be at least 1")
         if config.epochs < 1:
@@ -119,7 +141,7 @@ class DistributedTrainer:
         self.lr_policy, use_lars = build_lr_policy(self.spec.lr_policy,
                                                    world_size=config.world_size,
                                                    total_epochs=config.epochs)
-        optimizer_cls = LARS if use_lars else SGD
+        optimizer_cls = OPTIMIZERS.get("lars" if use_lars else "sgd")
         self.optimizers = [optimizer_cls(replica.parameters(), lr=self.base_lr,
                                          momentum=config.momentum,
                                          weight_decay=config.weight_decay)
@@ -145,6 +167,14 @@ class DistributedTrainer:
         self.metrics = TrainingMetrics(metric_name=self.spec.metric)
         self.timeline = IterationTimeline()
         self._global_iteration = 0
+
+        # Lifecycle plugins.  The built-ins reproduce the seed trainer's
+        # behaviour (timeline first so metrics sees fresh compute totals,
+        # evaluation before metrics so the epoch row has its metric value);
+        # user callbacks run after them in the order given.
+        self.state = TrainState(trainer=self)
+        self.callbacks = CallbackList([TimelineCallback(), EvaluationCallback(),
+                                       MetricsCallback(), *resolve_callbacks(callbacks)])
 
     # ------------------------------------------------------------------ #
     # data pipelines
@@ -216,12 +246,13 @@ class DistributedTrainer:
             new_states.append(replica.detach_state(state))
         return gradients, float(np.mean(losses)), new_states
 
-    def _apply_gradients(self, gradients: Sequence[np.ndarray], epoch_progress: float) -> None:
+    def _apply_gradients(self, gradients: Sequence[np.ndarray], epoch_progress: float) -> float:
         lr = self.lr_policy.lr_at(epoch_progress, self.base_lr)
         for replica, optimizer, gradient in zip(self.replicas, self.optimizers, gradients):
             unflatten_into_gradients(replica, gradient)
             optimizer.set_lr(max(lr, 1e-12))
             optimizer.step()
+        return max(lr, 1e-12)
 
     # ------------------------------------------------------------------ #
     # fused (zero-copy) iteration path
@@ -259,7 +290,7 @@ class DistributedTrainer:
             new_states.append(replica.detach_state(state))
         return world.grad_matrix, float(np.mean(losses)), new_states
 
-    def _apply_gradients_fused(self, new_matrix: np.ndarray, epoch_progress: float) -> None:
+    def _apply_gradients_fused(self, new_matrix: np.ndarray, epoch_progress: float) -> float:
         """One whole-world optimizer step on the stacked (P, n) matrices.
 
         All per-rank optimizers share identical hyperparameters and their
@@ -283,82 +314,107 @@ class DistributedTrainer:
                             reference.momentum, reference.weight_decay,
                             reference.nesterov,
                             velocity=self._velocity_matrix, scratch=self._step_scratch)
+        return lr
 
     # ------------------------------------------------------------------ #
     # training loops
     # ------------------------------------------------------------------ #
     def train(self) -> TrainingMetrics:
         """Run the full training schedule and return the per-epoch metrics."""
+        state = self.state
+        self.callbacks.on_train_start(state)
         if self.spec.task == "classification":
-            self._train_classification()
+            self._train_classification(state)
         else:
-            self._train_language_model()
+            self._train_language_model(state)
         # Algorithm 1 lines 9-10: final dense synchronization of the replicas.
         averaged = self.synchronizer.dense_model_average(
             [flatten_parameters(m) for m in self.replicas])
         for replica, flat in zip(self.replicas, averaged):
             unflatten_into_parameters(replica, flat)
+        self.callbacks.on_train_end(state)
         return self.metrics
 
-    def _train_classification(self) -> None:
+    def _begin_iteration(self, state: TrainState, epoch: int, iteration: int) -> float:
+        state.epoch = epoch
+        state.iteration = iteration
+        state.epoch_progress = epoch + iteration / max(1, self.iterations_per_epoch)
+        self.callbacks.on_iteration_start(state)
+        return state.epoch_progress
+
+    def _end_iteration(self, state: TrainState, loss: float, lr: float,
+                       compute_time: float, report) -> None:
+        self._global_iteration += 1
+        state.global_iteration = self._global_iteration
+        state.loss = loss
+        state.lr = lr
+        state.compute_time_s = compute_time
+        state.report = report
+        self.callbacks.on_iteration_end(state)
+
+    def _end_epoch(self, state: TrainState, epoch: int, epoch_losses: List[float]) -> None:
+        state.epoch = epoch
+        state.epoch_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+        self.callbacks.on_epoch_end(state)
+
+    def _train_classification(self, state: TrainState) -> None:
         fused = self.flat_world is not None
         for epoch in range(self.config.epochs):
+            state.epoch = epoch
+            self.callbacks.on_epoch_start(state)
             iterators = [iter(loader) for loader in self.loaders]
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
+                progress = self._begin_iteration(state, epoch, iteration)
                 batches = [next(it) for it in iterators]
-                progress = epoch + iteration / max(1, self.iterations_per_epoch)
                 start = time.perf_counter()
                 if fused:
                     G, loss = self._classification_gradients_fused(batches)
                     compute_time = time.perf_counter() - start
                     new_matrix, report = self.synchronizer.exchange_batched(G)
-                    self._apply_gradients_fused(new_matrix, progress)
+                    lr = self._apply_gradients_fused(new_matrix, progress)
                 else:
                     gradients, loss = self._classification_gradients(batches)
                     compute_time = time.perf_counter() - start
                     new_gradients, report = self.synchronizer.exchange(gradients)
-                    self._apply_gradients(new_gradients, progress)
-                self.timeline.record(compute_time, report)
+                    lr = self._apply_gradients(new_gradients, progress)
                 epoch_losses.append(loss)
-                self._global_iteration += 1
-            self._finish_epoch(epoch, float(np.mean(epoch_losses)))
+                self._end_iteration(state, loss, lr, compute_time, report)
+                if state.stop_requested:
+                    break
+            self._end_epoch(state, epoch, epoch_losses)
+            if state.stop_requested:
+                break
 
-    def _train_language_model(self) -> None:
+    def _train_language_model(self, state: TrainState) -> None:
         fused = self.flat_world is not None
         for epoch in range(self.config.epochs):
+            state.epoch = epoch
+            self.callbacks.on_epoch_start(state)
             iterators = [shard.batches() for shard in self.lm_shards]
             states: List = [None] * self.config.world_size
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
+                progress = self._begin_iteration(state, epoch, iteration)
                 batches = [next(it) for it in iterators]
-                progress = epoch + iteration / max(1, self.iterations_per_epoch)
                 start = time.perf_counter()
                 if fused:
                     G, loss, states = self._language_model_gradients_fused(batches, states)
                     compute_time = time.perf_counter() - start
                     new_matrix, report = self.synchronizer.exchange_batched(G)
-                    self._apply_gradients_fused(new_matrix, progress)
+                    lr = self._apply_gradients_fused(new_matrix, progress)
                 else:
                     gradients, loss, states = self._language_model_gradients(batches, states)
                     compute_time = time.perf_counter() - start
                     new_gradients, report = self.synchronizer.exchange(gradients)
-                    self._apply_gradients(new_gradients, progress)
-                self.timeline.record(compute_time, report)
+                    lr = self._apply_gradients(new_gradients, progress)
                 epoch_losses.append(loss)
-                self._global_iteration += 1
-            self._finish_epoch(epoch, float(np.mean(epoch_losses)))
-
-    def _finish_epoch(self, epoch: int, mean_loss: float) -> None:
-        should_eval = ((epoch + 1) % max(1, self.config.eval_every) == 0
-                       or epoch == self.config.epochs - 1)
-        if should_eval:
-            metric_value = self.evaluate()
-        else:
-            metric_value = self.metrics.metric[-1] if self.metrics.metric else float("nan")
-        self.metrics.record_epoch(epoch, mean_loss, metric_value,
-                                  comm_time=self.world.simulated_comm_time,
-                                  compute_time=self.timeline.compute_s)
+                self._end_iteration(state, loss, lr, compute_time, report)
+                if state.stop_requested:
+                    break
+            self._end_epoch(state, epoch, epoch_losses)
+            if state.stop_requested:
+                break
 
     # ------------------------------------------------------------------ #
     # evaluation

@@ -24,6 +24,7 @@ from repro.models.fnn import FNN3
 from repro.models.lstm_lm import LSTMLanguageModel
 from repro.models.resnet import ResNet, ResNet20
 from repro.models.vgg import VGG16
+from repro.registry import Registry, RegistryKeyError
 
 #: Exact parameter counts from Table 1 of the paper.
 PAPER_PARAMETER_COUNTS: Dict[str, int] = {
@@ -132,9 +133,24 @@ MODEL_REGISTRY: Dict[Tuple[str, str], ModelSpec] = {
 }
 
 
+# Unified-registry view: every (name, preset) pair is registered under the
+# composite key "name/preset" so lookups share the framework's normalization
+# and did-you-mean errors.  ``MODEL_REGISTRY`` (the tuple-keyed dict above)
+# remains the authoritative store for code that iterates presets.
+MODELS = Registry("model")
+for (_name, _preset), _model_spec in MODEL_REGISTRY.items():
+    MODELS.register(f"{_name}/{_preset}", _model_spec,
+                    description=f"{_name} ({_preset} preset) on {_model_spec.dataset}")
+
+
 def list_models() -> list[str]:
     """Names of the registered models."""
     return sorted({name for name, _ in MODEL_REGISTRY})
+
+
+def list_presets(name: str) -> list[str]:
+    """Presets registered for one model name."""
+    return sorted(preset for n, preset in MODEL_REGISTRY if n == name.lower())
 
 
 def get_model_spec(name: str, preset: str = "tiny") -> ModelSpec:
@@ -142,11 +158,13 @@ def get_model_spec(name: str, preset: str = "tiny") -> ModelSpec:
 
     Raises ``KeyError`` with the available options when the lookup fails.
     """
-    key = (name.lower(), preset.lower())
-    if key not in MODEL_REGISTRY:
-        available = sorted(f"{n}/{p}" for n, p in MODEL_REGISTRY)
-        raise KeyError(f"unknown model {name!r} preset {preset!r}; available: {available}")
-    return MODEL_REGISTRY[key]
+    try:
+        return MODELS.get(f"{name}/{preset}")
+    except RegistryKeyError as error:
+        raise KeyError(f"unknown model {name!r} preset {preset!r}; "
+                       f"available: {MODELS.list()}"
+                       + (f" (did you mean {' or '.join(map(repr, error.suggestions))}?)"
+                          if error.suggestions else "")) from None
 
 
 def build_model(name: str, preset: str = "tiny", seed: int = 0) -> nn.Module:

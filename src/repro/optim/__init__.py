@@ -11,8 +11,11 @@ from repro.optim.lr_schedule import (
     PolynomialDecay,
     build_lr_policy,
 )
+from repro.optim.registry import LR_SCHEDULES, OPTIMIZERS
 
 __all__ = [
+    "OPTIMIZERS",
+    "LR_SCHEDULES",
     "Optimizer",
     "SGD",
     "LARS",

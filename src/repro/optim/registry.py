@@ -1,0 +1,34 @@
+"""Optimizer and LR-schedule-component registries.
+
+``OPTIMIZERS`` lets the trainer (and user code) resolve an update rule by
+name, and ``LR_SCHEDULES`` names the composable pieces Table 1's policy
+strings are parsed into (``LS`` / ``GW`` / ``PD`` / constant), so new
+schedule components extend :func:`repro.optim.lr_schedule.build_lr_policy`
+without editing its parser.
+"""
+
+from __future__ import annotations
+
+from repro.optim.lars import LARS
+from repro.optim.lr_schedule import (
+    ConstantLR,
+    GradualWarmup,
+    LinearScaling,
+    PolynomialDecay,
+)
+from repro.optim.sgd import SGD
+from repro.registry import Registry
+
+OPTIMIZERS = Registry("optimizer")
+OPTIMIZERS.register("sgd", SGD, description="momentum SGD (optionally Nesterov)")
+OPTIMIZERS.register("lars", LARS,
+                    description="layer-wise adaptive rate scaling on top of momentum SGD")
+
+LR_SCHEDULES = Registry("lr-schedule")
+LR_SCHEDULES.register("constant", ConstantLR, description="always the base learning rate")
+LR_SCHEDULES.register("ls", LinearScaling, aliases=("linear_scaling",),
+                      description="scale base LR with the worker count (Goyal et al.)")
+LR_SCHEDULES.register("gw", GradualWarmup, aliases=("warmup",),
+                      description="linear warmup over the first epochs")
+LR_SCHEDULES.register("pd", PolynomialDecay, aliases=("poly",),
+                      description="polynomial decay towards zero over the horizon")

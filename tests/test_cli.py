@@ -70,3 +70,82 @@ class TestCLICommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "a2sgd" in out and "dense" in out and "dgc" in out
+
+
+class TestConfigDrivenCLI:
+    def write_spec(self, tmp_path, **overrides):
+        payload = {"model": "fnn3", "algorithm": "a2sgd", "world_size": 2, "epochs": 2,
+                   "max_iterations_per_epoch": 4, "batch_size": 16, "seed": 0}
+        payload.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_run_from_config_matches_flag_run(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        assert main(["run", "--config", str(path)]) == 0
+        from_config = capsys.readouterr().out
+        assert main(["run", "--model", "fnn3", "--algorithm", "a2sgd", "--workers", "2",
+                     "--epochs", "2", "--iterations", "4", "--batch-size", "16",
+                     "--seed", "0"]) == 0
+        from_flags = capsys.readouterr().out
+        # Seed-for-seed: the convergence table (losses and metric) must be
+        # identical; only the wall-time part of the title may differ.
+        assert from_config.splitlines()[1:] == from_flags.splitlines()[1:]
+
+    def test_flags_override_config(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path, epochs=2)
+        assert main(["run", "--config", str(path), "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        # Only one epoch row: the explicit flag overrode the spec's epochs=2.
+        data_rows = [line for line in out.splitlines()
+                     if line and line.split("|")[0].strip().isdigit()]
+        assert len(data_rows) == 1
+
+    def test_run_preset_eval_every_and_no_fused_flags(self, capsys):
+        code = main(["run", "--preset", "tiny", "--workers", "2", "--epochs", "2",
+                     "--iterations", "2", "--eval-every", "2", "--no-fused"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "train loss" in out
+
+    def test_run_rejects_invalid_config(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path, algorithm="zip")
+        assert main(["run", "--config", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown compressor 'zip'" in err
+
+    def test_run_with_named_callback(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path, epochs=1, max_iterations_per_epoch=2)
+        assert main(["run", "--config", str(path), "--callback", "progress"]) == 0
+
+    def test_validate_ok(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path)
+        assert main(["validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "derived TrainerConfig" in out
+
+    def test_validate_reports_problems_and_fails(self, capsys, tmp_path):
+        path = self.write_spec(tmp_path, world_size=0, algorithm="zip")
+        assert main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+        assert "world_size" in err and "zip" in err
+
+    def test_validate_missing_file(self, capsys, tmp_path):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_validate_unknown_field_suggestion(self, capsys, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps({"algorithmm": "a2sgd"}))
+        assert main(["validate", str(path)]) == 1
+        assert "did you mean 'algorithm'" in capsys.readouterr().err
+
+    def test_info_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Datasets" in out
+        assert "Trainer callbacks" in out
+        assert "early_stopping" in out

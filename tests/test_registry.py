@@ -1,0 +1,151 @@
+"""Tests for the unified registry framework and its concrete instances."""
+
+import pytest
+
+from repro.registry import Registry, RegistryKeyError, normalize_name
+
+
+class TestNormalization:
+    def test_case_and_punctuation_insensitive(self):
+        assert normalize_name("Top-K") == "topk"
+        assert normalize_name("top_k") == "topk"
+        assert normalize_name("  TopK ") == "topk"
+
+    def test_composite_keys_keep_separator(self):
+        assert normalize_name("fnn3/tiny") == "fnn3/tiny"
+        assert normalize_name("LSTM_PTB/Tiny") == "lstmptb/tiny"
+
+
+class TestRegistry:
+    def make(self):
+        registry = Registry("widget")
+        registry.register("alpha", lambda **kw: ("alpha", kw),
+                          aliases=("first",), description="the first widget")
+        registry.register("beta", lambda **kw: ("beta", kw), description="the second widget")
+        return registry
+
+    def test_register_and_get(self):
+        registry = self.make()
+        assert registry.get("alpha")() == ("alpha", {})
+        assert registry.get("ALPHA")() == ("alpha", {})
+        assert registry.get("first")() == ("alpha", {})
+
+    def test_create_forwards_kwargs(self):
+        registry = self.make()
+        assert registry.create("beta", size=3) == ("beta", {"size": 3})
+
+    def test_decorator_registration(self):
+        registry = Registry("thing")
+
+        @registry.register("gadget", description="a gadget")
+        class Gadget:
+            pass
+
+        assert registry.get("gadget") is Gadget
+        assert isinstance(registry.create("gadget"), Gadget)
+
+    def test_decorator_defaults_to_class_name(self):
+        registry = Registry("thing")
+
+        @registry.register()
+        class Sprocket:
+            """A sprocket for testing."""
+
+        assert registry.get("Sprocket") is Sprocket
+        assert registry.describe()["Sprocket"] == "A sprocket for testing."
+
+    def test_list_is_sorted_and_excludes_aliases(self):
+        registry = self.make()
+        assert registry.list() == ["alpha", "beta"]
+
+    def test_describe(self):
+        registry = self.make()
+        assert registry.describe() == {"alpha": "the first widget",
+                                       "beta": "the second widget"}
+
+    def test_canonical_resolves_aliases(self):
+        registry = self.make()
+        assert registry.canonical("FIRST") == "alpha"
+
+    def test_alias_after_registration(self):
+        registry = self.make()
+        registry.alias("a", "alpha")
+        assert registry.get("a")() == ("alpha", {})
+
+    def test_unknown_name_error_is_actionable(self):
+        registry = self.make()
+        with pytest.raises(KeyError) as excinfo:
+            registry.get("alpah")
+        message = str(excinfo.value)
+        assert "unknown widget 'alpah'" in message
+        assert "alpha" in message and "beta" in message
+        assert "did you mean" in message
+
+    def test_unknown_name_error_type(self):
+        registry = self.make()
+        with pytest.raises(RegistryKeyError) as excinfo:
+            registry.get("nope")
+        assert excinfo.value.kind == "widget"
+        assert excinfo.value.available == ["alpha", "beta"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = self.make()
+        with pytest.raises(ValueError):
+            registry.register("alpha", lambda: None)
+
+    def test_overwrite_allows_replacement(self):
+        registry = self.make()
+        registry.register("alpha", lambda **kw: "replaced", overwrite=True)
+        assert registry.get("alpha")() == "replaced"
+
+    def test_mapping_protocol(self):
+        registry = self.make()
+        assert "alpha" in registry and "first" in registry and "nope" not in registry
+        assert sorted(registry) == ["alpha", "beta"]
+        assert len(registry) == 2
+        assert registry["beta"]() == ("beta", {})
+        assert dict(registry.items())["alpha"]() == ("alpha", {})
+
+
+class TestConcreteRegistries:
+    """Every component family is reachable through the one framework."""
+
+    def test_compressors(self):
+        from repro.compress.registry import COMPRESSORS
+        assert "a2sgd" in COMPRESSORS
+        assert COMPRESSORS.kind == "compressor"
+        assert COMPRESSORS.describe()["a2sgd"]
+
+    def test_models(self):
+        from repro.models.registry import MODELS
+        assert "fnn3/tiny" in MODELS
+        assert MODELS.get("fnn3/tiny").task == "classification"
+
+    def test_datasets(self):
+        from repro.data.registry import DATASETS
+        assert "mnist_tiny" in DATASETS
+
+    def test_optimizers(self):
+        from repro.optim.registry import OPTIMIZERS
+        from repro.optim import LARS, SGD
+        assert OPTIMIZERS.get("sgd") is SGD
+        assert OPTIMIZERS.get("LARS") is LARS
+
+    def test_lr_schedules(self):
+        from repro.optim.registry import LR_SCHEDULES
+        assert {"ls", "gw", "pd", "constant"} <= set(LR_SCHEDULES.list())
+
+    def test_networks(self):
+        from repro.comm.network_model import NETWORKS
+        network = NETWORKS.create("ethernet_10gbps")
+        assert network.bandwidth_Bps == pytest.approx(10e9 / 8.0)
+
+    def test_callbacks(self):
+        from repro.core.callbacks import CALLBACKS, Callback
+        assert {"progress", "checkpoint", "early_stopping"} <= set(CALLBACKS.list())
+        assert issubclass(CALLBACKS.get("early_stopping"), Callback)
+
+    def test_unknown_compressor_suggestion(self):
+        from repro.compress.registry import get_compressor
+        with pytest.raises(KeyError, match="did you mean 'topk'"):
+            get_compressor("topk2")

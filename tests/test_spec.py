@@ -1,0 +1,240 @@
+"""Tests for the declarative ExperimentSpec and its CLI/runner integration."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.comm.network_model import NetworkModel, ethernet_10gbps
+from repro.core import ExperimentConfig, run_algorithm_sweep, run_experiment
+from repro.core.callbacks import Callback
+from repro.core.spec import ExperimentSpec, SpecError
+from repro.core.trainer import TrainerConfig
+
+
+def quick_spec(**overrides) -> ExperimentSpec:
+    base = dict(model="fnn3", preset="tiny", algorithm="a2sgd", world_size=2, epochs=2,
+                max_iterations_per_epoch=4, batch_size=16, num_train=128, num_test=32, seed=0)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestDerivation:
+    def test_trainer_config_fields_all_derived(self):
+        """Every TrainerConfig field exists on the spec — no hand-mirror."""
+        spec_fields = {f.name for f in dataclasses.fields(ExperimentSpec)}
+        trainer_fields = {f.name for f in dataclasses.fields(TrainerConfig)}
+        assert trainer_fields <= spec_fields
+
+    def test_to_trainer_config_copies_values(self):
+        spec = quick_spec(algorithm="topk", compressor_kwargs={"ratio": 0.01},
+                          eval_every=2, fused_pipeline=False)
+        config = spec.to_trainer_config()
+        assert config.algorithm == "topk"
+        assert config.compressor_kwargs == {"ratio": 0.01}
+        assert config.eval_every == 2
+        assert config.fused_pipeline is False
+
+    def test_trainer_config_does_not_alias_spec_mutables(self):
+        spec = quick_spec(compressor_kwargs={"ratio": 0.01})
+        config = spec.to_trainer_config()
+        config.compressor_kwargs["ratio"] = 0.5
+        assert spec.compressor_kwargs["ratio"] == 0.01
+
+    def test_network_resolution_by_name(self):
+        config = quick_spec(network="ethernet_10gbps").to_trainer_config()
+        assert isinstance(config.network, NetworkModel)
+        assert config.network == ethernet_10gbps()
+
+    def test_network_resolution_from_dict(self):
+        config = quick_spec(network={"latency_s": 1e-6, "bandwidth_Bps": 1e9,
+                                     "name": "lab"}).to_trainer_config()
+        assert config.network.name == "lab"
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_trainer_config(self):
+        spec = quick_spec(algorithm="topk", compressor_kwargs={"ratio": 0.02},
+                          network="ethernet_10gbps", eval_every=2,
+                          callbacks=["progress", {"name": "early_stopping", "patience": 2}])
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt.to_trainer_config() == spec.to_trainer_config()
+        assert rebuilt.callbacks == spec.callbacks
+
+    def test_file_round_trip(self, tmp_path):
+        spec = quick_spec(network={"latency_s": 2e-6, "bandwidth_Bps": 5e9, "name": "x"})
+        path = spec.to_file(tmp_path / "spec.json")
+        rebuilt = ExperimentSpec.from_file(path)
+        assert rebuilt.to_trainer_config() == spec.to_trainer_config()
+        # The file itself is plain JSON.
+        assert json.loads(path.read_text())["model"] == "fnn3"
+
+    def test_dict_is_json_ready(self):
+        payload = quick_spec().to_dict()
+        json.dumps(payload)  # must not raise
+
+    def test_callback_instances_fail_serialization_with_clear_error(self):
+        spec = quick_spec(callbacks=[Callback()])
+        with pytest.raises(SpecError, match="not serializable"):
+            spec.to_dict()
+
+
+class TestFromDictErrors:
+    def test_unknown_key_suggests_fix(self):
+        with pytest.raises(SpecError, match="did you mean 'algorithm'"):
+            ExperimentSpec.from_dict({"algorithmm": "a2sgd"})
+
+    def test_multiple_problems_reported_together(self):
+        with pytest.raises(SpecError) as excinfo:
+            ExperimentSpec.from_dict({"foo": 1, "bar": 2})
+        assert len(excinfo.value.problems) == 2
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecError, match="expected a JSON object"):
+            ExperimentSpec.from_dict([1, 2, 3])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="does not exist"):
+            ExperimentSpec.from_file(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            ExperimentSpec.from_file(path)
+
+
+class TestValidate:
+    def test_valid_spec_returns_self(self):
+        spec = quick_spec()
+        assert spec.validate() is spec
+
+    def test_collects_all_problems(self):
+        spec = quick_spec(model="alexnet", algorithm="zip", world_size=0,
+                          eval_every=0, network="wifi",
+                          callbacks=["not_a_callback"])
+        with pytest.raises(SpecError) as excinfo:
+            spec.validate()
+        text = str(excinfo.value)
+        assert "alexnet" in text
+        assert "unknown compressor 'zip'" in text
+        assert "world_size" in text
+        assert "eval_every" in text
+        assert "unknown network 'wifi'" in text
+        assert "unknown callback 'not_a_callback'" in text
+
+    def test_network_dict_missing_keys(self):
+        with pytest.raises(SpecError, match="latency_s"):
+            quick_spec(network={"name": "x"}).validate()
+
+    def test_network_dict_unexpected_keys(self):
+        with pytest.raises(SpecError, match="unexpected keys.*typo_key"):
+            quick_spec(network={"latency_s": 1e-5, "bandwidth_Bps": 1e9,
+                                "typo_key": 3}).validate()
+
+    def test_bad_compressor_kwargs_type(self):
+        with pytest.raises(SpecError, match="compressor_kwargs"):
+            quick_spec(compressor_kwargs=[1]).validate()
+
+    def test_model_name_lookup_matches_runtime_normalization(self):
+        # get_model_spec accepts "lstm-ptb"; validate must not reject it.
+        assert quick_spec(model="lstm-ptb").validate() is not None
+
+    def test_unconstructible_callback_caught_at_validation(self):
+        # "checkpoint" needs a path; that must fail here, not mid-run.
+        with pytest.raises(SpecError, match="cannot be constructed"):
+            quick_spec(callbacks=["checkpoint"]).validate()
+        with pytest.raises(SpecError, match="cannot be constructed"):
+            quick_spec(callbacks=[{"name": "early_stopping",
+                                   "patience": 0}]).validate()
+
+
+class TestReplace:
+    def test_replace_overrides_and_preserves(self):
+        spec = quick_spec(algorithm="dense")
+        other = spec.replace(algorithm="topk", world_size=4)
+        assert other.algorithm == "topk" and other.world_size == 4
+        assert spec.algorithm == "dense" and spec.world_size == 2
+
+    def test_replace_deep_copies_mutables(self):
+        spec = quick_spec(compressor_kwargs={"ratio": 0.05})
+        other = spec.replace(algorithm="topk")
+        other.compressor_kwargs["ratio"] = 0.5
+        assert spec.compressor_kwargs["ratio"] == 0.05
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(SpecError, match="did you mean"):
+            quick_spec().replace(algorithmm="topk")
+
+    def test_replace_preserves_subclass(self):
+        config = ExperimentConfig(model="fnn3", world_size=2)
+        assert isinstance(config.replace(world_size=4), ExperimentConfig)
+
+
+class TestSweepRegression:
+    """run_algorithm_sweep used to shallow-copy base.__dict__, sharing the
+    compressor_kwargs dict and network object across every sweep cell."""
+
+    def test_cells_do_not_share_compressor_kwargs(self):
+        base = quick_spec(epochs=1, max_iterations_per_epoch=2,
+                          compressor_kwargs={"ratio": 0.05})
+        results = run_algorithm_sweep(base, ["topk", "randk"])
+        kwargs_objects = [results[name].config.compressor_kwargs for name in ("topk", "randk")]
+        assert kwargs_objects[0] is not kwargs_objects[1]
+        assert kwargs_objects[0] is not base.compressor_kwargs
+        kwargs_objects[0]["ratio"] = 0.9
+        assert kwargs_objects[1]["ratio"] == 0.05
+        assert base.compressor_kwargs["ratio"] == 0.05
+
+    def test_cells_do_not_share_network(self):
+        base = quick_spec(epochs=1, max_iterations_per_epoch=2,
+                          network={"latency_s": 1e-6, "bandwidth_Bps": 1e9, "name": "n"})
+        results = run_algorithm_sweep(base, ["dense", "a2sgd"])
+        networks = [results[name].config.network for name in ("dense", "a2sgd")]
+        assert networks[0] is not networks[1]
+
+    def test_mutating_one_cell_config_leaves_base_untouched(self):
+        base = quick_spec(epochs=1, max_iterations_per_epoch=2)
+        results = run_algorithm_sweep(base, ["dense"])
+        results["dense"].config.compressor_kwargs["injected"] = True
+        assert "injected" not in base.compressor_kwargs
+
+
+class TestRunExperimentWithSpec:
+    def test_spec_callbacks_are_invoked(self):
+        seen = []
+
+        class Probe(Callback):
+            def on_iteration_end(self, state):
+                seen.append(state.global_iteration)
+
+        spec = quick_spec(epochs=2, max_iterations_per_epoch=3)
+        run_experiment(spec, callbacks=[Probe()])
+        assert seen == list(range(1, 7))
+
+    def test_spec_named_callbacks_resolve(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        spec = quick_spec(epochs=1, max_iterations_per_epoch=2,
+                          callbacks=[{"name": "checkpoint", "path": str(path)}])
+        run_experiment(spec)
+        assert path.exists()
+
+    def test_experiment_config_shim_still_works(self):
+        config = ExperimentConfig(model="fnn3", preset="tiny", algorithm="a2sgd",
+                                  world_size=2, epochs=1, max_iterations_per_epoch=2,
+                                  batch_size=16, num_train=128, num_test=32, seed=0)
+        assert isinstance(config, ExperimentSpec)
+        assert config.trainer_config() == config.to_trainer_config()
+        result = run_experiment(config)
+        assert len(result.metrics.epochs) == 1
+
+    def test_spec_equals_flag_equivalent_trainer_config(self):
+        """The CLI acceptance path: a spec file and the equivalent kwargs
+        produce identical TrainerConfigs (hence seed-identical runs)."""
+        spec = ExperimentSpec.from_dict({"model": "fnn3", "algorithm": "a2sgd",
+                                         "world_size": 2, "epochs": 2,
+                                         "max_iterations_per_epoch": 6,
+                                         "batch_size": 16})
+        kwargs = ExperimentSpec(model="fnn3", algorithm="a2sgd", world_size=2,
+                                epochs=2, max_iterations_per_epoch=6, batch_size=16)
+        assert spec.to_trainer_config() == kwargs.to_trainer_config()
