@@ -1,10 +1,12 @@
 """Zero-copy fused gradient pipeline vs the seed's per-rank loops.
 
 Times complete training iterations (batching, forward/backward, compression,
-collective, reconstruction, optimizer step) on the Figure-4-style workload
-(FNN-3/tiny, 8 workers, A2SGD) with both pipeline implementations and writes
-the result to ``BENCH_pipeline.json`` at the repository root so subsequent
-PRs accumulate a perf trajectory.
+collective, reconstruction, optimizer step) on Figure-4-style workloads
+(tiny presets, 8 workers, A2SGD and friends) with both pipeline
+implementations and writes the result to ``BENCH_pipeline.json`` at the
+repository root so subsequent PRs accumulate a perf trajectory.  The
+fnn3 run exercises the hand-derived MLP executor; lstm_ptb and resnet20
+exercise the stacked-graph batched executors for recurrent and conv models.
 
 Marked ``bench``: excluded from the tier-1 suite (``pytest.ini`` limits
 default collection to ``tests/``); run it explicitly with
@@ -46,5 +48,30 @@ def test_pipeline_speedup_other_algorithms(emit, algorithm):
     result = run_pipeline_benchmark(model="fnn3", algorithm=algorithm,
                                     world_size=8, iterations=40, repeats=2)
     emit(f"perf_pipeline_{algorithm}", format_benchmark(result))
+    write_benchmark_json(result, BENCH_JSON)
+    assert result["speedup"] >= 1.0, format_benchmark(result)
+
+
+@pytest.mark.bench
+def test_pipeline_speedup_lstm(emit):
+    """The batched BPTT executor must beat the per-replica loop end to end.
+
+    Stage regressions (e.g. ``exchange_ms`` < 1.0x) are no longer silently
+    recorded: ``run_pipeline_benchmark`` stores them under
+    ``stage_regressions``, warns, and ``format_benchmark`` marks the row.
+    """
+    result = run_pipeline_benchmark(model="lstm_ptb", algorithm="a2sgd",
+                                    world_size=8, iterations=20, repeats=2)
+    emit("perf_pipeline_lstm", format_benchmark(result))
+    write_benchmark_json(result, BENCH_JSON)
+    assert result["speedup"] >= 1.5, format_benchmark(result)
+
+
+@pytest.mark.bench
+def test_pipeline_speedup_resnet(emit):
+    """Conv stacks run through the stacked im2col executor on the fast path."""
+    result = run_pipeline_benchmark(model="resnet20", algorithm="a2sgd",
+                                    world_size=8, iterations=10, repeats=2)
+    emit("perf_pipeline_resnet", format_benchmark(result))
     write_benchmark_json(result, BENCH_JSON)
     assert result["speedup"] >= 1.0, format_benchmark(result)

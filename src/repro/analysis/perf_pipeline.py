@@ -8,7 +8,9 @@ collective → reconstruction → optimizer step) twice on the same workload:
   optimizer step — the implementation the repository seeded with.
 * **fused path** (``fused_pipeline=True``): zero-copy flat ``(P, n)`` buffers,
   batched compressor kernels, whole-world optimizer step, and the batched
-  replica executor for MLP models.
+  replica executors (hand-derived for MLPs, stacked-graph autograd for
+  conv/recurrent models — so lstm_ptb/resnet20/vgg16 workloads time the fast
+  path too).
 
 The result dictionary is what ``BENCH_pipeline.json`` stores; successive PRs
 append runs to that file so the repository accumulates a perf trajectory.
@@ -20,53 +22,78 @@ from __future__ import annotations
 import json
 import platform
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.trainer import DistributedTrainer, TrainerConfig
+from repro.models.registry import get_model_spec
 from repro.version import __version__
 
 
 def _build_trainer(fused: bool, *, model: str, algorithm: str, world_size: int,
                    iterations: int, seed: int) -> DistributedTrainer:
+    if get_model_spec(model, "tiny").task == "language_model":
+        # num_train counts tokens for language models; the dataset default
+        # (20k tokens) gives enough BPTT windows, and the timing loop wraps
+        # at epoch boundaries exactly like the classification loop.
+        sizes = {"num_test": 2048}
+    else:
+        sizes = {"num_train": max(1024, 16 * world_size * iterations),
+                 "num_test": 64}
     config = TrainerConfig(model=model, preset="tiny", algorithm=algorithm,
                            world_size=world_size, epochs=1, seed=seed,
                            max_iterations_per_epoch=iterations,
-                           num_train=max(1024, 16 * world_size * iterations),
-                           num_test=64, fused_pipeline=fused)
-    trainer = DistributedTrainer(config)
-    if trainer.spec.task != "classification":
-        raise ValueError(f"bench-pipeline times the classification iteration loop; "
-                         f"{model!r} is a {trainer.spec.task} model")
-    return trainer
+                           fused_pipeline=fused, **sizes)
+    return DistributedTrainer(config)
 
 
 def _time_iterations(trainer: DistributedTrainer, iterations: int) -> Dict[str, float]:
-    """Run ``iterations`` classification training iterations, timing stages."""
+    """Run ``iterations`` training iterations (any task), timing stages."""
     fused = trainer.flat_world is not None
-    iterators = [iter(loader) for loader in trainer.loaders]
+    language_model = trainer.spec.task == "language_model"
     stage = {"gradients_s": 0.0, "exchange_s": 0.0, "apply_s": 0.0}
     per_epoch = trainer.iterations_per_epoch
+
+    def fresh_iterators():
+        if language_model:
+            return [shard.batches() for shard in trainer.lm_shards]
+        return [iter(loader) for loader in trainer.loaders]
+
+    def fresh_states():
+        # The batched LM executor threads one stacked state; the per-replica
+        # paths thread one state per rank.
+        return None if trainer.executor is not None \
+            else [None] * trainer.config.world_size
+
+    iterators = fresh_iterators()
+    states = fresh_states()
 
     wall_start = time.perf_counter()
     for iteration in range(iterations):
         if iteration and iteration % per_epoch == 0:
-            iterators = [iter(loader) for loader in trainer.loaders]
+            iterators = fresh_iterators()
+            states = fresh_states()
         batches = [next(it) for it in iterators]
         progress = iteration / max(1, iterations)
 
         t0 = time.perf_counter()
-        if fused:
+        if fused and language_model:
+            G, _loss, states = trainer._language_model_gradients_fused(batches, states)
+        elif fused:
             G, _loss = trainer._classification_gradients_fused(batches)
-            t1 = time.perf_counter()
+        elif language_model:
+            gradients, _loss, states = trainer._language_model_gradients(batches, states)
+        else:
+            gradients, _loss = trainer._classification_gradients(batches)
+        t1 = time.perf_counter()
+        if fused:
             new_matrix, _report = trainer.synchronizer.exchange_batched(G)
             t2 = time.perf_counter()
             trainer._apply_gradients_fused(new_matrix, progress)
         else:
-            gradients, _loss = trainer._classification_gradients(batches)
-            t1 = time.perf_counter()
             new_gradients, _report = trainer.synchronizer.exchange(gradients)
             t2 = time.perf_counter()
             trainer._apply_gradients(new_gradients, progress)
@@ -111,7 +138,17 @@ def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
 
     seed_ms = results["seed_path"]["iteration_ms"]
     fused_ms = results["fused_path"]["iteration_ms"]
-    return {
+    stage_speedups = {
+        key: results["seed_path"][key] / results["fused_path"][key]
+        for key in ("gradients_ms", "exchange_ms", "apply_ms")
+        if results["fused_path"][key] > 0
+    }
+    # Flag stages where the fused path lost ground instead of silently
+    # recording a <1.0x ratio in the trajectory file (the seed of this repo
+    # shipped several exchange_ms regressions nobody noticed).
+    stage_regressions = sorted(key for key, ratio in stage_speedups.items()
+                               if ratio < 1.0)
+    result = {
         "benchmark": "pipeline",
         "version": __version__,
         "workload": {"model": model, "preset": "tiny", "algorithm": algorithm,
@@ -122,12 +159,15 @@ def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
         "seed_path": results["seed_path"],
         "fused_path": results["fused_path"],
         "speedup": seed_ms / fused_ms,
-        "stage_speedups": {
-            key: results["seed_path"][key] / results["fused_path"][key]
-            for key in ("gradients_ms", "exchange_ms", "apply_ms")
-            if results["fused_path"][key] > 0
-        },
+        "stage_speedups": stage_speedups,
+        "stage_regressions": stage_regressions,
     }
+    if stage_regressions:
+        warnings.warn(
+            f"fused pipeline regressed on {model}/{algorithm} stages: "
+            + ", ".join(f"{key} {stage_speedups[key]:.2f}x" for key in stage_regressions),
+            RuntimeWarning, stacklevel=2)
+    return result
 
 
 def write_benchmark_json(result: Dict, path: str | Path) -> Path:
@@ -159,10 +199,12 @@ def format_benchmark(result: Dict) -> str:
         f"{w['algorithm']}, {w['world_size']} workers, {w['iterations']} iterations",
         f"{'stage':<14}{'seed path':>12}{'fused':>12}{'speedup':>10}",
     ]
+    regressions = set(result.get("stage_regressions", ()))
     for key, label in (("iteration_ms", "iteration"), ("gradients_ms", "gradients"),
                        ("exchange_ms", "exchange"), ("apply_ms", "apply")):
         seed_v = result["seed_path"][key]
         fused_v = result["fused_path"][key]
         ratio = seed_v / fused_v if fused_v else float("inf")
-        lines.append(f"{label:<14}{seed_v:>10.3f}ms{fused_v:>10.3f}ms{ratio:>9.2f}x")
+        flag = "  << REGRESSION" if key in regressions else ""
+        lines.append(f"{label:<14}{seed_v:>10.3f}ms{fused_v:>10.3f}ms{ratio:>9.2f}x{flag}")
     return "\n".join(lines)

@@ -147,10 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench-pipeline",
                            help="time the fused gradient pipeline against the seed path")
-    # The harness times the classification iteration loop.
-    bench.add_argument("--model", default="fnn3",
-                       choices=[name for name in list_models()
-                                if get_model_spec(name, "tiny").task == "classification"])
+    bench.add_argument("--model", default="fnn3", choices=list_models())
     bench.add_argument("--algorithm", default="a2sgd", choices=list_compressors())
     bench.add_argument("--workers", type=int, default=8)
     bench.add_argument("--iterations", type=int, default=60)

@@ -125,7 +125,12 @@ class InProcessWorld:
 
     def allgather(self, buffers: Sequence[np.ndarray],
                   logical_bytes: Optional[float] = None) -> List[List[np.ndarray]]:
-        """Allgather; rank ``r``'s result is the full list of contributions."""
+        """Allgather; rank ``r``'s result is the full list of contributions.
+
+        Every rank receives read-only views of one shared staging buffer per
+        contribution (one copy per contributor, not per rank) — the fused
+        exchange path and the seed loop both route through this.
+        """
         self._check(buffers)
         results, trace = _allgather(buffers)
         self._record(trace, logical_bytes)
@@ -133,7 +138,8 @@ class InProcessWorld:
 
     def broadcast(self, buffers: Sequence[np.ndarray], root: int = 0,
                   logical_bytes: Optional[float] = None) -> List[np.ndarray]:
-        """Broadcast rank ``root``'s buffer to every rank."""
+        """Broadcast rank ``root``'s buffer to every rank (one shared
+        read-only staging copy, not one copy per rank)."""
         self._check(buffers)
         results, trace = _broadcast(buffers, root=root)
         self._record(trace, logical_bytes)

@@ -64,27 +64,26 @@ class A2SGDCompressor(Compressor):
                         positive_mask: Optional[np.ndarray] = None) -> Tuple[float, float]:
         """Absolute means of the non-negative and negative entries (µ_+, µ_-).
 
-        Computed from the sign mask and two streaming reductions (total sum
-        and masked positive sum) — no ``np.abs`` temporary and no boolean
-        gathers, which is the "no complex sampling or sorting" property §3
-        highlights.  ``compress`` passes its already-computed sign mask so the
-        mask is built exactly once per gradient.
+        Computed from the sign mask and two masked BLAS dots — no ``np.abs``
+        temporary and no boolean gathers, which is the "no complex sampling or
+        sorting" property §3 highlights.  ``compress`` passes its
+        already-computed sign mask so the mask is built exactly once per
+        gradient.  Each side is summed *directly* against its own 0/1 mask:
+        deriving the negative sum as ``positive_sum - total`` looks cheaper
+        but cancels catastrophically when one side dominates, inflating µ_-
+        past ``max |g|``.
         """
         gradient = np.asarray(gradient)
         if positive_mask is None:
             positive_mask = gradient >= 0
-        total = float(gradient.sum(dtype=np.float64))
-        # The positive-side sum is a BLAS dot against the 0/1 mask — faster
-        # than a masked reduction and without the |g| temporary the seed
-        # materialized.
         positive_sum = float(np.dot(gradient, positive_mask.astype(gradient.dtype)))
-        negative_sum = positive_sum - total
+        negative_sum = -float(np.dot(gradient, (~positive_mask).astype(gradient.dtype)))
         positive_count = int(np.count_nonzero(positive_mask))
         negative_count = gradient.size - positive_count
         mu_plus = positive_sum / positive_count if positive_count else 0.0
         mu_minus = negative_sum / negative_count if negative_count else 0.0
-        # Guard against tiny negative values produced by floating-point
-        # cancellation when one side is (nearly) empty.
+        # Guard against tiny negative values from rounding when one side is
+        # (nearly) empty.
         return max(0.0, mu_plus), max(0.0, mu_minus)
 
     @staticmethod
@@ -146,21 +145,28 @@ class A2SGDCompressor(Compressor):
         masks = G >= 0
 
         if reference.two_means:
-            totals = G.sum(axis=1, dtype=np.float64)
-            # Same per-row BLAS dot as two_level_means so the batched means
-            # are bit-identical to the looped path.
+            # Same per-row masked BLAS dots as two_level_means so the batched
+            # means are bit-identical to the looped path.
             masks_f32 = masks.astype(np.float32)
+            inverse_f32 = (~masks).astype(np.float32)
             positive_sums = np.array([float(np.dot(G[p], masks_f32[p]))
                                       for p in range(P)])
-            negative_sums = positive_sums - totals
+            negative_sums = np.array([-float(np.dot(G[p], inverse_f32[p]))
+                                      for p in range(P)])
             positive_counts = np.count_nonzero(masks, axis=1)
             negative_counts = n - positive_counts
             mu_plus = np.maximum(0.0, np.where(
                 positive_counts > 0, positive_sums / np.maximum(positive_counts, 1), 0.0))
             mu_minus = np.maximum(0.0, np.where(
                 negative_counts > 0, negative_sums / np.maximum(negative_counts, 1), 0.0))
-            encoded = np.where(masks, mu_plus[:, None].astype(np.float32),
-                               (-mu_minus[:, None]).astype(np.float32))
+            # Row-wise scalar selects: np.where with broadcast (P, 1) operands
+            # is an order of magnitude slower than a scalar-operand where per
+            # row, and the scalar form is exactly what the looped compress
+            # runs — same bits, minus the broadcasting machinery.
+            encoded = np.empty((P, n), dtype=np.float32)
+            for p in range(P):
+                encoded[p] = np.where(masks[p], np.float32(mu_plus[p]),
+                                      np.float32(-mu_minus[p]))
             means = np.stack([mu_plus, mu_minus], axis=1)           # (P, 2) float64
         else:
             mu = G.mean(axis=1).astype(np.float64)
@@ -195,10 +201,13 @@ class A2SGDCompressor(Compressor):
         # float32 selection is bit-identical to the looped float64 select +
         # astype: the cast commutes with picking, and float32(-µ) == -float32(µ).
         means32 = global_means.astype(np.float32)
+        reconstructed = np.empty(masks.shape, dtype=np.float32)
         if reference.two_means:
-            reconstructed = np.where(masks, means32[:, 0:1], -means32[:, 1:2])
+            # Row-wise scalar selects for the same reason as compress_batch.
+            for p in range(masks.shape[0]):
+                reconstructed[p] = np.where(masks[p], means32[p, 0], -means32[p, 1])
         else:
-            reconstructed = np.broadcast_to(means32[:, 0:1], masks.shape).copy()
+            reconstructed[...] = means32[:, 0:1]
         reconstructed += cls._stack_rows([ctx["error"] for ctx in contexts])
         return reconstructed
 

@@ -216,15 +216,18 @@ class Compressor:
     @staticmethod
     def _record_batch(compressors: Sequence["Compressor"], wire_bits: float,
                       originals: np.ndarray, transmitted: np.ndarray) -> None:
-        """Vectorized statistics for a batched compress: the row norms are
-        computed with two matrix reductions instead of 2·P norm calls."""
-        difference = originals - transmitted
-        errors = np.sqrt(np.einsum("ij,ij->i", difference, difference,
-                                   dtype=np.float64))
-        denominators = np.sqrt(np.einsum("ij,ij->i", originals, originals,
-                                         dtype=np.float64))
-        for compressor, error, denominator in zip(compressors, errors, denominators):
-            compressor.stats.record(wire_bits, float(error) / (float(denominator) or 1.0))
+        """Per-rank statistics for a batched compress.
+
+        Row-wise BLAS norms, exactly as the looped ``_record`` computes them —
+        bit-identical stats, and faster than the float64 matrix ``einsum``
+        reductions this used before (those upcast every element and turned the
+        stats pass into a measurable fraction of ``exchange_ms`` on larger
+        models).
+        """
+        for compressor, original, estimate in zip(compressors, originals, transmitted):
+            denom = float(np.linalg.norm(original)) or 1.0
+            error = float(np.linalg.norm(original - estimate)) / denom
+            compressor.stats.record(wire_bits, error)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r}, exchange={self.exchange.value})"

@@ -14,16 +14,29 @@ the world's flat ``(P, n)`` parameter matrix (:class:`WorldFlatBuffers`), and
 the backward pass writes layer gradients straight into the flat ``(P, n)``
 gradient matrix the compressors consume.  No flatten/unflatten step exists.
 
-The executor handles the ``Linear``/``ReLU`` sandwich used by the FNN models
-(hand-derived backward, identical math to the autograd closures: softmax
-cross-entropy ``(p - 1[y])/B``, ReLU masking, ``dW = dZᵀX``, ``db = Σ dZ``,
-``dX = dZ W``).  Models with other layers (conv, recurrent, dropout) fall
-back to the per-replica autograd loop — still through the flat buffers.
+:class:`BatchedReplicaExecutor` handles the ``Linear``/``ReLU`` sandwich used
+by the FNN models (hand-derived backward, identical math to the autograd
+closures: softmax cross-entropy ``(p - 1[y])/B``, ReLU masking,
+``dW = dZᵀX``, ``db = Σ dZ``, ``dX = dZ W``).
+
+Recurrent and convolutional stacks run through the *generic* batched
+executors instead: :class:`ReplicaStack` exposes each parameter of the world
+as one stacked ``(P, *shape)`` autograd tensor (data = strided view of the
+flat ``(P, n)`` parameter matrix, gradient pinned to the matching view of the
+gradient matrix), and the models' ``forward_batched`` mirrors evaluate all
+replicas in one graph whose per-replica slices perform exactly the seed
+arithmetic — so LSTM/conv gradients are bit-identical to the per-replica
+autograd loop while paying one Python graph instead of ``P``.
+:class:`BatchedAutogradExecutor` covers classifiers (ResNet, VGG, and any
+model exposing ``forward_batched``), :class:`BatchedLanguageModelExecutor`
+covers the LSTM language model with stacked truncated-BPTT state.  Models
+with unsupported layers (e.g. active dropout) fall back to the per-replica
+autograd loop — still through the flat buffers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +44,8 @@ from repro.core.flat_buffer import WorldFlatBuffers
 from repro.nn.activations import ReLU
 from repro.nn.container import Sequential
 from repro.nn.linear import Linear
-from repro.nn.module import Module
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
 
 
 def _linear_relu_stack(model: Module) -> Optional[List[Tuple[str, Optional[Linear]]]]:
@@ -152,3 +166,203 @@ class BatchedReplicaExecutor:
         for buffers in self.world.replica_buffers:
             buffers.attach_grads()
         return [float(value) for value in losses]
+
+
+class ReplicaStack:
+    """Stacked ``(P, *shape)`` autograd views over a world's parameters.
+
+    For parameter ``i`` of the shared layout, :meth:`tensor` returns one
+    :class:`~repro.tensor.Tensor` whose data is the strided
+    ``(P, *shape)`` view of the world's flat parameter matrix and whose
+    gradient is pinned to the matching view of the gradient matrix — so a
+    single batched autograd pass reads live parameters and writes gradients
+    for every replica with zero copies.  :meth:`siblings` resolves a module of
+    replica 0 to the corresponding module on every replica (needed by layers
+    with per-replica buffers, e.g. BatchNorm running statistics).
+    """
+
+    def __init__(self, replicas: Sequence[Module], world: WorldFlatBuffers):
+        if len(replicas) != world.world_size:
+            raise ValueError(f"{len(replicas)} replicas for world size {world.world_size}")
+        self.world = world
+        self.replicas = list(replicas)
+        self._index_of: Dict[int, int] = {
+            id(p): i for i, p in enumerate(world.replica_buffers[0].parameters)}
+        self._tensors: Dict[int, Tensor] = {}
+        self._reshaped: Dict[Tuple[int, Tuple[int, ...]], Tensor] = {}
+        module_rows = [list(replica.modules()) for replica in replicas]
+        if len({len(row) for row in module_rows}) != 1:
+            raise ValueError("replicas do not share one module structure")
+        self._siblings: Dict[int, Tuple[Module, ...]] = {
+            id(group[0]): group for group in zip(*module_rows)}
+
+    @property
+    def world_size(self) -> int:
+        return self.world.world_size
+
+    def tensor(self, param: Parameter) -> Tensor:
+        """The stacked ``(P, *shape)`` tensor for a replica-0 parameter."""
+        index = self._index_of[id(param)]
+        stacked = self._tensors.get(index)
+        if stacked is None:
+            stacked = Tensor(self.world.stacked_param_view(index), requires_grad=True)
+            stacked.pin_grad(self.world.stacked_grad_view(index))
+            self._tensors[index] = stacked
+        return stacked
+
+    def reshaped(self, param: Parameter, *shape: int) -> Tensor:
+        """A cached reshape of :meth:`tensor` (e.g. a broadcastable bias row).
+
+        Caching matters for more than speed: when a parameter is used many
+        times in one graph (an LSTM bias across BPTT steps), the seed graph
+        accumulates its gradient *inside each consumer's backward closure* —
+        the parameter is a direct leaf parent.  A fresh reshape node per use
+        would defer those accumulations to the reshape closures, which occupy
+        different topological positions, changing the floating-point
+        summation order.  One shared reshape node acts as a proxy leaf that
+        accumulates in consumer-closure order — exactly the seed's order —
+        keeping batched gradients bit-identical.
+        """
+        key = (id(param), shape)
+        node = self._reshaped.get(key)
+        if node is None:
+            node = self.tensor(param).reshape(*shape)
+            self._reshaped[key] = node
+        return node
+
+    def siblings(self, module: Module) -> Tuple[Module, ...]:
+        """The corresponding module on every replica (replica order)."""
+        return self._siblings[id(module)]
+
+    def begin_iteration(self) -> None:
+        """Reset the stacked gradients so the first accumulation overwrites
+        the pinned views (no O(P·n) memset needed)."""
+        for stacked in self._tensors.values():
+            stacked.grad = None
+
+    def attach_grads(self) -> None:
+        """Expose the flat gradient storage through every ``param.grad``."""
+        for buffers in self.world.replica_buffers:
+            buffers.attach_grads()
+
+
+def supports_batched_forward(model: Module) -> bool:
+    """Whether every module in the tree provides a ``forward_batched`` mirror.
+
+    Layers without one (e.g. active :class:`~repro.nn.Dropout`, whose
+    per-replica mask generators a batched pass cannot reproduce in order)
+    force the trainer back to the per-replica autograd loop.
+    """
+    return all(hasattr(type(module), "forward_batched") for module in model.modules())
+
+
+class BatchedAutogradExecutor:
+    """One fused autograd pass for ``P`` replicas of any batchable classifier.
+
+    Complements :class:`BatchedReplicaExecutor` (the hand-derived MLP fast
+    path): the model's ``forward_batched`` mirror builds a single graph over
+    the stacked ``(P, N, ...)`` batch with :class:`ReplicaStack` parameter
+    views, and one backward pass writes every replica's gradients into the
+    flat ``(P, n)`` matrix — bit-identical to ``P`` independent autograd
+    passes, at a fraction of the Python graph overhead.
+    """
+
+    def __init__(self, replicas: Sequence[Module], world: WorldFlatBuffers):
+        if not supports_batched_forward(replicas[0]):
+            raise ValueError(f"{type(replicas[0]).__name__} has layers without a "
+                             "batched forward; use the per-replica loop")
+        self.stack = ReplicaStack(replicas, world)
+        self.model = replicas[0]
+        self.world = world
+
+    @staticmethod
+    def supports(model: Module) -> bool:
+        """Whether the generic batched executor can run the model."""
+        return supports_batched_forward(model)
+
+    def forward_backward(self, inputs: np.ndarray, targets: np.ndarray) -> List[float]:
+        """Cross-entropy forward + backward for every replica at once.
+
+        Same contract as :meth:`BatchedReplicaExecutor.forward_backward`:
+        stacked inputs ``(P, B, ...)`` and integer targets ``(P, B)`` in,
+        per-replica mean losses out, gradients written into the world's flat
+        gradient matrix.
+        """
+        P = self.stack.world_size
+        inputs = np.asarray(inputs, dtype=np.float32)
+        if inputs.shape[0] != P:
+            raise ValueError(f"expected {P} replica batches, got {inputs.shape[0]}")
+        self.stack.begin_iteration()
+        logits = self.model.forward_batched(Tensor(inputs), self.stack)
+        loss = F.cross_entropy_batched(logits, np.asarray(targets))
+        loss.backward(np.ones(P, dtype=np.float32))
+        self.stack.attach_grads()
+        return [float(value) for value in loss.data]
+
+
+class BatchedLanguageModelExecutor:
+    """Fused truncated-BPTT pass for ``P`` replicas of a language model.
+
+    Threads one *stacked* LSTM state (``(P, N, H)`` tensors per layer)
+    between windows instead of ``P`` per-replica states; gradients land in
+    the flat ``(P, n)`` matrix exactly as the classification executors'.
+    """
+
+    def __init__(self, replicas: Sequence[Module], world: WorldFlatBuffers):
+        model = replicas[0]
+        if not self.supports(model):
+            raise ValueError(f"{type(model).__name__} has layers without a "
+                             "batched forward; use the per-replica loop")
+        self.stack = ReplicaStack(replicas, world)
+        self.model = model
+        self.world = world
+
+    @staticmethod
+    def supports(model: Module) -> bool:
+        """Batched LM execution needs a state-threading ``forward_batched``."""
+        return (supports_batched_forward(model)
+                and hasattr(type(model), "detach_state"))
+
+    def forward_backward(self, tokens: np.ndarray, targets: np.ndarray,
+                         state) -> Tuple[List[float], object]:
+        """One BPTT window for every replica at once.
+
+        ``tokens``/``targets`` are stacked ``(P, T, N)`` integer batches;
+        ``state`` is ``None`` at an epoch start or whatever the previous call
+        returned.  Returns the per-replica mean losses and the detached
+        stacked state for the next window.
+        """
+        P = self.stack.world_size
+        tokens = np.asarray(tokens)
+        if tokens.shape[0] != P:
+            raise ValueError(f"expected {P} replica batches, got {tokens.shape[0]}")
+        self.stack.begin_iteration()
+        logits, new_state = self.model.forward_batched(tokens, state, self.stack)
+        targets = np.asarray(targets).reshape(P, -1)
+        loss = F.cross_entropy_batched(logits, targets)
+        loss.backward(np.ones(P, dtype=np.float32))
+        self.stack.attach_grads()
+        return ([float(value) for value in loss.data],
+                self.model.detach_state(new_state))
+
+
+def build_replica_executor(replicas: Sequence[Module], world: WorldFlatBuffers,
+                           task: str):
+    """Pick the fastest batched executor the model supports, else ``None``.
+
+    Classification MLPs get the hand-derived :class:`BatchedReplicaExecutor`;
+    other classifiers with full ``forward_batched`` coverage get the generic
+    :class:`BatchedAutogradExecutor`; language models get
+    :class:`BatchedLanguageModelExecutor`.  ``None`` means the trainer should
+    run the per-replica autograd loop (still through the flat buffers).
+    """
+    model = replicas[0]
+    if task == "classification":
+        if BatchedReplicaExecutor.supports(model):
+            return BatchedReplicaExecutor(replicas, world)
+        if BatchedAutogradExecutor.supports(model):
+            return BatchedAutogradExecutor(replicas, world)
+    elif task == "language_model":
+        if BatchedLanguageModelExecutor.supports(model):
+            return BatchedLanguageModelExecutor(replicas, world)
+    return None

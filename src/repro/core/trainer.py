@@ -37,7 +37,11 @@ import numpy as np
 from repro.comm.inprocess import InProcessWorld
 from repro.comm.network_model import NetworkModel
 from repro.compress.registry import get_compressor
-from repro.core.batched_replicas import BatchedReplicaExecutor
+from repro.core.batched_replicas import (
+    BatchedLanguageModelExecutor,
+    BatchedReplicaExecutor,
+    build_replica_executor,
+)
 from repro.core.callbacks import (
     Callback,
     CallbackList,
@@ -101,10 +105,11 @@ class TrainerConfig:
     #: Evaluate every k epochs (always evaluates on the last epoch).
     eval_every: int = 1
     #: Use the zero-copy fused pipeline: flat (P, n) gradient/parameter
-    #: buffers, batched compressor kernels and whole-buffer optimizer steps
-    #: (plus the batched replica executor for MLP models).  False runs the
-    #: seed's per-rank loops — kept for A/B benchmarking and as the reference
-    #: semantics the fused path is tested against.
+    #: buffers, batched compressor kernels and whole-buffer optimizer steps,
+    #: plus a batched replica executor (hand-derived for MLPs, stacked-graph
+    #: autograd for conv/recurrent models).  False runs the seed's per-rank
+    #: loops — kept for A/B benchmarking and as the reference semantics the
+    #: fused path is tested against.
     fused_pipeline: bool = True
 
 
@@ -151,7 +156,7 @@ class DistributedTrainer:
         # gradients flow backward pass → compressor → optimizer with no
         # flatten/unflatten copies and one batched kernel call per stage.
         self.flat_world: Optional[WorldFlatBuffers] = None
-        self.executor: Optional[BatchedReplicaExecutor] = None
+        self.executor = None
         if config.fused_pipeline:
             self.flat_world = WorldFlatBuffers(self.replicas)
             self._velocity_matrix = np.zeros_like(self.flat_world.param_matrix)
@@ -159,11 +164,15 @@ class DistributedTrainer:
             for rank, optimizer in enumerate(self.optimizers):
                 optimizer.bind_flat(self.flat_world.replica_buffers[rank],
                                     velocity_store=self._velocity_matrix[rank])
-            if (self.spec.task == "classification"
-                    and BatchedReplicaExecutor.supports(self.replicas[0])):
-                self.executor = BatchedReplicaExecutor(self.replicas, self.flat_world)
+            self.executor = build_replica_executor(self.replicas, self.flat_world,
+                                                   self.spec.task)
 
         self._setup_data()
+        # The stacked LM executor needs every rank to contribute equally-shaped
+        # windows; uneven shards (batch not divisible by P) use the loop.
+        if (isinstance(self.executor, BatchedLanguageModelExecutor)
+                and len({shard.batch_size for shard in self.lm_shards}) != 1):
+            self.executor = None
         self.metrics = TrainingMetrics(metric_name=self.spec.metric)
         self.timeline = IterationTimeline()
         self._global_iteration = 0
@@ -276,9 +285,15 @@ class DistributedTrainer:
                 losses.append(loss.item())
         return world.grad_matrix, float(np.mean(losses))
 
-    def _language_model_gradients_fused(self, batches: Sequence, states: List
-                                        ) -> tuple[np.ndarray, float, List]:
+    def _language_model_gradients_fused(self, batches: Sequence, states
+                                        ) -> tuple[np.ndarray, float, object]:
         world = self.flat_world
+        if self.executor is not None:
+            # Batched BPTT: one graph for all replicas, stacked carried state.
+            tokens = np.stack([batch[0] for batch in batches])
+            targets = np.stack([batch[1] for batch in batches])
+            losses, new_state = self.executor.forward_backward(tokens, targets, states)
+            return world.grad_matrix, float(np.mean(losses)), new_state
         world.zero_grads()
         losses: List[float] = []
         new_states: List = []
@@ -392,7 +407,10 @@ class DistributedTrainer:
             state.epoch = epoch
             self.callbacks.on_epoch_start(state)
             iterators = [shard.batches() for shard in self.lm_shards]
-            states: List = [None] * self.config.world_size
+            # The batched executor threads one stacked state; the per-replica
+            # paths thread one state per rank.
+            states = None if self.executor is not None \
+                else [None] * self.config.world_size
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 progress = self._begin_iteration(state, epoch, iteration)

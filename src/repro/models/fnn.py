@@ -56,3 +56,15 @@ class FNN3(nn.Module):
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         return self.net(x)
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Classify stacked replica batches ``(P, N, ...)`` through autograd.
+
+        The trainer prefers the hand-derived
+        :class:`~repro.core.batched_replicas.BatchedReplicaExecutor` for MLPs;
+        this mirror keeps FNN models runnable under the generic batched
+        executor as well (e.g. inside larger compositions).
+        """
+        if x.ndim > 3:
+            x = x.reshape(x.shape[0], x.shape[1], -1)
+        return self.net.forward_batched(x, stack)

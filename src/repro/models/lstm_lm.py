@@ -70,6 +70,29 @@ class LSTMLanguageModel(nn.Module):
         logits = self.decoder(flat)                            # (T*N, V)
         return logits, state
 
+    def forward_batched(self, tokens: np.ndarray,
+                        state: Optional[List[Tuple[Tensor, Tensor]]], stack
+                        ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Score next-token logits for all replicas at once.
+
+        ``tokens`` is the stacked per-replica batch ``(P, T, N)``; parameters
+        come from ``stack``'s ``(P, ...)`` views of the world's flat buffers.
+        Returns logits ``(P, T*N, V)`` and the stacked LSTM state — each
+        replica slice bit-identical to :meth:`forward` on that replica.
+        Dropout models fall back to the per-replica loop (masks are drawn from
+        per-replica generators whose order a batched pass cannot reproduce).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 3:
+            raise ValueError("stacked tokens must have shape (world_size, seq_len, batch)")
+        if self.dropout is not None:
+            raise ValueError("batched forward does not support dropout")
+        embedded = self.embedding.forward_batched(tokens, stack)    # (P, T, N, D)
+        output, state = self.lstm.forward_batched(embedded, state, stack)
+        flat = output.reshape(output.shape[0], -1, self.hidden_size)  # (P, T*N, H)
+        logits = self.decoder.forward_batched(flat, stack)            # (P, T*N, V)
+        return logits, state
+
     def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:
         """Detach the carried state between truncated-BPTT windows."""
         return self.lstm.detach_state(state)

@@ -54,6 +54,16 @@ class BasicBlock(nn.Module):
             identity = self.shortcut_bn(self.shortcut(x))
         return (out + identity).relu()
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Residual block over a stacked ``(P, N, C, H, W)`` replica batch."""
+        out = self.bn1.forward_batched(self.conv1.forward_batched(x, stack), stack).relu()
+        out = self.bn2.forward_batched(self.conv2.forward_batched(out, stack), stack)
+        identity = x
+        if self.shortcut is not None:
+            identity = self.shortcut_bn.forward_batched(
+                self.shortcut.forward_batched(x, stack), stack)
+        return (out + identity).relu()
+
 
 class ResNet(nn.Module):
     """CIFAR-style ResNet of depth ``6 * blocks_per_stage + 2``.
@@ -105,6 +115,20 @@ class ResNet(nn.Module):
         out = self.stage3(out)
         out = self.pool(out)
         return self.fc(out)
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Classify all replicas' batches at once (``x`` is ``(P, N, C, H, W)``).
+
+        Mirrors :meth:`forward` layer for layer with the batched module
+        kernels, writing gradients straight into the world's flat buffers via
+        ``stack``'s pinned parameter views.
+        """
+        out = self.bn1.forward_batched(self.conv1.forward_batched(x, stack), stack).relu()
+        out = self.stage1.forward_batched(out, stack)
+        out = self.stage2.forward_batched(out, stack)
+        out = self.stage3.forward_batched(out, stack)
+        out = self.pool.forward_batched(out, stack)
+        return self.fc.forward_batched(out, stack)
 
 
 def ResNet20(num_classes: int = 10, in_channels: int = 3, seed: int = 0) -> ResNet:

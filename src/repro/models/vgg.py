@@ -77,3 +77,9 @@ class VGG16(nn.Module):
         out = self.features(x)
         out = self.pool(out)
         return self.classifier(out)
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Classify all replicas' batches at once (``x`` is ``(P, N, C, H, W)``)."""
+        out = self.features.forward_batched(x, stack)
+        out = self.pool.forward_batched(out, stack)
+        return self.classifier.forward_batched(out, stack)

@@ -12,6 +12,10 @@ class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Elementwise, so the stacked replica batch needs no special handling."""
+        return x.relu()
+
 
 class Tanh(Module):
     """Hyperbolic tangent."""
@@ -19,9 +23,15 @@ class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        return x.tanh()
+
 
 class Sigmoid(Module):
     """Logistic sigmoid."""
 
     def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
         return x.sigmoid()

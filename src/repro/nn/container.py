@@ -34,3 +34,9 @@ class Sequential(Module):
         for module in self._ordered:
             x = module(x)
         return x
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Chain the members' batched forwards over the stacked replica batch."""
+        for module in self._ordered:
+            x = module.forward_batched(x, stack)
+        return x

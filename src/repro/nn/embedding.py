@@ -33,5 +33,10 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         return F.embedding(indices, self.weight)
 
+    def forward_batched(self, indices: np.ndarray, stack) -> Tensor:
+        """Look all replicas' tokens up at once: ``(P, ...)`` indices against
+        the stacked ``(P, V, D)`` tables (bit-identical per replica)."""
+        return F.embedding_batched(indices, stack.tensor(self.weight))
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

@@ -11,3 +11,7 @@ class Flatten(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x.reshape(x.shape[0], -1)
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Keep the leading replica axis; collapse per-sample dimensions."""
+        return x.reshape(x.shape[0], x.shape[1], -1)

@@ -40,5 +40,19 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Affine map of all replicas at once: ``(P, N, in) -> (P, N, out)``.
+
+        ``stack`` (a :class:`~repro.core.batched_replicas.ReplicaStack`)
+        resolves this layer's parameters to their stacked ``(P, *shape)``
+        autograd tensors; one stacked GEMM replaces the per-replica loop with
+        bit-identical arithmetic.
+        """
+        weight = stack.tensor(self.weight)
+        out = x.matmul(weight.transpose((0, 2, 1)))
+        if self.bias is not None:
+            out = out + stack.reshaped(self.bias, x.shape[0], 1, self.out_features)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Linear({self.in_features}, {self.out_features})"

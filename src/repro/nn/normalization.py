@@ -44,6 +44,31 @@ class BatchNorm1d(_BatchNormBase):
         x_hat = (x - mean) / (var + self.eps).sqrt()
         return x_hat * self.weight.reshape(1, -1) + self.bias.reshape(1, -1)
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Normalize a stacked ``(P, N, C)`` replica batch per replica.
+
+        Batch statistics stay per replica (axis 1 only), and each replica's
+        own running buffers are updated with its slice's statistics, exactly
+        as the per-replica loop does.
+        """
+        P = x.shape[0]
+        if self.training:
+            mean = x.mean(axis=1, keepdims=True)
+            var = x.var(axis=1, keepdims=True)
+            for sibling, m_row, v_row in zip(stack.siblings(self),
+                                             mean.data.reshape(P, -1),
+                                             var.data.reshape(P, -1)):
+                sibling._update_running(m_row, v_row)
+        else:
+            siblings = stack.siblings(self)
+            mean = Tensor(np.stack([s._buffers["running_mean"] for s in siblings])
+                          .reshape(P, 1, -1))
+            var = Tensor(np.stack([s._buffers["running_var"] for s in siblings])
+                         .reshape(P, 1, -1))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        return (x_hat * stack.reshaped(self.weight, P, 1, self.num_features)
+                + stack.reshaped(self.bias, P, 1, self.num_features))
+
 
 class BatchNorm2d(_BatchNormBase):
     """Batch normalization over an (N, C, H, W) tensor, per channel."""
@@ -60,7 +85,38 @@ class BatchNorm2d(_BatchNormBase):
         return (x_hat * self.weight.reshape(1, -1, 1, 1)
                 + self.bias.reshape(1, -1, 1, 1))
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Normalize a stacked ``(P, N, C, H, W)`` replica batch per replica.
+
+        The reduction axes exclude the leading replica axis, so each replica
+        sees exactly its own batch statistics; running buffers are updated on
+        every replica's module (``stack.siblings``) with its own slice —
+        bit-identical to running :meth:`forward` replica by replica.
+        """
+        P = x.shape[0]
+        if self.training:
+            mean = x.mean(axis=(1, 3, 4), keepdims=True)
+            var = self._channel_var_batched(x, mean)
+            for sibling, m_row, v_row in zip(stack.siblings(self),
+                                             mean.data.reshape(P, -1),
+                                             var.data.reshape(P, -1)):
+                sibling._update_running(m_row, v_row)
+        else:
+            siblings = stack.siblings(self)
+            mean = Tensor(np.stack([s._buffers["running_mean"] for s in siblings])
+                          .reshape(P, 1, -1, 1, 1))
+            var = Tensor(np.stack([s._buffers["running_var"] for s in siblings])
+                         .reshape(P, 1, -1, 1, 1))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        return (x_hat * stack.reshaped(self.weight, P, 1, self.num_features, 1, 1)
+                + stack.reshaped(self.bias, P, 1, self.num_features, 1, 1))
+
     @staticmethod
     def _channel_var(x: Tensor, mean: Tensor) -> Tensor:
         centered = x - mean
         return (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+
+    @staticmethod
+    def _channel_var_batched(x: Tensor, mean: Tensor) -> Tensor:
+        centered = x - mean
+        return (centered * centered).mean(axis=(1, 3, 4), keepdims=True)

@@ -19,6 +19,10 @@ class MaxPool2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(x, self.kernel_size, self.stride)
 
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Pool a stacked ``(P, N, C, H, W)`` replica batch."""
+        return F.max_pool2d_batched(x, self.kernel_size, self.stride)
+
 
 class AvgPool2d(Module):
     """Average pooling over square windows."""
@@ -36,3 +40,7 @@ class GlobalAvgPool2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.global_avg_pool2d(x)
+
+    def forward_batched(self, x: Tensor, stack) -> Tensor:
+        """Average ``(P, N, C, H, W)`` over the spatial axes → ``(P, N, C)``."""
+        return x.mean(axis=(3, 4))

@@ -47,9 +47,40 @@ class LSTMCell(Module):
         h_new = o_gate * c_new.tanh()
         return h_new, c_new
 
+    def forward_batched(self, x: Tensor, state: Tuple[Tensor, Tensor], stack
+                        ) -> Tuple[Tensor, Tensor]:
+        """One LSTM step for all replicas: ``(P, N, D)`` input, stacked weights.
+
+        Mirrors :meth:`forward` operation for operation with a leading replica
+        axis — the fused gate matmuls become stacked GEMMs against the
+        ``(P, 4H, D)``/``(P, 4H, H)`` weight views, so every replica slice is
+        bit-identical to stepping that replica's cell alone.
+        """
+        h_prev, c_prev = state
+        weight_ih = stack.tensor(self.weight_ih)
+        weight_hh = stack.tensor(self.weight_hh)
+        bias_ih = stack.reshaped(self.bias_ih, x.shape[0], 1, 4 * self.hidden_size)
+        bias_hh = stack.reshaped(self.bias_hh, x.shape[0], 1, 4 * self.hidden_size)
+        gates = (x.matmul(weight_ih.transpose((0, 2, 1))) + bias_ih
+                 + h_prev.matmul(weight_hh.transpose((0, 2, 1))) + bias_hh)
+        hs = self.hidden_size
+        i_gate = gates[:, :, 0 * hs:1 * hs].sigmoid()
+        f_gate = gates[:, :, 1 * hs:2 * hs].sigmoid()
+        g_gate = gates[:, :, 2 * hs:3 * hs].tanh()
+        o_gate = gates[:, :, 3 * hs:4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
         """Zero hidden and cell state for a batch."""
         zeros = np.zeros((batch_size, self.hidden_size), dtype=np.float32)
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+    def initial_state_batched(self, world_size: int, batch_size: int
+                              ) -> Tuple[Tensor, Tensor]:
+        """Zero state for all replicas at once: two ``(P, N, H)`` tensors."""
+        zeros = np.zeros((world_size, batch_size, self.hidden_size), dtype=np.float32)
         return Tensor(zeros.copy()), Tensor(zeros.copy())
 
 
@@ -93,6 +124,34 @@ class LSTM(Module):
                 layer_input = h
             outputs.append(layer_input)
         stacked = Tensor.stack(outputs, axis=0)
+        return stacked, states
+
+    def forward_batched(self, x: Tensor,
+                        state: Optional[List[Tuple[Tensor, Tensor]]], stack
+                        ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Multi-layer LSTM over a stacked ``(P, T, N, D)`` replica batch.
+
+        The time/layer loop structure of :meth:`forward` is preserved exactly
+        (same graph shape, same accumulation order into the weights during
+        BPTT); only the per-step ops gain the replica axis.  Returns the top
+        layer's hidden states ``(P, T, N, H)`` and the per-layer final states.
+        """
+        world_size, seq_len, batch, _ = x.shape
+        if state is None:
+            state = [cell.initial_state_batched(world_size, batch) for cell in self.cells]
+        if len(state) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} layer states, got {len(state)}")
+
+        outputs: List[Tensor] = []
+        states = list(state)
+        for t in range(seq_len):
+            layer_input = x[:, t]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell.forward_batched(layer_input, states[layer], stack)
+                states[layer] = (h, c)
+                layer_input = h
+            outputs.append(layer_input)
+        stacked = Tensor.stack(outputs, axis=1)
         return stacked, states
 
     def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:

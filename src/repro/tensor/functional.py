@@ -7,6 +7,13 @@ operations construct the autograd graph through the primitive ops defined on
 :class:`Tensor`, except convolution and pooling which provide hand-written
 backward closures for efficiency (one big GEMM instead of thousands of tiny
 ops).
+
+The ``*_batched`` variants evaluate all ``P`` replicas of a simulated world in
+one call: operands gain a leading replica axis (inputs ``(P, N, ...)``,
+parameters ``(P, *shape)`` — strided views of the world's flat buffers, see
+:mod:`repro.core.batched_replicas`) and every replica slice performs exactly
+the arithmetic of the unbatched op, keeping the fused pipeline bit-identical
+to the per-replica loop.
 """
 
 from __future__ import annotations
@@ -114,6 +121,65 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, *,
     return Tensor._make(out, parents, "conv2d", backward)
 
 
+def conv2d_batched(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, *,
+                   stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over ``P`` stacked replicas with per-replica filters.
+
+    The replica axis leads every operand: ``x`` is ``(P, N, C_in, H, W)``,
+    ``weight`` is ``(P, C_out, C_in, K, K)`` and ``bias`` is ``(P, C_out)``.
+    The image patches of all replicas are gathered with **one** im2col call
+    (the replica axis folds into the im2col batch), then one stacked GEMM per
+    direction replaces the ``P`` independent GEMMs of :func:`conv2d`.  Every
+    replica's slice performs exactly the arithmetic of the unbatched op, so
+    forward activations and parameter gradients are bit-identical to running
+    :func:`conv2d` replica by replica.
+    """
+    P, n, c_in, h, w = x.shape
+    P_w, c_out, c_in_w, kh, kw = weight.shape
+    if P != P_w:
+        raise ValueError(f"input has {P} replicas but weight has {P_w}")
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} do not match weight channels {c_in_w}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+
+    cols, cache = _im2col(x.data.reshape(P * n, c_in, h, w), kernel, stride, padding)
+    _, _, _, out_h, out_w, _ = cache
+    ckk = c_in * kernel * kernel
+    # (CKK, OH*OW, P, N) -> (P, CKK, OH*OW*N): replica p's block equals the
+    # exact column matrix the unbatched conv2d builds for that replica.
+    cols_p = np.ascontiguousarray(
+        cols.reshape(ckk, out_h * out_w, P, n).transpose(2, 0, 1, 3)
+    ).reshape(P, ckk, out_h * out_w * n)
+    w_mat = weight.data.reshape(P, c_out, ckk)
+    out = np.matmul(w_mat, cols_p)                         # (P, C_out, OH*OW*N)
+    out = (out.reshape(P, c_out, out_h * out_w, n).transpose(0, 3, 1, 2)
+              .reshape(P, n, c_out, out_h, out_w))
+    if bias is not None:
+        out = out + bias.data.reshape(P, 1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = (grad.reshape(P, n, c_out, out_h * out_w).transpose(0, 2, 3, 1)
+                        .reshape(P, c_out, -1))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(1, 3, 4)))
+        if weight.requires_grad:
+            weight._accumulate(np.matmul(grad_mat, cols_p.transpose(0, 2, 1))
+                               .reshape(weight.shape))
+        if x.requires_grad:
+            dcols = np.matmul(w_mat.transpose(0, 2, 1), grad_mat)   # (P, CKK, OHOW*N)
+            dcols = np.ascontiguousarray(
+                dcols.reshape(P, ckk, out_h * out_w, n).transpose(1, 2, 0, 3)
+            ).reshape(ckk, -1)
+            dx = _col2im(dcols, (P * n, c_in, h, w), kernel, stride, padding, cache)
+            x._accumulate(dx.reshape(P, n, c_in, h, w))
+
+    return Tensor._make(out, parents, "conv2d_batched", backward)
+
+
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) square windows."""
     stride = kernel if stride is None else stride
@@ -162,6 +228,60 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
         x._accumulate(dx.reshape(n, c, h, w))
 
     return Tensor._make(out, (x,), "max_pool2d", backward)
+
+
+def max_pool2d_batched(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over ``(P, N, C, H, W)`` stacked replica batches.
+
+    Pooling has no parameters, so the replica axis simply folds into the
+    window bookkeeping; each replica slice computes exactly what
+    :func:`max_pool2d` computes for it (same window maxima, same
+    first-max tie-breaking, same scatter in the backward pass).
+    """
+    stride = kernel if stride is None else stride
+    P, n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        reshaped = x.data.reshape(P, n, c, out_h, kernel, out_w, kernel)
+        out = reshaped.max(axis=(4, 6))
+        argmask = (reshaped == out[:, :, :, :, None, :, None])
+        window_major = argmask.transpose(0, 1, 2, 3, 5, 4, 6)     # (P,N,C,OH,OW,K,K)
+        flat = window_major.reshape(P, n, c, out_h, out_w, kernel * kernel)
+        first = np.zeros_like(flat)
+        idx = flat.argmax(axis=-1)
+        np.put_along_axis(first, idx[..., None], 1, axis=-1)
+        mask = (first.reshape(P, n, c, out_h, out_w, kernel, kernel)
+                     .transpose(0, 1, 2, 3, 5, 4, 6))             # back to (P,N,C,OH,K,OW,K)
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            g = grad[:, :, :, :, None, :, None] * mask
+            x._accumulate(g.reshape(P, n, c, h, w))
+
+        return Tensor._make(out, (x,), "max_pool2d_batched", backward)
+
+    # Strided / non-dividing windows: fold the replica axis into the im2col
+    # batch exactly as the unbatched slow path folds (N, C).
+    cols, cache = _im2col(x.data.reshape(P * n * c, 1, h, w), kernel, stride, 0)
+    cols = cols.reshape(kernel * kernel, -1)
+    arg = cols.argmax(axis=0)
+    out = cols[arg, np.arange(cols.shape[1])]
+    _, _, _, oh, ow, _ = cache
+    out = out.reshape(oh * ow, P * n * c).T.reshape(P, n, c, oh, ow)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dcols = np.zeros_like(cols)
+        gflat = grad.reshape(P * n * c, oh * ow).T.reshape(-1)
+        dcols[arg, np.arange(cols.shape[1])] = gflat
+        dx = _col2im(dcols, (P * n * c, 1, h, w), kernel, stride, 0, cache)
+        x._accumulate(dx.reshape(P, n, c, h, w))
+
+    return Tensor._make(out, (x,), "max_pool2d_batched", backward)
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -239,6 +359,39 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), "cross_entropy", backward)
 
 
+def cross_entropy_batched(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-replica mean cross-entropy over stacked ``(P, N, C)`` logits.
+
+    Returns the ``(P,)`` vector of replica losses; calling ``backward`` with a
+    gradient of ones reproduces, slice by slice, exactly the arithmetic of
+    :func:`cross_entropy` run on each replica separately (same shifted
+    softmax, same contiguous-axis mean, same ``(softmax - onehot)/N``
+    gradient), so the batched loss is bit-identical to the per-replica loop.
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    p, n, c = logits.shape
+    targets = targets.astype(np.int64).reshape(p, -1)
+    if targets.shape[1] != n:
+        raise ValueError(f"targets shape {targets.shape} does not match batch ({p}, {n})")
+
+    shifted = logits.data - logits.data.max(axis=2, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+    log_probs = shifted - logsumexp
+    replica_index = np.arange(p)[:, None]
+    batch_index = np.arange(n)[None, :]
+    loss_value = -log_probs[replica_index, batch_index, targets].mean(axis=1)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        probs[replica_index, batch_index, targets] -= 1.0
+        logits._accumulate(grad.reshape(p, 1, 1) * probs / n)
+
+    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,),
+                        "cross_entropy_batched", backward)
+
+
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
     """Mean negative log-likelihood given precomputed log-probabilities."""
     targets = np.asarray(targets).astype(np.int64).reshape(-1)
@@ -281,6 +434,35 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
         weight._accumulate(full)
 
     return Tensor._make(out, (weight,), "embedding", backward)
+
+
+def embedding_batched(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Per-replica row lookup into stacked ``(P, V, D)`` embedding tables.
+
+    ``indices`` carries the replica axis first, ``(P, ...)``; replica ``p``
+    looks its tokens up in table ``weight[p]``.  The scatter-add backward
+    touches disjoint table slabs per replica in the same visiting order as
+    :func:`embedding`, so gradients are bit-identical to the per-replica loop.
+    """
+    indices = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    indices = indices.astype(np.int64)
+    p, _, d = weight.shape
+    if indices.shape[0] != p:
+        raise ValueError(f"indices lead with {indices.shape[0]} replicas, table has {p}")
+    replica_index = np.arange(p).reshape((p,) + (1,) * (indices.ndim - 1))
+    out = weight.data[replica_index, indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        full = np.zeros(weight.shape, dtype=weight.data.dtype)
+        np.add.at(full,
+                  (np.broadcast_to(replica_index, indices.shape).reshape(-1),
+                   indices.reshape(-1)),
+                  grad.reshape(-1, d))
+        weight._accumulate(full)
+
+    return Tensor._make(out, (weight,), "embedding_batched", backward)
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:

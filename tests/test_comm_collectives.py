@@ -94,11 +94,51 @@ class TestAllgather:
             for original, received in zip(buffers, per_rank):
                 np.testing.assert_array_equal(original, received)
 
-    def test_results_are_copies(self, rng):
+    def test_results_cannot_corrupt_contributions(self, rng):
+        """Gathered payloads are staged read-only: a rank can neither mutate
+        another rank's view nor the original contribution through them."""
         buffers = make_buffers(rng, 2, n=5)
         gathered, _ = allgather(buffers)
-        gathered[0][0][...] = 99.0
+        with pytest.raises(ValueError):
+            gathered[0][0][...] = 99.0
         assert not np.allclose(buffers[0], 99.0)
+
+    def test_shared_staging_buffer_one_copy_per_contributor(self, rng):
+        """The seed gave each rank private copies (O(P²·n) memcopy); now every
+        rank holds views of the same staged array — one copy per contributor,
+        detached from the contributor's own buffer."""
+        buffers = make_buffers(rng, 4, n=16)
+        gathered, _ = allgather(buffers)
+        for contributor in range(4):
+            staged = gathered[0][contributor]
+            assert all(gathered[rank][contributor] is staged for rank in range(4))
+            assert not staged.flags.writeable
+            assert staged.base is None and staged is not buffers[contributor]
+        # Each rank's list is still private: reordering one must not leak.
+        gathered[0][0], gathered[0][1] = gathered[0][1], gathered[0][0]
+        assert gathered[1][0] is gathered[0][1]
+
+    def test_shared_staging_trace_matches_copy_semantics(self, rng):
+        """Byte accounting is a property of the modelled ring, not of how the
+        simulation moves memory — the trace must be unchanged by staging."""
+        buffers = make_buffers(rng, 4, n=10)
+        _, trace = allgather(buffers)
+        assert trace.kind == "allgather"
+        assert trace.world_size == 4
+        assert trace.rounds == 3
+        assert trace.message_bytes == pytest.approx(40.0)
+        assert trace.bytes_sent_per_rank == pytest.approx(3 * 40.0)
+
+    def test_mixed_dtypes_rejected_up_front(self, rng):
+        buffers = [rng.standard_normal(5).astype(np.float32),
+                   rng.standard_normal(5).astype(np.float64)]
+        with pytest.raises(ValueError, match="rank 1: float64"):
+            allgather(buffers)
+
+    def test_equal_dtypes_accepted(self, rng):
+        buffers = [rng.standard_normal(5).astype(np.float32) for _ in range(3)]
+        gathered, _ = allgather(buffers)
+        assert all(a.dtype == np.float32 for a in gathered[0])
 
     def test_variable_length_contributions(self, rng):
         buffers = [rng.standard_normal(5), rng.standard_normal(9)]
@@ -120,6 +160,15 @@ class TestBroadcastReduceScatter:
         for r in results:
             np.testing.assert_array_equal(r, buffers[2])
         assert trace.rounds == 2  # ceil(log2(4))
+
+    def test_broadcast_shares_one_read_only_staging_copy(self, rng):
+        buffers = make_buffers(rng, 4, n=8)
+        results, _ = broadcast(buffers, root=1)
+        assert all(r is results[0] for r in results)
+        assert not results[0].flags.writeable
+        assert results[0] is not buffers[1]
+        with pytest.raises(ValueError):
+            results[0][...] = 0.0
 
     def test_broadcast_bad_root(self, rng):
         with pytest.raises(ValueError):
