@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Byzantine-robust training: mean vs geometric-median aggregation.
+
+Eight workers train FNN-3 with dense gradient exchange, but two of them are
+Byzantine: every iteration they flip the sign of their local gradient
+(``sync.corrupt_ranks`` with the default ``sign_flip`` corruption), pushing
+the averaged update backwards.  The only thing that changes between the two
+runs below is the *aggregator* — the paper's elementwise mean against the
+Weiszfeld geometric median — exactly the swap Byzantine-robust systems like
+blades make.  The mean folds the poisoned gradients straight into every
+update; the geometric median treats each rank's contribution as one point
+and refuses to follow the two liars.
+
+Run with ``python examples/byzantine_robust.py``.
+"""
+
+from repro import ExperimentSpec, run_experiment
+
+WORLD_SIZE = 8
+CORRUPT_RANKS = [2, 5]          # two sign-flipping Byzantine workers
+
+
+def run(aggregator: str, corrupt: bool):
+    spec = ExperimentSpec(
+        model="fnn3", preset="tiny", algorithm="dense",
+        world_size=WORLD_SIZE, epochs=3, batch_size=16,
+        max_iterations_per_epoch=20, num_train=512, num_test=128,
+        sync={
+            "aggregator": aggregator,
+            "corrupt_ranks": CORRUPT_RANKS if corrupt else [],
+        },
+    )
+    return run_experiment(spec)
+
+
+def main() -> None:
+    clean = run("mean", corrupt=False)
+    poisoned_mean = run("mean", corrupt=True)
+    poisoned_median = run("geometric_median", corrupt=True)
+
+    print(f"fnn3/tiny, dense exchange, {WORLD_SIZE} workers, "
+          f"{len(CORRUPT_RANKS)} sign-flipping ranks {CORRUPT_RANKS}\n")
+    print(f"{'setup':44s} {'top-1 accuracy':>15s}")
+    print("-" * 60)
+    for label, result in [
+        ("no corruption, mean aggregation", clean),
+        ("corrupted, mean aggregation", poisoned_mean),
+        ("corrupted, geometric_median aggregation", poisoned_median),
+    ]:
+        print(f"{label:44s} {result.final_metric:14.2f}%")
+
+    recovered = poisoned_median.final_metric - poisoned_mean.final_metric
+    print(f"\nthe geometric median recovers {recovered:+.2f} accuracy points "
+          f"under attack\n(swapping one registry entry — no trainer changes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,10 @@ The package is organised as a stack of subsystems:
     Gradient compression algorithms: the paper's contribution (A2SGD) and the
     baselines it compares against (Dense, Top-K, Gaussian-K, QSGD) plus a few
     extensions (Rand-K, TernGrad, SignSGD).
+``repro.sync``
+    Pluggable synchronization: strategies (allreduce, local SGD, gossip),
+    aggregators (mean and Byzantine-robust trimmed mean / medians) and the
+    declarative ``SyncSpec`` that composes them with the comm topologies.
 ``repro.core``
     The distributed trainer, gradient synchronizer, metrics, cost model and
     experiment runner that tie everything together.
@@ -67,6 +71,14 @@ from repro.comm import (
     NetworkModel,
     infiniband_100gbps,
 )
+from repro.sync import (
+    AGGREGATORS,
+    SYNC_STRATEGIES,
+    Aggregator,
+    SyncSpec,
+    SyncStrategy,
+    get_aggregator,
+)
 
 __all__ = [
     "__version__",
@@ -103,4 +115,11 @@ __all__ = [
     "InProcessWorld",
     "NetworkModel",
     "infiniband_100gbps",
+    # synchronization
+    "SYNC_STRATEGIES",
+    "SyncStrategy",
+    "SyncSpec",
+    "AGGREGATORS",
+    "Aggregator",
+    "get_aggregator",
 ]

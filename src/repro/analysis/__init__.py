@@ -13,7 +13,7 @@ from repro.analysis.perf_pipeline import (
     write_benchmark_json,
 )
 from repro.analysis.scaling import scaling_efficiency_table, speedup_curve
-from repro.analysis.sweeps import convergence_sweep, cost_sweep
+from repro.analysis.sweeps import convergence_sweep, cost_sweep, synchronization_sweep
 from repro.analysis.reporting import (
     format_figure_series,
     format_table,
@@ -33,6 +33,7 @@ __all__ = [
     "speedup_curve",
     "convergence_sweep",
     "cost_sweep",
+    "synchronization_sweep",
     "format_benchmark",
     "run_pipeline_benchmark",
     "write_benchmark_json",

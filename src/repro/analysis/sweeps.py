@@ -28,16 +28,21 @@ def convergence_sweep(model: str, algorithms: Sequence[str] = DEFAULT_ALGORITHMS
                       world_sizes: Sequence[int] = (2, 4, 8), epochs: int = 3,
                       max_iterations_per_epoch: int = 12, seed: int = 0,
                       sparsifier_ratio: float = 0.05,
-                      base_lr: Optional[float] = None) -> Dict[str, Dict]:
+                      base_lr: Optional[float] = None,
+                      sync: Optional[dict] = None) -> Dict[str, Dict]:
     """Train ``model`` (tiny preset) for every (algorithm, world size) cell.
 
-    Returns ``{world_size: {algorithm: {"epochs": [...], "metric": [...],
-    "final": float, "wire_bits": float}}}`` (keys stringified for JSON).
+    ``sync`` optionally selects a synchronization setup for every cell
+    (``{"strategy": "local_sgd", "period": 4}``); None runs the paper's
+    allreduce + mean.  Returns ``{world_size: {algorithm: {"epochs": [...],
+    "metric": [...], "final": float, "wire_bits": float}}}`` (keys
+    stringified for JSON).
     """
     base = ExperimentSpec(
         model=model, preset="tiny", epochs=epochs, batch_size=16,
         max_iterations_per_epoch=max_iterations_per_epoch,
         num_train=384, num_test=96, seed=seed, base_lr=base_lr, seq_len=10,
+        sync=sync,
     )
     results: Dict[str, Dict] = {}
     for world_size in world_sizes:
@@ -57,6 +62,46 @@ def convergence_sweep(model: str, algorithms: Sequence[str] = DEFAULT_ALGORITHMS
                 "simulated_comm_s": float(result.timeline.communication_s),
             }
         results[str(world_size)] = row
+    return results
+
+
+DEFAULT_SYNC_SETUPS = {
+    "allreduce": {"strategy": "allreduce"},
+    "local_sgd_h4": {"strategy": "local_sgd", "period": 4},
+    "gossip_ring": {"strategy": "gossip", "topology": "ring"},
+}
+
+
+def synchronization_sweep(model: str = "fnn3", algorithm: str = "dense",
+                          world_size: int = 4, epochs: int = 3,
+                          sync_setups: Optional[Dict[str, dict]] = None,
+                          max_iterations_per_epoch: int = 12,
+                          seed: int = 0) -> Dict[str, Dict]:
+    """Train one (model, algorithm) cell under several synchronization setups.
+
+    ``sync_setups`` maps a label to a sync-section dict
+    (:class:`~repro.sync.SyncSpec` form); defaults compare the paper's
+    allreduce against local SGD (H=4) and ring gossip.  Returns
+    ``{label: {"epochs": [...], "metric": [...], "final": float,
+    "simulated_comm_s": float, "wire_bits": float}}``.
+    """
+    setups = sync_setups if sync_setups is not None else DEFAULT_SYNC_SETUPS
+    base = ExperimentSpec(
+        model=model, preset="tiny", algorithm=algorithm, world_size=world_size,
+        epochs=epochs, batch_size=16, max_iterations_per_epoch=max_iterations_per_epoch,
+        num_train=384, num_test=96, seed=seed, seq_len=10,
+    )
+    results: Dict[str, Dict] = {}
+    for label, sync in setups.items():
+        result = run_experiment(base.replace(sync=dict(sync)))
+        results[label] = {
+            "epochs": list(result.metrics.epochs),
+            "metric": [float(v) for v in result.metrics.metric],
+            "final": float(result.final_metric),
+            "metric_name": result.metric_name,
+            "wire_bits": float(result.wire_bits_per_iteration),
+            "simulated_comm_s": float(result.timeline.communication_s),
+        }
     return results
 
 

@@ -5,10 +5,15 @@ Commands
 ``info``
     List the registered models, compressors, datasets, callbacks and the
     Table-1 hyperparameters.
+``components``
+    List every component registry (models, compressors, datasets,
+    optimizers, LR schedules, networks, callbacks, sync strategies,
+    aggregators, topologies) with one-line descriptions.
 ``run``
     Train one configuration with the simulated distributed trainer — either
     from flags or from a declarative JSON spec (``--config spec.json``) —
-    and print its convergence curve.
+    and print its convergence curve.  ``--sync/--sync-period/--aggregator/
+    --topology`` select the synchronization setup (see ``repro components``).
 ``validate``
     Check an experiment spec file without running it; prints the resolved
     configuration or every problem found.
@@ -47,13 +52,19 @@ from repro.core.callbacks import CALLBACKS
 from repro.core.cost_model import CostModel
 from repro.core.experiment import run_experiment
 from repro.core.spec import ExperimentSpec, SpecError
+from repro.comm.network_model import NETWORKS
+from repro.comm.topology import TOPOLOGIES
+from repro.compress.registry import COMPRESSORS
 from repro.data.registry import DATASETS
 from repro.models.registry import (
+    MODELS,
     PAPER_HYPERPARAMETERS,
     PAPER_PARAMETER_COUNTS,
     get_model_spec,
     list_models,
 )
+from repro.optim.registry import LR_SCHEDULES, OPTIMIZERS
+from repro.sync import AGGREGATORS, SYNC_STRATEGIES, SyncSpec
 from repro.utils.serialization import save_json
 from repro.utils.timer import median_time
 
@@ -71,9 +82,42 @@ RUN_FLAG_FIELDS: Dict[str, str] = {
     "fused_pipeline": "fused_pipeline",
 }
 
+#: argparse dest -> SyncSpec field, merged into the spec's ``sync`` section.
+SYNC_FLAG_FIELDS: Dict[str, str] = {
+    "sync": "strategy",
+    "sync_period": "period",
+    "aggregator": "aggregator",
+    "topology": "topology",
+}
+
 #: Flag-mode baseline for ``repro run`` (historical CLI defaults; the
 #: remaining fields use the ExperimentSpec defaults).
 CLI_RUN_DEFAULTS: Dict[str, object] = {"max_iterations_per_epoch": 12, "batch_size": 16}
+
+#: Every component registry, as shown by ``repro components``.
+COMPONENT_REGISTRIES = {
+    "models": MODELS,
+    "compressors": COMPRESSORS,
+    "datasets": DATASETS,
+    "optimizers": OPTIMIZERS,
+    "lr-schedules": LR_SCHEDULES,
+    "networks": NETWORKS,
+    "callbacks": CALLBACKS,
+    "sync-strategies": SYNC_STRATEGIES,
+    "aggregators": AGGREGATORS,
+    "topologies": TOPOLOGIES,
+}
+
+
+def _registry_name(registry):
+    """argparse ``type=`` that canonicalizes a registry name (aliases OK)."""
+    def parse(value: str) -> str:
+        try:
+            return registry.canonical(value)
+        except KeyError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    parse.__name__ = registry.kind.replace(" ", "_")    # shown in error text
+    return parse
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -105,11 +149,37 @@ def _build_parser() -> argparse.ArgumentParser:
                               default=argparse.SUPPRESS,
                               help="use the zero-copy fused pipeline (--no-fused for "
                                    "the seed per-rank loops)")
+    # type=, not choices=: registry lookups accept aliases and case/
+    # punctuation variants ("localsgd", "Top-K"), exactly like spec files,
+    # and the canonical name lands in the namespace.
+    train_parent.add_argument("--sync", default=argparse.SUPPRESS,
+                              type=_registry_name(SYNC_STRATEGIES),
+                              metavar=f"{{{','.join(SYNC_STRATEGIES.list())}}}",
+                              help="synchronization strategy (default: allreduce)")
+    train_parent.add_argument("--sync-period", type=int, default=argparse.SUPPRESS,
+                              metavar="H",
+                              help="local_sgd: aggregate parameters every H iterations")
+    train_parent.add_argument("--aggregator", default=argparse.SUPPRESS,
+                              type=_registry_name(AGGREGATORS),
+                              metavar=f"{{{','.join(AGGREGATORS.list())}}}",
+                              help="how per-rank payloads combine (default: mean)")
+    train_parent.add_argument("--topology", default=argparse.SUPPRESS,
+                              type=_registry_name(TOPOLOGIES),
+                              metavar=f"{{{','.join(TOPOLOGIES.list())}}}",
+                              help="gossip communication graph (default: ring)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
                                "paper hyperparameters")
     info.set_defaults(handler=lambda args: cmd_info())
+
+    components = sub.add_parser("components",
+                                help="list every component registry "
+                                     "(strategies, aggregators, topologies, ...)")
+    components.add_argument("--registry", default=None,
+                            choices=sorted(COMPONENT_REGISTRIES),
+                            help="show one registry instead of all of them")
+    components.set_defaults(handler=cmd_components)
 
     run = sub.add_parser("run", parents=[train_parent, output_parent],
                          help="train one configuration with the simulated trainer")
@@ -192,14 +262,44 @@ def cmd_info() -> str:
     return text
 
 
+def cmd_components(args: argparse.Namespace) -> str:
+    """Render every component registry (or one, with ``--registry``)."""
+    selected = ([args.registry] if args.registry else sorted(COMPONENT_REGISTRIES))
+    sections = []
+    for name in selected:
+        registry = COMPONENT_REGISTRIES[name]
+        rows = [[entry, description]
+                for entry, description in registry.describe().items()]
+        sections.append(format_table([registry.kind, "description"], rows,
+                                     title=f"{name} ({len(rows)} registered)"))
+    text = "\n\n".join(sections)
+    print(text)
+    return text
+
+
 def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
-    """Merge ``run`` flags over the spec file (or the flag-mode defaults)."""
+    """Merge ``run`` flags over the spec file (or the flag-mode defaults).
+
+    The sync flags merge *into* the spec's ``sync`` section rather than
+    replacing it, so ``--aggregator geometric_median`` composes with a
+    config file that already selects a strategy.
+    """
     if args.config:
         spec = ExperimentSpec.from_file(args.config)
     else:
         spec = ExperimentSpec(**CLI_RUN_DEFAULTS)
     overrides = {field: getattr(args, dest)
                  for dest, field in RUN_FLAG_FIELDS.items() if hasattr(args, dest)}
+    sync_overrides = {field: getattr(args, dest)
+                      for dest, field in SYNC_FLAG_FIELDS.items() if hasattr(args, dest)}
+    if sync_overrides:
+        try:
+            # merged_with owns the switch-and-reset policy (dropping a
+            # switched-away strategy's period/topology and a switched-away
+            # aggregator's kwargs) so every merge entry point shares it.
+            overrides["sync"] = SyncSpec.resolve(spec.sync).merged_with(sync_overrides)
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
     if args.callback:
         overrides["callbacks"] = [*spec.callbacks, *args.callback]
     return spec.replace(**overrides) if overrides else spec
@@ -215,12 +315,14 @@ def cmd_run(args: argparse.Namespace):
     rows = [[epoch, f"{loss:.4f}", f"{metric:.2f}"]
             for epoch, loss, metric in zip(result.metrics.epochs, result.metrics.train_loss,
                                            result.metrics.metric)]
+    sync = spec.resolved_sync()
+    sync_note = "" if sync == SyncSpec() else f" [{sync.describe()}]"
     text = format_table(
         ["epoch", "train loss", result.metric_name],
         rows,
         title=(f"{spec.model} / {spec.algorithm} / {spec.world_size} workers — "
                f"{result.wire_bits_per_iteration:,.0f} bits/worker/iteration, "
-               f"{result.wall_time_s:.1f}s wall time"))
+               f"{result.wall_time_s:.1f}s wall time{sync_note}"))
     print(text)
     if args.output:
         path = save_json(result.as_dict(), args.output)
@@ -241,6 +343,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     print(f"derived TrainerConfig: model={derived.model!r} preset={derived.preset!r} "
           f"algorithm={derived.algorithm!r} world_size={derived.world_size} "
           f"epochs={derived.epochs} fused_pipeline={derived.fused_pipeline}")
+    print(f"sync: {spec.resolved_sync().describe()}")
     return 0
 
 

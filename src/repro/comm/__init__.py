@@ -14,7 +14,8 @@ InfiniBand.  This package replaces that stack with:
   together and keeps per-rank traffic/time accounting for the evaluation
   harness;
 * :mod:`repro.comm.topology` — node/link descriptions used by the network
-  model.
+  model, plus the logical communication graphs (ring / star /
+  fully-connected) that gossip synchronization averages over.
 """
 
 from repro.comm.backend import CollectiveOp, Communicator
@@ -24,6 +25,7 @@ from repro.comm.collectives import (
     allreduce_naive,
     allreduce_ring,
     broadcast,
+    neighbor_exchange,
     reduce_scatter,
 )
 from repro.comm.inprocess import InProcessWorld, WorldStats
@@ -33,7 +35,16 @@ from repro.comm.network_model import (
     ethernet_10gbps,
     infiniband_100gbps,
 )
-from repro.comm.topology import ClusterTopology, NodeSpec
+from repro.comm.topology import (
+    TOPOLOGIES,
+    ClusterTopology,
+    CommTopology,
+    FullyConnectedTopology,
+    NodeSpec,
+    RingTopology,
+    StarTopology,
+    get_topology,
+)
 
 __all__ = [
     "Communicator",
@@ -43,6 +54,7 @@ __all__ = [
     "allreduce_naive",
     "allgather",
     "broadcast",
+    "neighbor_exchange",
     "reduce_scatter",
     "InProcessWorld",
     "WorldStats",
@@ -52,4 +64,10 @@ __all__ = [
     "ethernet_10gbps",
     "ClusterTopology",
     "NodeSpec",
+    "CommTopology",
+    "RingTopology",
+    "StarTopology",
+    "FullyConnectedTopology",
+    "TOPOLOGIES",
+    "get_topology",
 ]

@@ -15,7 +15,17 @@ import numpy as np
 
 
 class CollectiveOp(enum.Enum):
-    """Reduction operators supported by allreduce / reduce-scatter."""
+    """Reduction operators supported by allreduce / reduce-scatter.
+
+    All three ops are supported end to end by the traced in-process world:
+    the ring allreduce folds ``MAX`` with ``np.maximum`` in the same
+    chunk-ring order it folds sums (so the trace/pricing is identical to a
+    ``SUM`` allreduce of the same payload), and the naive gather+broadcast
+    reference reduces through :meth:`combine`.  ``MAX`` is what distributed
+    gradient-clipping and TernGrad-style scale negotiation would use; tests
+    in ``tests/test_comm_world.py`` pin the end-to-end behaviour so the enum
+    never advertises an op the fabric cannot execute.
+    """
 
     SUM = "sum"
     MEAN = "average"
@@ -52,7 +62,12 @@ class Communicator:
         raise NotImplementedError
 
     def allreduce(self, array: np.ndarray, op: CollectiveOp = CollectiveOp.MEAN) -> np.ndarray:
-        """Reduce ``array`` across all ranks and return the result to every rank."""
+        """Reduce ``array`` across all ranks and return the result to every rank.
+
+        Implementations must honour every :class:`CollectiveOp` member —
+        ``SUM``, ``MEAN`` and ``MAX`` — or raise a clear error naming the
+        unsupported op; the in-process world supports all three.
+        """
         raise NotImplementedError
 
     def allgather(self, array: np.ndarray) -> List[np.ndarray]:

@@ -207,6 +207,35 @@ def broadcast(buffers: Sequence[np.ndarray], root: int = 0) -> tuple[List[np.nda
     return [staged for _ in range(p)], trace
 
 
+def neighbor_exchange(buffers: Sequence[np.ndarray], topology
+                      ) -> tuple[List[List[np.ndarray]], CollectiveTrace]:
+    """Sparse allgather over a :class:`~repro.comm.topology.CommTopology` graph.
+
+    Rank ``r``'s result is the list of contributions of its *closed
+    neighbourhood* (itself plus its graph neighbours), in ascending rank
+    order — the averaging set of one gossip step.  Each contribution is
+    staged once into a shared read-only buffer exactly like
+    :func:`allgather`, so neighbours receive views, not copies.
+
+    The trace models one send per edge endpoint: a rank with degree ``d``
+    puts ``d`` copies of its payload on the wire, and the critical path is
+    the maximum degree (a rank's NIC serializes its sends), which is what
+    the α–β model prices.  This is how the graph "drives the network cost":
+    a ring costs 2 rounds for any ``P >= 3`` (1 at ``P = 2``) while the
+    star's hub pays ``P - 1``.
+    """
+    arrays = _as_float_arrays(buffers)
+    p = len(arrays)
+    topology.validate(p)
+    nbytes = float(arrays[0].nbytes)
+    staged = [_stage_read_only(a) for a in arrays]
+    gathered = [[staged[q] for q in topology.closed_neighborhood(r, p)] for r in range(p)]
+    trace = CollectiveTrace(kind="neighbor_exchange", message_bytes=nbytes,
+                            bytes_sent_per_rank=topology.mean_degree(p) * nbytes,
+                            rounds=topology.max_degree(p), world_size=p)
+    return gathered, trace
+
+
 def reduce_scatter(buffers: Sequence[np.ndarray],
                    op: CollectiveOp = CollectiveOp.SUM) -> tuple[List[np.ndarray], CollectiveTrace]:
     """Reduce across ranks, then scatter equal chunks (rank r gets chunk r)."""

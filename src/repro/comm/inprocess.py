@@ -27,6 +27,7 @@ from repro.comm.collectives import (
     allreduce_naive,
     allreduce_ring,
     broadcast as _broadcast,
+    neighbor_exchange as _neighbor_exchange,
     reduce_scatter as _reduce_scatter,
 )
 from repro.comm.network_model import CollectiveTimeModel, NetworkModel, infiniband_100gbps
@@ -101,9 +102,14 @@ class InProcessWorld:
             scale = float(logical_bytes) / trace.message_bytes
             trace.message_bytes = float(logical_bytes)
             trace.bytes_sent_per_rank *= scale
-        simulated = self.time_model.collective_time(
-            "allreduce" if trace.kind.startswith("allreduce") else trace.kind,
-            trace.message_bytes, trace.world_size)
+        if trace.kind == "neighbor_exchange":
+            # The graph's degree structure (trace.rounds = max degree), not
+            # the world size, sets the critical path of a gossip exchange.
+            simulated = self.time_model.neighbor_exchange(trace.message_bytes, trace.rounds)
+        else:
+            simulated = self.time_model.collective_time(
+                "allreduce" if trace.kind.startswith("allreduce") else trace.kind,
+                trace.message_bytes, trace.world_size)
         self.stats.record(trace, simulated)
         self.last_trace = trace
         return simulated
@@ -151,6 +157,19 @@ class InProcessWorld:
         """Reduce then scatter equal chunks across ranks."""
         self._check(buffers)
         results, trace = _reduce_scatter(buffers, op)
+        self._record(trace, logical_bytes)
+        return results
+
+    def neighbor_exchange(self, buffers: Sequence[np.ndarray], topology,
+                          logical_bytes: Optional[float] = None) -> List[List[np.ndarray]]:
+        """Gossip exchange over a :class:`~repro.comm.topology.CommTopology`.
+
+        Rank ``r``'s result is the read-only staged contributions of its
+        closed neighbourhood (itself + graph neighbours), ascending by rank.
+        Priced by the graph's maximum degree, not the world size.
+        """
+        self._check(buffers)
+        results, trace = _neighbor_exchange(buffers, topology)
         self._record(trace, logical_bytes)
         return results
 

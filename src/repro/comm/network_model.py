@@ -146,6 +146,18 @@ class CollectiveTimeModel:
         chunk = message_bytes / p
         return (p - 1) * self.network.point_to_point(chunk)
 
+    def neighbor_exchange(self, message_bytes: float, max_degree: int) -> float:
+        """Gossip neighbour exchange: the busiest rank's sends gate the step.
+
+        Every rank sends its full payload to each graph neighbour; sends
+        share one NIC, so the critical path is ``max_degree`` sequential
+        point-to-point messages.  A ring therefore costs 2 messages for any
+        ``P >= 3`` (1 at ``P = 2``, where both directions collapse onto the
+        single other rank) while a star's hub pays ``P − 1`` — the
+        topology, not the world size, sets the price.
+        """
+        return max(0, int(max_degree)) * self.network.point_to_point(message_bytes)
+
     # ------------------------------------------------------------------ #
     # convenience
     # ------------------------------------------------------------------ #

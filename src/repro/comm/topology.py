@@ -1,18 +1,25 @@
-"""Cluster topology descriptions.
+"""Cluster and communication-graph topology descriptions.
 
-The paper's testbed is 16 nodes, each with one V100 GPU and a 100 Gbps
-InfiniBand NIC.  The topology object records per-node compute throughput
-relative to the benchmark host so the cost model can translate measured
-compute times into "paper testbed" estimates if desired, and exposes the
-network model of the fabric.
+Two kinds of topology live here:
+
+* :class:`ClusterTopology` / :class:`NodeSpec` — the *physical* testbed
+  description (the paper's 16 × V100 cluster) used by the cost model to
+  translate measured compute times into testbed estimates.
+* :class:`CommTopology` and its registry ``TOPOLOGIES`` — *logical*
+  communication graphs over the ranks of a world (ring, star,
+  fully-connected).  The gossip synchronization strategy averages each
+  rank's parameters with its graph neighbours, and the graph's degree
+  structure drives the α–β network cost of the exchange
+  (:meth:`repro.comm.inprocess.InProcessWorld.neighbor_exchange`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 from repro.comm.network_model import NetworkModel, infiniband_100gbps
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,98 @@ class ClusterTopology:
         if world_size > self.total_workers:
             raise ValueError(f"world size {world_size} exceeds cluster capacity "
                              f"{self.total_workers}")
+
+
+# --------------------------------------------------------------------- #
+# logical communication graphs (gossip neighbourhoods)
+# --------------------------------------------------------------------- #
+class CommTopology:
+    """A communication graph over the ranks ``0 .. world_size-1``.
+
+    Subclasses define :meth:`neighbors`; everything else (degrees, closed
+    neighbourhoods, validation) derives from it.  Graphs are undirected in
+    spirit — a rank both sends to and receives from its neighbours — but
+    :meth:`neighbors` is the single source of truth, so an asymmetric graph
+    (the star's hub) simply returns asymmetric neighbour sets.
+    """
+
+    name: str = "base"
+
+    def neighbors(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        """Ranks that ``rank`` exchanges with (excluding itself), ascending."""
+        raise NotImplementedError
+
+    def closed_neighborhood(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        """``rank`` plus its neighbours, ascending — the gossip averaging set."""
+        self.validate(world_size)
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        return tuple(sorted({rank, *self.neighbors(rank, world_size)}))
+
+    def degree(self, rank: int, world_size: int) -> int:
+        return len(self.neighbors(rank, world_size))
+
+    def max_degree(self, world_size: int) -> int:
+        return max((self.degree(r, world_size) for r in range(world_size)), default=0)
+
+    def mean_degree(self, world_size: int) -> float:
+        if world_size < 1:
+            return 0.0
+        return sum(self.degree(r, world_size) for r in range(world_size)) / world_size
+
+    def validate(self, world_size: int) -> "CommTopology":
+        if world_size < 1:
+            raise ValueError("world size must be at least 1")
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"
+
+
+#: Registry of communication graphs constructible by name (spec/CLI).
+TOPOLOGIES = Registry("topology")
+
+
+@TOPOLOGIES.register("ring", description="each rank talks to its two ring neighbours")
+class RingTopology(CommTopology):
+    """Ring graph: rank ``r`` neighbours ``(r-1) % P`` and ``(r+1) % P``."""
+
+    name = "ring"
+
+    def neighbors(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        if world_size <= 1:
+            return ()
+        return tuple(sorted({(rank - 1) % world_size, (rank + 1) % world_size}))
+
+
+@TOPOLOGIES.register("star", description="every rank talks to hub rank 0")
+class StarTopology(CommTopology):
+    """Star graph: rank 0 is the hub, every other rank is a leaf."""
+
+    name = "star"
+
+    def neighbors(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        if world_size <= 1:
+            return ()
+        if rank == 0:
+            return tuple(range(1, world_size))
+        return (0,)
+
+
+@TOPOLOGIES.register("fully_connected", aliases=("full", "complete"),
+                     description="every rank talks to every other rank")
+class FullyConnectedTopology(CommTopology):
+    """Complete graph: gossip over it equals a global average."""
+
+    name = "fully_connected"
+
+    def neighbors(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        return tuple(r for r in range(world_size) if r != rank)
+
+
+def get_topology(name: str) -> CommTopology:
+    """Construct a registered communication graph, e.g. ``get_topology("ring")``."""
+    return TOPOLOGIES.create(name)
 
 
 def paper_testbed() -> ClusterTopology:

@@ -145,45 +145,83 @@ class A2SGDCompressor(Compressor):
         masks = G >= 0
 
         if reference.two_means:
-            # Same per-row masked BLAS dots as two_level_means so the batched
-            # means are bit-identical to the looped path.
-            masks_f32 = masks.astype(np.float32)
-            inverse_f32 = (~masks).astype(np.float32)
-            positive_sums = np.array([float(np.dot(G[p], masks_f32[p]))
-                                      for p in range(P)])
-            negative_sums = np.array([-float(np.dot(G[p], inverse_f32[p]))
-                                      for p in range(P)])
-            positive_counts = np.count_nonzero(masks, axis=1)
+            # Row-blocked kernel: each rank's row makes two passes through
+            # the loops below with only row-sized temporaries, so the working
+            # set per step is 2–3 rows — not the 4×(P, n) whole-matrix
+            # casts/selects/subtractions this used before, which fell out of
+            # L2 between passes on mid-sized models (lstm_ptb) and made the
+            # batched exchange *slower* than the per-rank loop.  Every
+            # arithmetic op and its order still match the looped path
+            # (same masked BLAS dots as two_level_means, same scalar selects),
+            # so payloads, contexts and stats stay bit-identical.
+            positive_sums = np.empty(P)
+            positive_counts = np.empty(P, dtype=np.int64)
+            negative_sums = np.empty(P)
+            for p in range(P):
+                mask_f32 = masks[p].astype(np.float32)
+                positive_sums[p] = float(np.dot(G[p], mask_f32))
+                # 1 − mask is exactly the (~mask) cast for 0/1 values and
+                # reuses the row buffer instead of allocating a bool inverse.
+                np.subtract(np.float32(1.0), mask_f32, out=mask_f32)
+                negative_sums[p] = -float(np.dot(G[p], mask_f32))
+                positive_counts[p] = np.count_nonzero(masks[p])
             negative_counts = n - positive_counts
             mu_plus = np.maximum(0.0, np.where(
                 positive_counts > 0, positive_sums / np.maximum(positive_counts, 1), 0.0))
             mu_minus = np.maximum(0.0, np.where(
                 negative_counts > 0, negative_sums / np.maximum(negative_counts, 1), 0.0))
-            # Row-wise scalar selects: np.where with broadcast (P, 1) operands
-            # is an order of magnitude slower than a scalar-operand where per
-            # row, and the scalar form is exactly what the looped compress
-            # runs — same bits, minus the broadcasting machinery.
-            encoded = np.empty((P, n), dtype=np.float32)
-            for p in range(P):
-                encoded[p] = np.where(masks[p], np.float32(mu_plus[p]),
-                                      np.float32(-mu_minus[p]))
             means = np.stack([mu_plus, mu_minus], axis=1)           # (P, 2) float64
+            if reference.error_feedback:
+                # Fused select + subtract + stats: the encoding is selected
+                # straight into the error matrix (row-wise scalar ``np.where``
+                # — broadcast (P, 1) operands and masked ``where=`` ufuncs are
+                # both far slower), subtracted from G in place while the row
+                # is cache-hot, and the compression-error norm reads the
+                # materialized residual instead of re-deriving ``G - encoded``
+                # — no ``encoded`` temporary is ever allocated.
+                errors = np.empty((P, n), dtype=np.float32)
+                for p, compressor in enumerate(compressors):
+                    errors[p] = np.where(masks[p], np.float32(mu_plus[p]),
+                                         np.float32(-mu_minus[p]))
+                    np.subtract(G[p], errors[p], out=errors[p])
+                    denom = float(np.linalg.norm(G[p])) or 1.0
+                    compressor.stats.record(
+                        cls.WIRE_BITS, float(np.linalg.norm(errors[p])) / denom)
+            else:
+                # Ablation path (no retained error): the encoding itself is
+                # the transmitted estimate the statistics need.
+                encoded = np.empty((P, n), dtype=np.float32)
+                for p in range(P):
+                    encoded[p] = np.where(masks[p], np.float32(mu_plus[p]),
+                                          np.float32(-mu_minus[p]))
+                errors = np.zeros((P, n), dtype=np.float32)
+                cls._record_batch(compressors, cls.WIRE_BITS, G, encoded)
         else:
             mu = G.mean(axis=1).astype(np.float64)
             encoded = np.broadcast_to(mu[:, None].astype(np.float32), (P, n))
             means = np.stack([mu, np.zeros(P)], axis=1)
-
-        if reference.error_feedback:
-            errors = G - encoded
-        else:
-            errors = np.zeros((P, n), dtype=np.float32)
+            if reference.error_feedback:
+                errors = G - encoded
+            else:
+                errors = np.zeros((P, n), dtype=np.float32)
+            cls._record_batch(compressors, cls.WIRE_BITS, G, encoded)
 
         payloads: List[np.ndarray] = []
         contexts: List[Dict] = []
+        # The stacked matrices — and the exact per-rank row views handed out
+        # below — ride along in every context so decompress_batch can skip
+        # _stack_rows' per-row pointer checks (a measurable slice of exchange
+        # time at small n).  The per-rank keys stay authoritative: the fast
+        # path verifies each context still holds the cached view objects, so
+        # a caller that swaps in its own mask/error array falls back to the
+        # general stacking path instead of being silently ignored.
+        mask_rows = [masks[p] for p in range(P)]
+        error_rows = [errors[p] for p in range(P)]
+        stacked = (masks, errors, mask_rows, error_rows)
         for p, compressor in enumerate(compressors):
             payloads.append(means[p])
-            contexts.append({"positive_mask": masks[p], "error": errors[p]})
-        cls._record_batch(compressors, cls.WIRE_BITS, G, encoded)
+            contexts.append({"positive_mask": mask_rows[p], "error": error_rows[p],
+                             "_stacked": stacked})
         return payloads, contexts
 
     @classmethod
@@ -195,20 +233,36 @@ class A2SGDCompressor(Compressor):
         global_means = np.stack([np.asarray(e, dtype=np.float64) for e in exchanged])
         if global_means.shape[1:] != (2,):
             raise ValueError("A2SGD expects a global payload of exactly two means")
-        # _stack_rows is zero-copy here: compress_batch stored the per-rank
-        # masks/errors as consecutive row views of one shared matrix.
-        masks = cls._stack_rows([ctx["positive_mask"] for ctx in contexts])
+        # Fast path: compress_batch cached its stacked mask/error matrices
+        # and the per-rank row views in the contexts (one shared tuple).
+        # Object-identity checks on every rank's entries confirm nothing was
+        # swapped in since compression; otherwise fall back to _stack_rows —
+        # which also covers contexts from the looped ``compress`` (still
+        # zero-copy when rows alias one matrix).
+        stacked = contexts[0].get("_stacked")
+        if stacked is not None and stacked[0].shape[0] == len(contexts) \
+                and all(ctx.get("_stacked") is stacked
+                        and ctx.get("positive_mask") is stacked[2][p]
+                        and ctx.get("error") is stacked[3][p]
+                        for p, ctx in enumerate(contexts)):
+            masks, errors = stacked[0], stacked[1]
+        else:
+            masks = cls._stack_rows([ctx["positive_mask"] for ctx in contexts])
+            errors = cls._stack_rows([ctx["error"] for ctx in contexts])
         # float32 selection is bit-identical to the looped float64 select +
         # astype: the cast commutes with picking, and float32(-µ) == -float32(µ).
         means32 = global_means.astype(np.float32)
         reconstructed = np.empty(masks.shape, dtype=np.float32)
         if reference.two_means:
-            # Row-wise scalar selects for the same reason as compress_batch.
+            # Row-wise scalar selects for the same reason as compress_batch;
+            # the error is added while the freshly-selected row is cache-hot
+            # (a whole-matrix ``+= errors`` would re-stream every row).
             for p in range(masks.shape[0]):
                 reconstructed[p] = np.where(masks[p], means32[p, 0], -means32[p, 1])
+                reconstructed[p] += errors[p]
         else:
             reconstructed[...] = means32[:, 0:1]
-        reconstructed += cls._stack_rows([ctx["error"] for ctx in contexts])
+            reconstructed += errors
         return reconstructed
 
     # ------------------------------------------------------------------ #

@@ -107,6 +107,9 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
 
     progress = data["progress"]
     trainer._global_iteration = int(progress[0])
+    # Keep the sync strategy's period phase (local-SGD's every-H schedule)
+    # aligned with the restored iteration count.
+    trainer.sync_strategy.restore(int(progress[0]))
     trainer.metrics.epochs = [int(v) for v in data["epoch_history"]]
     trainer.metrics.metric = [float(v) for v in data["metric_history"]]
     trainer.metrics.train_loss = [float(v) for v in data["loss_history"]]

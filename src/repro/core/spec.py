@@ -23,14 +23,17 @@ Non-scalar fields serialize declaratively:
   or ``{"latency_s": ..., "bandwidth_Bps": ..., "name": ...}``;
 * ``callbacks`` — registered names (``"progress"``) or
   ``{"name": "early_stopping", "patience": 2}`` dicts, resolved through the
-  ``CALLBACKS`` registry when the trainer is built.
+  ``CALLBACKS`` registry when the trainer is built;
+* ``sync`` — ``None`` (the paper's allreduce + mean), a
+  :class:`repro.sync.SyncSpec`, or its dict form
+  (``{"strategy": "gossip", "topology": "ring", "aggregator": "mean"}``),
+  validated against the strategy/aggregator/topology registries.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-import difflib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,7 +44,8 @@ from repro.compress.registry import COMPRESSORS
 from repro.core.callbacks import CALLBACKS, Callback
 from repro.core.trainer import TrainerConfig
 from repro.models.registry import MODELS, list_models, list_presets
-from repro.registry import RegistryKeyError
+from repro.registry import RegistryKeyError, unknown_field_problems
+from repro.sync import SyncSpec
 from repro.utils.serialization import to_jsonable
 
 
@@ -84,6 +88,9 @@ class ExperimentSpec:
     #: Callback specs: registered names or {"name": ..., **kwargs} dicts
     #: (ready Callback instances are accepted but not JSON-serializable).
     callbacks: List[object] = field(default_factory=list)
+    #: Synchronization section: None (allreduce + mean, the paper's
+    #: Algorithm 1), a SyncSpec, or its dict form.
+    sync: Union[None, dict, SyncSpec] = None
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -99,6 +106,13 @@ class ExperimentSpec:
         raise SpecError(f"network must be None, a name, a dict or a NetworkModel; "
                         f"got {self.network!r}")
 
+    def resolved_sync(self) -> SyncSpec:
+        """The spec's sync section as a :class:`SyncSpec` (defaults when None)."""
+        try:
+            return SyncSpec.resolve(self.sync)
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
+
     def to_trainer_config(self) -> TrainerConfig:
         """Derive the trainer's config from this spec.
 
@@ -111,6 +125,9 @@ class ExperimentSpec:
                   for f in dataclasses.fields(TrainerConfig)}
         kwargs["compressor_kwargs"] = copy.deepcopy(dict(self.compressor_kwargs))
         kwargs["network"] = self.resolved_network()
+        # Deep-copied so one trainer run cannot leak sync state into the spec
+        # (or a sibling run produced by replace()).
+        kwargs["sync"] = copy.deepcopy(self.resolved_sync())
         return TrainerConfig(**kwargs)
 
     def replace(self, **overrides) -> "ExperimentSpec":
@@ -146,13 +163,8 @@ class ExperimentSpec:
         """Build a spec from a dict, rejecting unknown keys with suggestions."""
         if not isinstance(payload, dict):
             raise SpecError(f"expected a JSON object, got {type(payload).__name__}")
-        known = [f.name for f in dataclasses.fields(cls)]
-        problems = []
-        for key in payload:
-            if key not in known:
-                suggestions = difflib.get_close_matches(str(key), known, n=1)
-                hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
-                problems.append(f"unknown field {key!r}{hint} (known fields: {known})")
+        problems = unknown_field_problems(payload,
+                                          [f.name for f in dataclasses.fields(cls)])
         if problems:
             raise SpecError(problems)
         return cls(**payload)
@@ -226,6 +238,19 @@ class ExperimentSpec:
             problems.append(f"network must be None, a name, a dict or a NetworkModel, "
                             f"got {type(self.network).__name__}")
 
+        if isinstance(self.sync, (dict, SyncSpec)) or self.sync is None:
+            try:
+                sync = SyncSpec.resolve(self.sync)
+            except ValueError as error:
+                problems.extend(str(error).splitlines())
+            else:
+                world_size = self.world_size if isinstance(self.world_size, int) else None
+                problems.extend(sync.problems(world_size=world_size,
+                                              algorithm=str(self.algorithm)))
+        else:
+            problems.append(f"sync must be None, a dict or a SyncSpec, "
+                            f"got {type(self.sync).__name__}")
+
         for entry in self.callbacks:
             if isinstance(entry, Callback):
                 continue
@@ -255,7 +280,5 @@ class ExperimentSpec:
 
 
 def _unknown_field_message(name: str, spec: ExperimentSpec) -> str:
-    known = [f.name for f in dataclasses.fields(spec)]
-    suggestions = difflib.get_close_matches(name, known, n=1)
-    hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
-    return f"unknown field {name!r}{hint} (known fields: {known})"
+    return unknown_field_problems([name],
+                                  [f.name for f in dataclasses.fields(spec)])[0]

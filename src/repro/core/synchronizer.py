@@ -1,28 +1,29 @@
-"""Gradient synchronization across simulated workers.
+"""Deprecated gradient-synchronizer shim.
 
-The synchronizer implements lines 3–6 of Algorithm 1 generically: every
-worker compresses its local gradient, the payloads are exchanged with the
-collective the compressor requests (Allreduce for Dense/A2SGD, Allgather for
-the sparsifiers and QSGD), and every worker reconstructs the gradient it will
-apply.  It also does the bookkeeping the evaluation needs: measured
-compression time, simulated collective time and analytic wire traffic.
+.. deprecated::
+    ``GradientSynchronizer`` was the hardcoded implementation of Algorithm
+    1's lines 3–6 (compress → collective exchange → reconstruct).  That
+    logic now lives in :class:`repro.sync.strategies.AllreduceStrategy`,
+    one of several pluggable synchronization strategies (see
+    :mod:`repro.sync`); this class remains as a thin constructor-compatible
+    wrapper around the ``allreduce`` strategy with ``mean`` aggregation —
+    exactly the seed semantics, bit for bit.  New code should build a
+    strategy through :class:`repro.sync.SyncSpec` instead.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.backend import CollectiveOp
 from repro.comm.inprocess import InProcessWorld
-from repro.compress.base import Compressor, ExchangeKind
+from repro.compress.base import Compressor
 from repro.core.timeline import SyncReport
 
 
 class GradientSynchronizer:
-    """Exchange per-worker gradients through a shared world.
+    """Exchange per-worker gradients through a shared world (deprecated shim).
 
     Parameters
     ----------
@@ -34,144 +35,30 @@ class GradientSynchronizer:
     """
 
     def __init__(self, world: InProcessWorld, compressors: Sequence[Compressor]):
-        if len(compressors) != world.world_size:
-            raise ValueError(f"need one compressor per rank: "
-                             f"{len(compressors)} given for world size {world.world_size}")
-        kinds = {type(c) for c in compressors}
-        if len(kinds) != 1:
-            raise ValueError("all ranks must use the same compression algorithm")
-        if len(set(map(id, compressors))) != len(compressors):
-            raise ValueError("compressor instances must not be shared across ranks")
+        # Imported lazily to keep the historical import graph (synchronizer
+        # has no package-level repro.sync dependency).
+        from repro.sync.aggregators import MeanAggregator
+        from repro.sync.strategies import AllreduceStrategy
+
+        self._strategy = AllreduceStrategy().bind(world, compressors, MeanAggregator())
         self.world = world
-        self.compressors = list(compressors)
+        self.compressors = self._strategy.compressors
 
     @property
     def algorithm(self) -> str:
-        return self.compressors[0].name
+        return self._strategy.algorithm
 
     # ------------------------------------------------------------------ #
     def exchange(self, gradients: Sequence[np.ndarray]) -> Tuple[List[np.ndarray], SyncReport]:
-        """Synchronize one iteration's gradients.
-
-        Parameters
-        ----------
-        gradients:
-            Flat local gradients indexed by rank (all the same length).
-
-        Returns
-        -------
-        (new_gradients, report):
-            The gradient each rank should apply, plus timing/traffic data.
-        """
-        if len(gradients) != self.world.world_size:
-            raise ValueError("one gradient per rank is required")
-        n = int(np.asarray(gradients[0]).size)
-        for g in gradients:
-            if np.asarray(g).size != n:
-                raise ValueError("all ranks must contribute gradients of equal length")
-
-        reference = self.compressors[0]
-        exchange_kind = reference.exchange
-        wire_bits = reference.wire_bits(n, self.world.world_size)
-        logical_bytes = wire_bits / 8.0
-
-        # ---- compression (lines 3-4 of Algorithm 1) ---------------------- #
-        payloads: List[np.ndarray] = []
-        contexts: List[Dict] = []
-        compression_times: List[float] = []
-        for compressor, gradient in zip(self.compressors, gradients):
-            start = time.perf_counter()
-            payload, ctx = compressor.compress(np.asarray(gradient, dtype=np.float32))
-            compression_times.append(time.perf_counter() - start)
-            payloads.append(payload)
-            contexts.append(ctx)
-
-        # ---- global exchange (line 5) ------------------------------------ #
-        comm_before = self.world.simulated_comm_time
-        if exchange_kind is ExchangeKind.ALLREDUCE:
-            exchanged = self.world.allreduce(payloads, CollectiveOp.MEAN,
-                                             logical_bytes=logical_bytes)
-        else:
-            exchanged = self.world.allgather(payloads, logical_bytes=logical_bytes)
-        comm_time = self.world.simulated_comm_time - comm_before
-
-        # ---- reconstruction (line 6) -------------------------------------- #
-        new_gradients: List[np.ndarray] = []
-        for rank, (compressor, ctx) in enumerate(zip(self.compressors, contexts)):
-            start = time.perf_counter()
-            if exchange_kind is ExchangeKind.ALLREDUCE:
-                rebuilt = compressor.decompress(exchanged[rank], ctx)
-            else:
-                rebuilt = compressor.decompress_gathered(exchanged[rank], ctx)
-            compression_times[rank] += time.perf_counter() - start
-            new_gradients.append(np.asarray(rebuilt, dtype=np.float32))
-
-        report = SyncReport(
-            compression_time_s=float(max(compression_times)),
-            comm_time_s=float(comm_time),
-            wire_bits_per_worker=float(wire_bits),
-            exchange=exchange_kind.value,
-        )
-        return new_gradients, report
+        """Synchronize one iteration's gradients (delegates to the strategy)."""
+        return self._strategy.exchange(gradients)
 
     # ------------------------------------------------------------------ #
     def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
-        """Synchronize one iteration from the stacked ``(P, n)`` gradient matrix.
-
-        The batched twin of :meth:`exchange`: compression and reconstruction
-        run through the compressor's ``compress_batch``/``decompress_batch``
-        kernels (one fused call over all ranks; bit-identical to the per-rank
-        loop, which remains the fallback for compressors without batched
-        kernels).  Returns the reconstructed ``(P, n)`` matrix — possibly a
-        read-only broadcast view when every rank reconstructs the same
-        gradient — plus the usual timing/traffic report.
-
-        The measured kernel time is divided by the world size: the simulation
-        executes all ranks' compression in one call on one host, while the
-        modelled deployment runs the per-worker kernels in parallel.
-        """
-        G = np.asarray(G, dtype=np.float32)
-        if G.ndim != 2 or G.shape[0] != self.world.world_size:
-            raise ValueError(f"expected a ({self.world.world_size}, n) gradient matrix, "
-                             f"got shape {G.shape}")
-        n = G.shape[1]
-        reference = self.compressors[0]
-        exchange_kind = reference.exchange
-        wire_bits = reference.wire_bits(n, self.world.world_size)
-        logical_bytes = wire_bits / 8.0
-        batch = type(reference)
-
-        start = time.perf_counter()
-        payloads, contexts = batch.compress_batch(self.compressors, G)
-        kernel_time = time.perf_counter() - start
-
-        comm_before = self.world.simulated_comm_time
-        if exchange_kind is ExchangeKind.ALLREDUCE:
-            exchanged = self.world.allreduce(payloads, CollectiveOp.MEAN,
-                                             logical_bytes=logical_bytes)
-        else:
-            exchanged = self.world.allgather(payloads, logical_bytes=logical_bytes)
-        comm_time = self.world.simulated_comm_time - comm_before
-
-        start = time.perf_counter()
-        new_matrix = batch.decompress_batch(self.compressors, exchanged, contexts)
-        kernel_time += time.perf_counter() - start
-
-        report = SyncReport(
-            compression_time_s=float(kernel_time) / self.world.world_size,
-            comm_time_s=float(comm_time),
-            wire_bits_per_worker=float(wire_bits),
-            exchange=exchange_kind.value,
-        )
-        return new_matrix, report
+        """Synchronize one iteration's stacked ``(P, n)`` gradient matrix."""
+        return self._strategy.exchange_batched(G)
 
     # ------------------------------------------------------------------ #
     def dense_model_average(self, parameter_vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
-        """The final dense synchronization of Algorithm 1 (lines 9–10).
-
-        Exchanges the full parameter vectors once with a dense Allreduce and
-        returns each rank's averaged copy.
-        """
-        nbytes = float(np.asarray(parameter_vectors[0]).nbytes)
-        return self.world.allreduce(list(parameter_vectors), CollectiveOp.MEAN,
-                                    logical_bytes=nbytes)
+        """The final dense synchronization of Algorithm 1 (lines 9–10)."""
+        return self._strategy.finalize(parameter_vectors)

@@ -6,12 +6,16 @@ of the paper:
 
 * each worker computes a local gradient on its fraction of the global
   mini-batch (line 2);
-* the :class:`~repro.core.synchronizer.GradientSynchronizer` performs the
-  compression + collective exchange + reconstruction (lines 3–6);
-* each worker applies its reconstructed gradient with SGD/LARS and the
-  Table-1 learning-rate policy (line 7);
-* after the last iteration the replicas are synchronized with one dense
-  exchange (lines 9–10).
+* the configured :class:`~repro.sync.SyncStrategy` synchronizes the
+  gradients — the default ``allreduce`` strategy performs the compression +
+  collective exchange + reconstruction (lines 3–6) exactly as the paper
+  prescribes, while ``local_sgd`` / ``gossip`` defer or decentralize the
+  exchange (see :mod:`repro.sync`);
+* each worker applies its gradient with SGD/LARS and the Table-1
+  learning-rate policy (line 7), after which the strategy may exchange
+  *parameters* (local-SGD periodic averaging, gossip neighbour averaging);
+* after the last iteration the replicas are consolidated with one dense
+  exchange (lines 9–10), routed through the strategy's aggregator.
 
 Note that with A2SGD the replicas genuinely diverge during training (each
 worker adds back its own error vector), so the trainer really does keep
@@ -71,6 +75,7 @@ from repro.optim.lars import LARS, lars_flat_update
 from repro.optim.lr_schedule import build_lr_policy
 from repro.optim.registry import OPTIMIZERS
 from repro.optim.sgd import SGD, sgd_flat_update
+from repro.sync import SyncSpec, merge_reports
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import SeedSequenceFactory
 
@@ -111,6 +116,10 @@ class TrainerConfig:
     #: loops — kept for A/B benchmarking and as the reference semantics the
     #: fused path is tested against.
     fused_pipeline: bool = True
+    #: Synchronization setup: None (the default allreduce + mean, i.e. the
+    #: paper's Algorithm 1), a :class:`repro.sync.SyncSpec`, or its dict form
+    #: (``{"strategy": "gossip", "topology": "ring", ...}``).
+    sync: Optional[object] = None
 
 
 class DistributedTrainer:
@@ -139,6 +148,13 @@ class DistributedTrainer:
         # Compressors: independent instances so error feedback stays local.
         self.compressors = [get_compressor(config.algorithm, **config.compressor_kwargs)
                             for _ in range(config.world_size)]
+        # Synchronization strategy (when/what ranks exchange) composed with an
+        # aggregator (how payloads combine); the default SyncSpec() is the
+        # paper's Algorithm 1 and reproduces the seed trainer bit for bit.
+        self.sync_spec = SyncSpec.resolve(config.sync)
+        self.sync_strategy = self.sync_spec.build(self.world, self.compressors)
+        # Deprecated alias kept for callbacks/benchmarks written against the
+        # pre-strategy API; delegates to an allreduce+mean strategy.
         self.synchronizer = GradientSynchronizer(self.world, self.compressors)
 
         # Learning-rate policy and optimizers (LARS when Table 1 says so).
@@ -332,6 +348,34 @@ class DistributedTrainer:
         return lr
 
     # ------------------------------------------------------------------ #
+    # post-step parameter phase (local-SGD averaging, gossip)
+    # ------------------------------------------------------------------ #
+    def _parameter_phase(self, report, fused: bool):
+        """Let the strategy exchange parameters after the optimizer step.
+
+        ``post_step_pending`` gates the whole phase: gradient-only
+        strategies — and local-SGD iterations between sync points — cost one
+        method call, so the seed path never flattens parameters it will not
+        exchange.  The fused path hands over live views of the ``(P, n)``
+        parameter matrix (zero copies).  Any parameter-exchange report is
+        folded into the iteration's gradient report so the timeline prices
+        it.
+        """
+        if not self.sync_strategy.post_step_pending():
+            return report
+        if fused:
+            rows = [self.flat_world.param_matrix[p]
+                    for p in range(self.config.world_size)]
+            param_report = self.sync_strategy.post_step(rows)
+        else:
+            vectors = [flatten_parameters(m) for m in self.replicas]
+            param_report = self.sync_strategy.post_step(vectors)
+            if param_report is not None:
+                for replica, vector in zip(self.replicas, vectors):
+                    unflatten_into_parameters(replica, vector)
+        return merge_reports(report, param_report)
+
+    # ------------------------------------------------------------------ #
     # training loops
     # ------------------------------------------------------------------ #
     def train(self) -> TrainingMetrics:
@@ -342,8 +386,9 @@ class DistributedTrainer:
             self._train_classification(state)
         else:
             self._train_language_model(state)
-        # Algorithm 1 lines 9-10: final dense synchronization of the replicas.
-        averaged = self.synchronizer.dense_model_average(
+        # Algorithm 1 lines 9-10: final dense consolidation of the replicas,
+        # combined by the strategy's aggregator (mean reproduces the seed).
+        averaged = self.sync_strategy.finalize(
             [flatten_parameters(m) for m in self.replicas])
         for replica, flat in zip(self.replicas, averaged):
             unflatten_into_parameters(replica, flat)
@@ -386,13 +431,14 @@ class DistributedTrainer:
                 if fused:
                     G, loss = self._classification_gradients_fused(batches)
                     compute_time = time.perf_counter() - start
-                    new_matrix, report = self.synchronizer.exchange_batched(G)
+                    new_matrix, report = self.sync_strategy.exchange_batched(G)
                     lr = self._apply_gradients_fused(new_matrix, progress)
                 else:
                     gradients, loss = self._classification_gradients(batches)
                     compute_time = time.perf_counter() - start
-                    new_gradients, report = self.synchronizer.exchange(gradients)
+                    new_gradients, report = self.sync_strategy.exchange(gradients)
                     lr = self._apply_gradients(new_gradients, progress)
+                report = self._parameter_phase(report, fused)
                 epoch_losses.append(loss)
                 self._end_iteration(state, loss, lr, compute_time, report)
                 if state.stop_requested:
@@ -419,13 +465,14 @@ class DistributedTrainer:
                 if fused:
                     G, loss, states = self._language_model_gradients_fused(batches, states)
                     compute_time = time.perf_counter() - start
-                    new_matrix, report = self.synchronizer.exchange_batched(G)
+                    new_matrix, report = self.sync_strategy.exchange_batched(G)
                     lr = self._apply_gradients_fused(new_matrix, progress)
                 else:
                     gradients, loss, states = self._language_model_gradients(batches, states)
                     compute_time = time.perf_counter() - start
-                    new_gradients, report = self.synchronizer.exchange(gradients)
+                    new_gradients, report = self.sync_strategy.exchange(gradients)
                     lr = self._apply_gradients(new_gradients, progress)
+                report = self._parameter_phase(report, fused)
                 epoch_losses.append(loss)
                 self._end_iteration(state, loss, lr, compute_time, report)
                 if state.stop_requested:
@@ -458,8 +505,15 @@ class DistributedTrainer:
     # ------------------------------------------------------------------ #
     @property
     def wire_bits_per_iteration(self) -> float:
-        """Analytic per-worker traffic of the configured algorithm."""
-        return self.compressors[0].wire_bits(self.num_parameters, self.config.world_size)
+        """Analytic per-worker traffic of the configured synchronization.
+
+        Strategy-aware: the default allreduce reports the compressor's
+        Table-2 figure; local SGD reports its amortized parameter exchange
+        (32n/H bits) and gossip its per-step neighbour payloads, so sweeps
+        over sync setups compare real traffic.
+        """
+        return self.sync_strategy.wire_bits_per_iteration(
+            self.num_parameters, self.config.world_size)
 
     def mean_iteration_time(self) -> float:
         return self.timeline.mean_iteration_time()

@@ -38,6 +38,25 @@ def normalize_name(name: str) -> str:
     return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
 
 
+def unknown_field_problems(keys: Sequence[str], known: Sequence[str],
+                           label: str = "field") -> List[str]:
+    """Did-you-mean messages for dict keys that are not known field names.
+
+    Shared by the declarative spec parsers (``ExperimentSpec.from_dict``,
+    ``SyncSpec.from_dict``) so the suggestion wording and matching stay in
+    one place.  Returns one message per unknown key; empty when all keys
+    are known.
+    """
+    known = list(known)
+    problems: List[str] = []
+    for key in keys:
+        if key not in known:
+            suggestions = difflib.get_close_matches(str(key), known, n=1)
+            hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+            problems.append(f"unknown {label} {key!r}{hint} (known fields: {known})")
+    return problems
+
+
 class RegistryKeyError(KeyError):
     """Unknown-name lookup error carrying the available options."""
 

@@ -1,0 +1,62 @@
+"""Pluggable synchronization: strategies × aggregators × topologies.
+
+The paper's Algorithm 1 — synchronous allreduce of compressed gradients
+with mean aggregation — is one cell of a design grid this package makes
+explicit.  Three registry-backed component families compose into a
+synchronization setup:
+
+* :mod:`repro.sync.base` / :mod:`repro.sync.strategies` — the
+  :class:`SyncStrategy` protocol (*when and what* ranks exchange) with
+  ``allreduce`` (the seed-identical default), ``local_sgd`` (parameter
+  averaging every H iterations) and ``gossip`` (neighbour averaging over a
+  :class:`~repro.comm.topology.CommTopology` graph);
+* :mod:`repro.sync.aggregators` — the :class:`Aggregator` protocol (*how*
+  payloads combine) with ``mean`` and the Byzantine-robust
+  ``trimmed_mean`` / ``coordinate_median`` / ``geometric_median``;
+* :mod:`repro.sync.config` — the declarative :class:`SyncSpec` carried by
+  experiment specs (JSON round-trip, ``validate()``) and built into a bound
+  strategy per trainer.
+
+``repro components`` lists all three registries; the README's
+"Synchronization strategies" section has the support matrix.
+"""
+
+from repro.sync.aggregators import (
+    AGGREGATORS,
+    Aggregator,
+    CoordinateMedianAggregator,
+    GeometricMedianAggregator,
+    MeanAggregator,
+    TrimmedMeanAggregator,
+    get_aggregator,
+)
+from repro.sync.base import (
+    CORRUPTION_KINDS,
+    SYNC_STRATEGIES,
+    GradientCorruption,
+    SyncStrategy,
+    merge_reports,
+    validate_compressors,
+)
+from repro.sync.strategies import AllreduceStrategy, GossipStrategy, LocalSGDStrategy
+from repro.sync.config import SyncSpec
+
+__all__ = [
+    "AGGREGATORS",
+    "Aggregator",
+    "MeanAggregator",
+    "TrimmedMeanAggregator",
+    "CoordinateMedianAggregator",
+    "GeometricMedianAggregator",
+    "get_aggregator",
+    "SYNC_STRATEGIES",
+    "SyncStrategy",
+    "AllreduceStrategy",
+    "LocalSGDStrategy",
+    "GossipStrategy",
+    "GradientCorruption",
+    "CORRUPTION_KINDS",
+    "SyncSpec",
+    "merge_reports",
+    "validate_compressors",
+]

@@ -1,0 +1,172 @@
+"""Aggregators: how per-rank payloads combine into one update.
+
+The paper's Algorithm 1 hard-wires *mean* aggregation — the collective
+averages the payloads on the wire.  Byzantine-robust training (blades,
+Krum/AutoGM-style systems) shows that swapping only this combine step turns
+the same trainer into a different system: a trimmed mean or a (geometric)
+median tolerates a bounded number of corrupted workers that would drag a
+mean arbitrarily far.
+
+An :class:`Aggregator` combines a stacked ``(P, m)`` matrix of per-rank
+vectors into one ``(m,)`` vector.  The synchronization strategies apply it
+to whatever travels on the wire:
+
+* the ``allreduce`` strategy aggregates compressed *payloads* (for A2SGD
+  that is the ``(µ₊, µ₋)`` pairs; for Dense the full gradients);
+* ``local_sgd`` and ``gossip`` aggregate *parameter vectors*.
+
+:attr:`Aggregator.collective_op` is the exchange-kind negotiation hook: an
+aggregator that *is* an elementwise reduction advertises the matching
+:class:`~repro.comm.backend.CollectiveOp` so strategies can run a true
+allreduce (bit-identical to the seed trainer for ``mean``).  Robust
+aggregators return ``None`` — they need every rank's payload, so strategies
+fall back to an allgather before combining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.backend import CollectiveOp
+from repro.registry import Registry
+
+#: Registry of aggregators constructible by name (spec / CLI).
+AGGREGATORS = Registry("aggregator")
+
+
+class Aggregator:
+    """Combine per-rank vectors (rows of ``X``) into one vector."""
+
+    name: str = "base"
+    #: True when the combine tolerates a minority of corrupted rows.
+    robust: bool = False
+    #: The elementwise reduction this aggregator is equivalent to, or None
+    #: when it needs the full set of rows (forces an allgather exchange).
+    collective_op: Optional[CollectiveOp] = None
+
+    def combine(self, X: np.ndarray) -> np.ndarray:
+        """Reduce a ``(P, m)`` stack of per-rank vectors to one ``(m,)`` vector."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _as_matrix(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValueError(f"aggregators combine a (P, m) matrix of per-rank "
+                             f"vectors, got shape {X.shape}")
+        if X.shape[0] < 1:
+            raise ValueError("cannot aggregate zero contributions")
+        return X
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"
+
+
+@AGGREGATORS.register("mean", aliases=("average",),
+                      description="elementwise mean (the paper's aggregation)")
+class MeanAggregator(Aggregator):
+    """Elementwise mean — Algorithm 1's aggregation, allreduce-friendly."""
+
+    name = "mean"
+    collective_op = CollectiveOp.MEAN
+
+    def combine(self, X: np.ndarray) -> np.ndarray:
+        return self._as_matrix(X).mean(axis=0)
+
+
+@AGGREGATORS.register("trimmed_mean",
+                      description="mean after dropping the k most extreme ranks "
+                                  "per coordinate")
+class TrimmedMeanAggregator(Aggregator):
+    """Coordinate-wise trimmed mean.
+
+    Per coordinate, the ``k = floor(trim_ratio * P)`` smallest and largest
+    contributions are dropped and the rest averaged.  Tolerates up to ``k``
+    arbitrarily-corrupted ranks.  ``trim_ratio`` below ``1/P`` (so ``k = 0``)
+    degenerates to the plain mean.
+    """
+
+    name = "trimmed_mean"
+    robust = True
+
+    def __init__(self, trim_ratio: float = 0.25):
+        if not 0.0 <= trim_ratio < 0.5:
+            raise ValueError("trim_ratio must be in [0, 0.5): trimming half or "
+                             "more of the ranks per side leaves nothing to average")
+        self.trim_ratio = float(trim_ratio)
+
+    def combine(self, X: np.ndarray) -> np.ndarray:
+        X = self._as_matrix(X)
+        P = X.shape[0]
+        # trim_ratio < 0.5 guarantees 2k < P, so something always remains.
+        k = int(self.trim_ratio * P)
+        if k == 0:
+            return X.mean(axis=0)
+        ordered = np.sort(X, axis=0)
+        return ordered[k:P - k].mean(axis=0)
+
+
+@AGGREGATORS.register("coordinate_median", aliases=("median",),
+                      description="elementwise median across ranks")
+class CoordinateMedianAggregator(Aggregator):
+    """Coordinate-wise median — robust to just under half the ranks."""
+
+    name = "coordinate_median"
+    robust = True
+
+    def combine(self, X: np.ndarray) -> np.ndarray:
+        X = self._as_matrix(X)
+        return np.median(X, axis=0).astype(X.dtype, copy=False)
+
+
+@AGGREGATORS.register("geometric_median", aliases=("geomed",),
+                      description="Weiszfeld geometric median of the rank vectors")
+class GeometricMedianAggregator(Aggregator):
+    """Geometric median via smoothed Weiszfeld iteration.
+
+    The minimizer of ``Σ_p ||y − x_p||₂`` treats each rank's vector as one
+    point, so a corrupted rank can move the result by at most a bounded
+    amount regardless of how large its vector is — the aggregation blades'
+    AutoGM builds on.  Iteration stops when the update moves less than
+    ``tol`` (relative to the point scale) or after ``max_iterations``.
+    """
+
+    name = "geometric_median"
+    robust = True
+
+    def __init__(self, max_iterations: int = 100, tol: float = 1e-8, eps: float = 1e-12):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if tol <= 0 or eps <= 0:
+            raise ValueError("tol and eps must be positive")
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+        self.eps = float(eps)
+
+    def combine(self, X: np.ndarray) -> np.ndarray:
+        X = self._as_matrix(X)
+        dtype = X.dtype
+        points = X.astype(np.float64, copy=False)
+        P = points.shape[0]
+        if P == 1:
+            return X[0].copy()
+        y = points.mean(axis=0)
+        scale = float(np.linalg.norm(y)) or 1.0
+        for _ in range(self.max_iterations):
+            distances = np.linalg.norm(points - y, axis=1)
+            # A point we currently sit on would produce an infinite weight;
+            # the eps floor is the standard smoothed-Weiszfeld fix.
+            weights = 1.0 / np.maximum(distances, self.eps)
+            updated = (weights[:, None] * points).sum(axis=0) / weights.sum()
+            shift = float(np.linalg.norm(updated - y))
+            y = updated
+            if shift <= self.tol * max(scale, float(np.linalg.norm(y)), 1e-30):
+                break
+        return y.astype(dtype, copy=False)
+
+
+def get_aggregator(name: str, **kwargs) -> Aggregator:
+    """Construct a registered aggregator, e.g. ``get_aggregator("trimmed_mean")``."""
+    return AGGREGATORS.create(name, **kwargs)

@@ -1,0 +1,313 @@
+"""The SyncStrategy protocol: *when and what* ranks exchange.
+
+The paper's Algorithm 1 is one point in a large design space — synchronous
+gradient allreduce with mean aggregation.  A :class:`SyncStrategy` makes
+that point swappable: the trainer asks the strategy to synchronize each
+iteration's gradients (:meth:`~SyncStrategy.exchange` /
+:meth:`~SyncStrategy.exchange_batched`), offers it a post-optimizer-step
+hook for parameter exchanges (:meth:`~SyncStrategy.post_step`), and lets it
+perform the final replica consolidation (:meth:`~SyncStrategy.finalize`).
+Strategies compose with an :class:`~repro.sync.aggregators.Aggregator`
+(*how* payloads combine) and, for gossip, a
+:class:`~repro.comm.topology.CommTopology` (*who* talks to whom).
+
+Both trainer paths route through the same strategy instance: the fused
+``(P, n)`` batched path calls ``exchange_batched`` and hands ``post_step``
+the rows of the flat parameter matrix, while the seed per-rank loop calls
+``exchange`` with a list of gradient vectors.  The default
+``allreduce`` strategy with the ``mean`` aggregator reproduces the
+pre-redesign :class:`~repro.core.synchronizer.GradientSynchronizer`
+bit for bit on both paths.
+
+Byzantine scenarios plug in through :class:`GradientCorruption`: the
+strategy flips the sign of (or scales) selected ranks' local gradients
+before any compression or exchange, modelling workers that send poisoned
+updates.  Robust aggregators bound the damage; the plain mean does not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.inprocess import InProcessWorld
+from repro.comm.topology import CommTopology
+from repro.compress.base import Compressor
+from repro.core.timeline import SyncReport
+from repro.registry import Registry
+from repro.sync.aggregators import Aggregator
+
+#: Registry of synchronization strategies constructible by name (spec / CLI).
+SYNC_STRATEGIES = Registry("sync strategy")
+
+#: Corruption kinds understood by :class:`GradientCorruption`.
+CORRUPTION_KINDS = ("sign_flip", "scale")
+
+
+def validate_compressors(world: InProcessWorld, compressors: Sequence[Compressor]) -> None:
+    """Shared rank/compressor sanity checks (same messages as the seed)."""
+    if len(compressors) != world.world_size:
+        raise ValueError(f"need one compressor per rank: "
+                         f"{len(compressors)} given for world size {world.world_size}")
+    kinds = {type(c) for c in compressors}
+    if len(kinds) != 1:
+        raise ValueError("all ranks must use the same compression algorithm")
+    if len(set(map(id, compressors))) != len(compressors):
+        raise ValueError("compressor instances must not be shared across ranks")
+
+
+class GradientCorruption:
+    """Byzantine gradient corruption applied to selected ranks.
+
+    ``sign_flip`` negates the rank's gradient (a worker pushing training
+    backwards); ``scale`` multiplies it by ``scale`` (a worker shouting
+    ``scale`` times louder than everyone else).  Corruption happens before
+    compression/exchange, so it poisons whatever the strategy puts on the
+    wire — exactly the threat model robust aggregators defend against.
+    """
+
+    def __init__(self, ranks: Sequence[int], kind: str = "sign_flip",
+                 scale: float = 10.0):
+        if kind not in CORRUPTION_KINDS:
+            raise ValueError(f"unknown corruption kind {kind!r}; "
+                             f"expected one of {list(CORRUPTION_KINDS)}")
+        self.ranks: Tuple[int, ...] = tuple(sorted({int(r) for r in ranks}))
+        if any(r < 0 for r in self.ranks):
+            raise ValueError(f"corrupt_ranks must be non-negative, got {list(self.ranks)}")
+        self.kind = kind
+        self.scale = float(scale)
+
+    def validate_world(self, world_size: int) -> None:
+        out_of_range = [r for r in self.ranks if r >= world_size]
+        if out_of_range:
+            raise ValueError(f"corrupt_ranks {out_of_range} out of range for "
+                             f"world size {world_size}")
+
+    def _factor(self) -> float:
+        return -1.0 if self.kind == "sign_flip" else self.scale
+
+    def apply_rows(self, G: np.ndarray) -> np.ndarray:
+        """Corrupt the selected rows of a stacked ``(P, n)`` matrix in place."""
+        factor = G.dtype.type(self._factor())
+        for rank in self.ranks:
+            np.multiply(G[rank], factor, out=G[rank])
+        return G
+
+    def apply_list(self, gradients: Sequence[np.ndarray]) -> Sequence[np.ndarray]:
+        """Corrupt the selected per-rank vectors in place."""
+        for rank in self.ranks:
+            g = gradients[rank]
+            np.multiply(g, g.dtype.type(self._factor()), out=g)
+        return gradients
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"GradientCorruption(ranks={list(self.ranks)}, kind={self.kind!r}, "
+                f"scale={self.scale})")
+
+
+def merge_reports(gradient: SyncReport, parameter: Optional[SyncReport]) -> SyncReport:
+    """Fold a parameter-exchange report into the iteration's gradient report."""
+    if parameter is None:
+        return gradient
+    return SyncReport(
+        compression_time_s=gradient.compression_time_s + parameter.compression_time_s,
+        comm_time_s=gradient.comm_time_s + parameter.comm_time_s,
+        wire_bits_per_worker=gradient.wire_bits_per_worker + parameter.wire_bits_per_worker,
+        exchange=f"{gradient.exchange}+{parameter.exchange}",
+    )
+
+
+class SyncStrategy:
+    """Base class for synchronization strategies.
+
+    A strategy is constructed bare (so registries can ``create`` it by name)
+    and then :meth:`bind`-ed once to a world, the per-rank compressors, an
+    aggregator and optional topology/period/corruption.  Subclasses override
+    the exchange/post-step/finalize hooks; every hook has a sensible
+    pass-through default so a minimal custom strategy only implements what
+    it changes.
+    """
+
+    name: str = "base"
+    #: Whether :meth:`bind` requires a communication topology.
+    needs_topology: bool = False
+    #: Whether the strategy reads the local-SGD ``period`` knob.
+    uses_period: bool = False
+
+    @classmethod
+    def exchanges_gradients(cls, period: int = 1) -> bool:
+        """Whether this strategy puts *gradients* on the wire.
+
+        Consulted by :meth:`SyncSpec.problems` for the aggregator ×
+        compressor compatibility check, so registered third-party
+        strategies carry their own capability instead of validation
+        hardcoding names.  The lenient default (False) means a custom
+        strategy is never rejected at validate time for a combination its
+        own :meth:`bind` would accept.
+        """
+        return False
+
+    def __init__(self) -> None:
+        self.world: Optional[InProcessWorld] = None
+        self.compressors: List[Compressor] = []
+        self.aggregator: Optional[Aggregator] = None
+        self.topology: Optional[CommTopology] = None
+        self.period: int = 1
+        self.corruption: Optional[GradientCorruption] = None
+        #: Number of completed gradient exchanges (one per iteration).
+        self._step: int = 0
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+    def bind(self, world: InProcessWorld, compressors: Sequence[Compressor],
+             aggregator: Aggregator, *, topology: Optional[CommTopology] = None,
+             period: int = 1, corruption: Optional[GradientCorruption] = None
+             ) -> "SyncStrategy":
+        """Attach the strategy to a world; returns ``self`` for chaining."""
+        validate_compressors(world, compressors)
+        if period < 1:
+            raise ValueError(f"sync period must be >= 1, got {period}")
+        if self.needs_topology and topology is None:
+            raise ValueError(f"sync strategy {self.name!r} requires a topology "
+                             f"(e.g. ring, star, fully_connected)")
+        if topology is not None:
+            topology.validate(world.world_size)
+        if corruption is not None:
+            corruption.validate_world(world.world_size)
+        self.world = world
+        self.compressors = list(compressors)
+        self.aggregator = aggregator
+        self.topology = topology
+        self.period = int(period)
+        self.corruption = corruption
+        self._step = 0
+        self._after_bind()
+        return self
+
+    def _after_bind(self) -> None:
+        """Subclass hook for extra bind-time validation."""
+
+    @property
+    def algorithm(self) -> str:
+        """Registry name of the bound compression algorithm."""
+        return self.compressors[0].name
+
+    def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
+        """Analytic average bits per worker per iteration under this strategy.
+
+        The compressor's Table-2 figure only describes the *gradient*
+        exchange; strategies that exchange parameters instead (local SGD,
+        gossip) report their own — amortized — traffic so sweeps comparing
+        synchronization setups do not show the compressor's constant.  The
+        base default (0.0) matches a strategy that exchanges nothing.
+        """
+        return 0.0
+
+    @property
+    def syncs_parameters(self) -> bool:
+        """Whether :meth:`post_step` may *ever* exchange parameters.
+
+        Static capability metadata; the per-iteration gate the trainer
+        consults is :meth:`post_step_pending`.
+        """
+        return False
+
+    # ------------------------------------------------------------------ #
+    # gradient phase (Algorithm 1 lines 3-6, or a strategy's replacement)
+    # ------------------------------------------------------------------ #
+    def exchange(self, gradients: Sequence[np.ndarray]
+                 ) -> Tuple[List[np.ndarray], SyncReport]:
+        """Synchronize one iteration's per-rank gradient vectors (seed path)."""
+        raise NotImplementedError
+
+    def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        """Synchronize one iteration's stacked ``(P, n)`` matrix (fused path)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # parameter phase (after the optimizer step)
+    # ------------------------------------------------------------------ #
+    def post_step_pending(self) -> bool:
+        """Whether the iteration just exchanged will also sync parameters.
+
+        Queried by the trainer *after* the gradient exchange and *before*
+        materializing flat parameter vectors, so strategies whose current
+        iteration is a pure local step (local SGD between sync points, or
+        any gradient-only strategy) cost the seed path nothing.
+        """
+        return False
+
+    def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
+        """Optionally exchange parameters after the optimizer step.
+
+        ``param_rows[p]`` is rank ``p``'s flat parameter vector; the fused
+        path passes live views of the ``(P, n)`` parameter matrix and the
+        seed path passes copies it writes back afterwards.  Mutate the rows
+        in place and return a report, or return None when this iteration
+        has no parameter exchange.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # final consolidation (Algorithm 1 lines 9-10)
+    # ------------------------------------------------------------------ #
+    def finalize(self, parameter_vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """One dense parameter consolidation at the end of training.
+
+        The default — one global aggregation through the bound aggregator —
+        is what every built-in strategy wants; override for a strategy with
+        different end-of-training semantics.
+        """
+        return self._aggregate_global(list(parameter_vectors))[0]
+
+    # ------------------------------------------------------------------ #
+    # resume support
+    # ------------------------------------------------------------------ #
+    def restore(self, global_iteration: int) -> None:
+        """Align the strategy's schedule with a restored iteration count.
+
+        Called by :func:`repro.core.checkpoint.load_checkpoint` so periodic
+        schedules (local-SGD's every-H sync) resume in phase.  The base
+        implementation sets the exchange counter; strategies with extra
+        schedule state override and call ``super().restore(...)``.
+        """
+        self._step = int(global_iteration)
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _passthrough_report(self) -> SyncReport:
+        """Report for an iteration that touched no wire."""
+        return SyncReport(compression_time_s=0.0, comm_time_s=0.0,
+                          wire_bits_per_worker=0.0, exchange="local")
+
+    def _aggregate_global(self, vectors: List[np.ndarray]
+                          ) -> Tuple[List[np.ndarray], SyncReport]:
+        """Dense parameter aggregation across all ranks via the aggregator.
+
+        Elementwise aggregators run as a true collective (for ``mean`` this
+        is bitwise the seed's dense model average); robust aggregators
+        allgather the vectors and combine them once.
+        """
+        nbytes = float(np.asarray(vectors[0]).nbytes)
+        comm_before = self.world.simulated_comm_time
+        op = self.aggregator.collective_op
+        if op is not None:
+            results = self.world.allreduce(vectors, op, logical_bytes=nbytes)
+            wire_exchange = "parameter_allreduce"
+        else:
+            gathered = self.world.allgather(vectors, logical_bytes=nbytes)
+            combined = self.aggregator.combine(np.stack(gathered[0]))
+            results = [combined.copy() for _ in range(self.world.world_size)]
+            wire_exchange = "parameter_allgather"
+        comm_time = self.world.simulated_comm_time - comm_before
+        report = SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),
+                            wire_bits_per_worker=8.0 * nbytes,
+                            exchange=wire_exchange)
+        return results, report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        bound = self.world is not None and f"P={self.world.world_size}" or "unbound"
+        return f"{type(self).__name__}({bound})"

@@ -1,0 +1,259 @@
+"""Declarative synchronization configuration: the spec's ``sync`` section.
+
+A :class:`SyncSpec` is the serializable description of one synchronization
+setup — strategy, aggregator, gossip topology, local-SGD period and the
+Byzantine corruption scenario — carried by
+:class:`~repro.core.spec.ExperimentSpec` under the ``sync`` key and by
+:class:`~repro.core.trainer.TrainerConfig` as the resolved dataclass::
+
+    {"sync": {"strategy": "gossip", "topology": "ring",
+              "aggregator": "trimmed_mean",
+              "aggregator_kwargs": {"trim_ratio": 0.25}}}
+
+``SyncSpec()`` (all defaults) describes the seed trainer exactly:
+synchronous allreduce with mean aggregation and no corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.comm.inprocess import InProcessWorld
+from repro.comm.topology import TOPOLOGIES
+from repro.compress.base import Compressor, ExchangeKind
+from repro.compress.registry import COMPRESSORS
+from repro.registry import RegistryKeyError, unknown_field_problems
+from repro.sync.aggregators import AGGREGATORS
+from repro.sync.base import CORRUPTION_KINDS, SYNC_STRATEGIES, GradientCorruption, SyncStrategy
+
+
+@dataclass
+class SyncSpec:
+    """One fully-described synchronization setup (JSON round-trippable)."""
+
+    #: Registered strategy name: allreduce, local_sgd, gossip.
+    strategy: str = "allreduce"
+    #: Registered aggregator name: mean, trimmed_mean, coordinate_median,
+    #: geometric_median.
+    aggregator: str = "mean"
+    #: Extra kwargs for the aggregator constructor (e.g. trim_ratio).
+    aggregator_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Local-SGD synchronization period H (1 = synchronize every iteration).
+    period: int = 1
+    #: Gossip communication graph: ring, star, fully_connected.
+    topology: str = "ring"
+    #: Ranks whose local gradients are Byzantine-corrupted every iteration.
+    corrupt_ranks: List[int] = field(default_factory=list)
+    #: Corruption kind: "sign_flip" (g -> -g) or "scale" (g -> scale * g).
+    corruption: str = "sign_flip"
+    #: Multiplier used by the "scale" corruption kind.
+    corruption_scale: float = 10.0
+
+    # ------------------------------------------------------------------ #
+    # construction / serialization
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def resolve(cls, value: Union[None, Dict[str, object], "SyncSpec"]) -> "SyncSpec":
+        """Normalize the forms a spec/config may carry: None, dict, SyncSpec."""
+        if value is None:
+            return cls()
+        if isinstance(value, SyncSpec):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise ValueError(f"sync must be None, a dict or a SyncSpec; got {value!r}")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SyncSpec":
+        """Build from a dict, rejecting unknown keys with suggestions."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"sync must be a JSON object, got {type(payload).__name__}")
+        problems = unknown_field_problems(
+            payload, [f.name for f in dataclasses.fields(cls)], label="sync field")
+        if problems:
+            raise ValueError("\n".join(problems))
+        return cls(**payload)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def merged_with(self, overrides: Dict[str, object]) -> Dict[str, object]:
+        """Overlay partial field overrides, dict form, for CLI/API merging.
+
+        Switching a component resets the knobs owned by the old one:
+        changing ``strategy`` drops ``period``/``topology`` (a gossip
+        config's topology must not invalidate a switch to allreduce) and
+        changing ``aggregator`` drops ``aggregator_kwargs`` (trimmed_mean's
+        ``trim_ratio`` would make ``mean`` unconstructible).  Names are
+        compared canonically so registered aliases ("localsgd", "median")
+        never read as a switch.  Overrides themselves always win.
+        """
+        merged = self.to_dict()
+        defaults = SyncSpec()
+
+        def canonical(registry, name: object) -> str:
+            try:
+                return registry.canonical(str(name))
+            except KeyError:
+                return str(name)
+
+        if "strategy" in overrides \
+                and canonical(SYNC_STRATEGIES, overrides["strategy"]) \
+                != canonical(SYNC_STRATEGIES, merged["strategy"]):
+            merged["period"] = defaults.period
+            merged["topology"] = defaults.topology
+        if "aggregator" in overrides \
+                and canonical(AGGREGATORS, overrides["aggregator"]) \
+                != canonical(AGGREGATORS, merged["aggregator"]):
+            merged["aggregator_kwargs"] = dict(defaults.aggregator_kwargs)
+        merged.update(overrides)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def problems(self, world_size: Optional[int] = None,
+                 algorithm: Optional[str] = None) -> List[str]:
+        """Every problem with this sync section, as actionable messages.
+
+        ``world_size`` and ``algorithm`` enable the cross-field checks
+        (corrupt-rank range, aggregator × compressor compatibility) when
+        the caller knows them — :meth:`ExperimentSpec.validate` does.
+        """
+        problems: List[str] = []
+        for registry, name in ((SYNC_STRATEGIES, self.strategy),
+                               (AGGREGATORS, self.aggregator),
+                               (TOPOLOGIES, self.topology)):
+            try:
+                registry.canonical(str(name))
+            except RegistryKeyError as error:
+                problems.append(str(error))
+
+        if not isinstance(self.period, int) or isinstance(self.period, bool) \
+                or self.period < 1:
+            problems.append(f"sync period must be an integer >= 1, got {self.period!r}")
+
+        # Strategy-specific fields set on a strategy that ignores them are a
+        # config mistake (e.g. expecting --sync-period to affect allreduce),
+        # not a silent no-op.  The strategy classes carry the capability
+        # flags (uses_period / needs_topology), so registered third-party
+        # strategies participate without name lists here.
+        strategy_cls = self._strategy_class()
+        if strategy_cls is not None:
+            if not strategy_cls.uses_period and self.period != 1:
+                problems.append(f"period={self.period!r} is only used by "
+                                f"period-based strategies (local_sgd); strategy "
+                                f"{self.strategy!r} synchronizes on its own schedule")
+            if not strategy_cls.needs_topology and self.topology != "ring":
+                problems.append(f"topology={self.topology!r} is only used by "
+                                f"graph-based strategies (gossip); strategy "
+                                f"{self.strategy!r} does not exchange over a graph")
+        if not isinstance(self.aggregator_kwargs, dict):
+            problems.append(f"aggregator_kwargs must be a dict, "
+                            f"got {type(self.aggregator_kwargs).__name__}")
+        elif self.aggregator in AGGREGATORS:
+            try:
+                AGGREGATORS.create(self.aggregator, **self.aggregator_kwargs)
+            except Exception as error:
+                problems.append(f"aggregator {self.aggregator!r} cannot be constructed "
+                                f"with {self.aggregator_kwargs!r}: {error}")
+
+        if self.corruption not in CORRUPTION_KINDS:
+            problems.append(f"unknown corruption {self.corruption!r}; "
+                            f"expected one of {list(CORRUPTION_KINDS)}")
+        if not isinstance(self.corruption_scale, (int, float)) \
+                or isinstance(self.corruption_scale, bool):
+            problems.append(f"corruption_scale must be a number, "
+                            f"got {self.corruption_scale!r}")
+        if not isinstance(self.corrupt_ranks, (list, tuple)) \
+                or any(not isinstance(r, int) or isinstance(r, bool) or r < 0
+                       for r in self.corrupt_ranks):
+            problems.append(f"corrupt_ranks must be a list of non-negative rank "
+                            f"indices, got {self.corrupt_ranks!r}")
+        elif world_size is not None:
+            out_of_range = sorted(r for r in self.corrupt_ranks if r >= world_size)
+            if out_of_range:
+                problems.append(f"corrupt_ranks {out_of_range} out of range for "
+                                f"world_size {world_size}")
+
+        # Aggregator x compressor compatibility: robust aggregators need
+        # per-rank payloads, which allgather-kind compressors cannot provide
+        # on the gradient exchange (their reconstruction bakes in the mean).
+        # Not gated on the other problems — validate() reports everything
+        # at once.
+        if (algorithm is not None
+                and self.aggregator in AGGREGATORS
+                and AGGREGATORS.get(self.aggregator).collective_op is None
+                and self._gradient_exchange_active()):
+            try:
+                compressor_cls = COMPRESSORS.get(algorithm)
+            except RegistryKeyError:
+                compressor_cls = None  # reported by the algorithm check
+            if compressor_cls is not None \
+                    and compressor_cls.exchange is not ExchangeKind.ALLREDUCE:
+                problems.append(
+                    f"aggregator {self.aggregator!r} needs per-rank payloads, but "
+                    f"compressor {algorithm!r} uses an allgather exchange; robust "
+                    f"aggregators support allreduce-kind compressors only "
+                    f"(dense, a2sgd) — or use strategy local_sgd with period > 1 / "
+                    f"gossip, which aggregate parameters instead")
+        return problems
+
+    def _strategy_class(self) -> Optional[type]:
+        """The registered strategy class, or None when unregistered."""
+        try:
+            return SYNC_STRATEGIES.get(str(self.strategy))
+        except RegistryKeyError:
+            return None
+
+    def _gradient_exchange_active(self) -> bool:
+        """Whether the configured strategy puts gradients on the wire.
+
+        Delegates to the strategy class's ``exchanges_gradients`` so custom
+        registered strategies carry their own capability.
+        """
+        strategy_cls = self._strategy_class()
+        if strategy_cls is None:
+            return False
+        period = self.period if isinstance(self.period, int) else 1
+        return bool(strategy_cls.exchanges_gradients(period))
+
+    def validate(self, world_size: Optional[int] = None,
+                 algorithm: Optional[str] = None) -> "SyncSpec":
+        """Raise ``ValueError`` listing every problem; returns self when clean."""
+        problems = self.problems(world_size=world_size, algorithm=algorithm)
+        if problems:
+            raise ValueError("invalid sync spec:\n" +
+                             "\n".join(f"  - {p}" for p in problems))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # strategy construction
+    # ------------------------------------------------------------------ #
+    def build(self, world: InProcessWorld,
+              compressors: Sequence[Compressor]) -> SyncStrategy:
+        """Instantiate and bind the described strategy to a world."""
+        aggregator = AGGREGATORS.create(self.aggregator, **dict(self.aggregator_kwargs))
+        strategy: SyncStrategy = SYNC_STRATEGIES.create(self.strategy)
+        topology = TOPOLOGIES.create(self.topology) if strategy.needs_topology else None
+        corruption = None
+        if self.corrupt_ranks:
+            corruption = GradientCorruption(self.corrupt_ranks, kind=self.corruption,
+                                            scale=self.corruption_scale)
+        return strategy.bind(world, compressors, aggregator, topology=topology,
+                             period=self.period, corruption=corruption)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        parts = [f"strategy={self.strategy}", f"aggregator={self.aggregator}"]
+        strategy_cls = self._strategy_class()
+        if strategy_cls is not None and strategy_cls.uses_period:
+            parts.append(f"period={self.period}")
+        if strategy_cls is not None and strategy_cls.needs_topology:
+            parts.append(f"topology={self.topology}")
+        if self.corrupt_ranks:
+            parts.append(f"corrupt_ranks={list(self.corrupt_ranks)} "
+                         f"({self.corruption})")
+        return " ".join(parts)

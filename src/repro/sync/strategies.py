@@ -1,0 +1,329 @@
+"""The built-in synchronization strategies: allreduce, local SGD, gossip.
+
+``allreduce`` is the paper's Algorithm 1 — every iteration, every rank's
+gradient is compressed, exchanged with the collective its compressor
+requests, aggregated, and reconstructed.  With the ``mean`` aggregator it
+is bit-identical to the pre-redesign trainer; with a robust aggregator the
+payloads are allgathered and combined off-wire instead (the exchange-kind
+negotiation that used to live in ``GradientSynchronizer`` now lives here).
+
+``local_sgd`` trades synchronization frequency for traffic: ranks apply
+their raw local gradients and only every ``H``-th iteration exchange
+*parameters* through the aggregator (dist-keras builds its DOWNPOUR/EASGD
+family from exactly this schedule knob).  ``H = 1`` leaves no local-only
+progress to average — every iteration is a synchronization point — so the
+strategy degenerates to ``allreduce``, bit for bit, compressor semantics
+(error feedback and all) included.
+
+``gossip`` removes the global collective entirely: every iteration each
+rank averages its parameters with its neighbours on a
+:class:`~repro.comm.topology.CommTopology` graph, and the graph's degree —
+not the world size — prices the exchange.  On a fully-connected graph the
+closed neighbourhood is the whole world, so gossip with the ``mean``
+aggregator matches global mean-allreduce training to float32 tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compress.base import ExchangeKind
+from repro.core.timeline import SyncReport
+from repro.sync.base import SYNC_STRATEGIES, SyncStrategy
+
+
+@SYNC_STRATEGIES.register("allreduce", aliases=("sync", "synchronous"),
+                          description="Algorithm 1: compress + collective "
+                                      "exchange + aggregate every iteration")
+class AllreduceStrategy(SyncStrategy):
+    """Synchronous gradient exchange — the seed trainer's semantics.
+
+    The aggregator negotiates the exchange kind: aggregators that are
+    elementwise reductions (``mean``) run as a true collective op on the
+    wire for ALLREDUCE-kind compressors, exactly as the seed did; robust
+    aggregators need every rank's payload, so the payloads are allgathered
+    and combined once (the combine is rank-invariant), then reconstructed
+    per rank.  ALLGATHER-kind compressors bake the mean into their
+    ``decompress_gathered``, so robust aggregation is rejected for them at
+    bind time — see the support matrix in the README.
+    """
+
+    name = "allreduce"
+
+    @classmethod
+    def exchanges_gradients(cls, period: int = 1) -> bool:
+        return True
+
+    def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
+        return self.compressors[0].wire_bits(n, world_size)
+
+    def _after_bind(self) -> None:
+        aggregator = self.aggregator
+        if self._gradient_exchange_active() and aggregator.collective_op is None \
+                and self.compressors[0].exchange is not ExchangeKind.ALLREDUCE:
+            raise ValueError(
+                f"aggregator {aggregator.name!r} needs per-rank payloads, but "
+                f"compressor {self.algorithm!r} uses an allgather exchange whose "
+                f"reconstruction bakes in the mean; robust aggregators support "
+                f"allreduce-kind compressors only (dense, a2sgd)")
+
+    def _gradient_exchange_active(self) -> bool:
+        """Whether this strategy ever runs the compressed gradient exchange."""
+        return type(self).exchanges_gradients(self.period)
+
+    # ------------------------------------------------------------------ #
+    def exchange(self, gradients: Sequence[np.ndarray]
+                 ) -> Tuple[List[np.ndarray], SyncReport]:
+        """Synchronize one iteration's gradients (per-rank loop path)."""
+        self._step += 1
+        if len(gradients) != self.world.world_size:
+            raise ValueError("one gradient per rank is required")
+        n = int(np.asarray(gradients[0]).size)
+        for g in gradients:
+            if np.asarray(g).size != n:
+                raise ValueError("all ranks must contribute gradients of equal length")
+        if self.corruption is not None:
+            self.corruption.apply_list(gradients)
+
+        reference = self.compressors[0]
+        exchange_kind = reference.exchange
+        wire_bits = reference.wire_bits(n, self.world.world_size)
+        logical_bytes = wire_bits / 8.0
+
+        # ---- compression (lines 3-4 of Algorithm 1) ---------------------- #
+        payloads: List[np.ndarray] = []
+        contexts: List[Dict] = []
+        compression_times: List[float] = []
+        for compressor, gradient in zip(self.compressors, gradients):
+            start = time.perf_counter()
+            payload, ctx = compressor.compress(np.asarray(gradient, dtype=np.float32))
+            compression_times.append(time.perf_counter() - start)
+            payloads.append(payload)
+            contexts.append(ctx)
+
+        # ---- global exchange + aggregation (line 5) ---------------------- #
+        exchanged, comm_time, wire_exchange = self._combine(
+            payloads, exchange_kind, logical_bytes)
+
+        # ---- reconstruction (line 6) ------------------------------------- #
+        new_gradients: List[np.ndarray] = []
+        for rank, (compressor, ctx) in enumerate(zip(self.compressors, contexts)):
+            start = time.perf_counter()
+            if exchange_kind is ExchangeKind.ALLREDUCE:
+                rebuilt = compressor.decompress(exchanged[rank], ctx)
+            else:
+                rebuilt = compressor.decompress_gathered(exchanged[rank], ctx)
+            compression_times[rank] += time.perf_counter() - start
+            new_gradients.append(np.asarray(rebuilt, dtype=np.float32))
+
+        report = SyncReport(
+            compression_time_s=float(max(compression_times)),
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange=wire_exchange,
+        )
+        return new_gradients, report
+
+    def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        """Synchronize one iteration from the stacked ``(P, n)`` matrix.
+
+        The batched twin of :meth:`exchange`: compression and reconstruction
+        run through the compressor's ``compress_batch``/``decompress_batch``
+        kernels (bit-identical to the per-rank loop, which remains the
+        fallback for compressors without batched kernels).  The measured
+        kernel time is divided by the world size: the simulation executes
+        all ranks' compression in one call on one host, while the modelled
+        deployment runs the per-worker kernels in parallel.
+        """
+        self._step += 1
+        G = np.asarray(G, dtype=np.float32)
+        if G.ndim != 2 or G.shape[0] != self.world.world_size:
+            raise ValueError(f"expected a ({self.world.world_size}, n) gradient matrix, "
+                             f"got shape {G.shape}")
+        if self.corruption is not None:
+            self.corruption.apply_rows(G)
+        n = G.shape[1]
+        reference = self.compressors[0]
+        exchange_kind = reference.exchange
+        wire_bits = reference.wire_bits(n, self.world.world_size)
+        logical_bytes = wire_bits / 8.0
+        batch = type(reference)
+
+        start = time.perf_counter()
+        payloads, contexts = batch.compress_batch(self.compressors, G)
+        kernel_time = time.perf_counter() - start
+
+        exchanged, comm_time, wire_exchange = self._combine(
+            payloads, exchange_kind, logical_bytes)
+
+        start = time.perf_counter()
+        new_matrix = batch.decompress_batch(self.compressors, exchanged, contexts)
+        kernel_time += time.perf_counter() - start
+
+        report = SyncReport(
+            compression_time_s=float(kernel_time) / self.world.world_size,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange=wire_exchange,
+        )
+        return new_matrix, report
+
+    def _combine(self, payloads: List[np.ndarray], exchange_kind: ExchangeKind,
+                 logical_bytes: float) -> Tuple[Sequence, float, str]:
+        """Exchange + aggregate the payloads; returns per-rank results.
+
+        The aggregator decides the wire pattern: an elementwise-reduction
+        aggregator runs the compressor's native collective (bitwise the
+        seed behaviour for ``mean``); a robust aggregator allgathers the
+        payloads and combines them once off-wire.
+        """
+        comm_before = self.world.simulated_comm_time
+        op = self.aggregator.collective_op
+        if exchange_kind is ExchangeKind.ALLREDUCE:
+            if op is not None:
+                exchanged: Sequence = self.world.allreduce(
+                    payloads, op, logical_bytes=logical_bytes)
+                wire_exchange = exchange_kind.value
+            else:
+                gathered = self.world.allgather(payloads, logical_bytes=logical_bytes)
+                # The combine is rank-invariant: compute once, share the result.
+                combined = self.aggregator.combine(np.stack(gathered[0]))
+                exchanged = [combined] * self.world.world_size
+                wire_exchange = ExchangeKind.ALLGATHER.value
+        else:
+            exchanged = self.world.allgather(payloads, logical_bytes=logical_bytes)
+            wire_exchange = exchange_kind.value
+        comm_time = self.world.simulated_comm_time - comm_before
+        return exchanged, comm_time, wire_exchange
+
+@SYNC_STRATEGIES.register("local_sgd", aliases=("localsgd", "periodic"),
+                          description="apply local gradients; aggregate "
+                                      "parameters every H iterations")
+class LocalSGDStrategy(AllreduceStrategy):
+    """Periodic parameter averaging (Local SGD / FedAvg-style schedule).
+
+    With period ``H > 1``, iterations apply the raw local gradient with zero
+    communication; every ``H``-th iteration the ranks aggregate their
+    *parameter* vectors through the aggregator after the optimizer step.
+    The compressor never runs — there is no gradient wire traffic to
+    compress — so error-feedback state stays untouched.
+
+    With ``H = 1`` every iteration is a synchronization point and no
+    local-only progress ever exists to average away, so the strategy
+    degenerates to :class:`AllreduceStrategy` (gradient exchange through
+    the compressor), bit-identically — and with strictly less traffic than
+    averaging full parameter vectors for compressors like A2SGD.
+    """
+
+    name = "local_sgd"
+    uses_period = True
+
+    @classmethod
+    def exchanges_gradients(cls, period: int = 1) -> bool:
+        # With H > 1 gradients never touch the wire, so any aggregator works
+        # with any compressor (the aggregator only combines parameters).
+        return period == 1
+
+    @property
+    def syncs_parameters(self) -> bool:
+        return self.period > 1
+
+    def post_step_pending(self) -> bool:
+        # _step > 0: no iteration has been exchanged yet before training.
+        return self.period > 1 and self._step > 0 and self._step % self.period == 0
+
+    def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
+        """Amortized: one dense 32n-bit parameter exchange every H steps."""
+        if self.period == 1:
+            return super().wire_bits_per_iteration(n, world_size)
+        return 32.0 * n / self.period
+
+    def exchange(self, gradients: Sequence[np.ndarray]
+                 ) -> Tuple[List[np.ndarray], SyncReport]:
+        if self.period == 1:
+            return super().exchange(gradients)
+        self._step += 1
+        if self.corruption is not None:
+            self.corruption.apply_list(gradients)
+        return list(gradients), self._passthrough_report()
+
+    def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        if self.period == 1:
+            return super().exchange_batched(G)
+        self._step += 1
+        if self.corruption is not None:
+            self.corruption.apply_rows(G)
+        return G, self._passthrough_report()
+
+    def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
+        if self.period == 1 or self._step % self.period != 0:
+            return None
+        vectors = list(param_rows)
+        results, report = self._aggregate_global(vectors)
+        for row, result in zip(param_rows, results):
+            row[...] = result
+        return report
+
+
+@SYNC_STRATEGIES.register("gossip", aliases=("neighbor", "decentralized"),
+                          description="average parameters with topology "
+                                      "neighbours every iteration")
+class GossipStrategy(SyncStrategy):
+    """Decentralized neighbour averaging over a communication graph.
+
+    Every iteration each rank applies its raw local gradient, then replaces
+    its parameters with the aggregator's combine of its *closed
+    neighbourhood* (itself + graph neighbours).  With the ``mean``
+    aggregator this is classic gossip averaging: information diffuses at
+    the graph's spectral rate, and the α–β cost of a step is set by the
+    maximum degree (a ring costs two messages for any ``P >= 3``).  On a
+    fully-connected graph the neighbourhood is the whole world and training
+    matches global mean-allreduce to float32 tolerance.
+    """
+
+    name = "gossip"
+    needs_topology = True
+
+    @property
+    def syncs_parameters(self) -> bool:
+        return True
+
+    def post_step_pending(self) -> bool:
+        return True
+
+    def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
+        """One 32n-bit parameter payload to each graph neighbour, every step."""
+        if self.topology is None:
+            return 0.0
+        return self.topology.mean_degree(world_size) * 32.0 * n
+
+    def exchange(self, gradients: Sequence[np.ndarray]
+                 ) -> Tuple[List[np.ndarray], SyncReport]:
+        self._step += 1
+        if self.corruption is not None:
+            self.corruption.apply_list(gradients)
+        return list(gradients), self._passthrough_report()
+
+    def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        self._step += 1
+        if self.corruption is not None:
+            self.corruption.apply_rows(G)
+        return G, self._passthrough_report()
+
+    def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
+        world, topology = self.world, self.topology
+        nbytes = float(np.asarray(param_rows[0]).nbytes)
+        comm_before = world.simulated_comm_time
+        gathered = world.neighbor_exchange(list(param_rows), topology)
+        comm_time = world.simulated_comm_time - comm_before
+        # All neighbourhood payloads are staged read-only copies, so the
+        # in-place writes below cannot corrupt a neighbour's input.
+        for rank, neighborhood in enumerate(gathered):
+            param_rows[rank][...] = self.aggregator.combine(np.stack(neighborhood))
+        mean_degree = topology.mean_degree(world.world_size)
+        return SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),
+                          wire_bits_per_worker=mean_degree * 8.0 * nbytes,
+                          exchange="neighbor_exchange")

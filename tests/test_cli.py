@@ -149,3 +149,137 @@ class TestConfigDrivenCLI:
         assert "Datasets" in out
         assert "Trainer callbacks" in out
         assert "early_stopping" in out
+
+
+class TestComponentsCommand:
+    def test_lists_every_registry(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for section in ("sync-strategies", "aggregators", "topologies",
+                        "compressors", "models", "callbacks", "networks",
+                        "optimizers", "lr-schedules", "datasets"):
+            assert section in out
+        # The new component families are discoverable by name.
+        for name in ("allreduce", "local_sgd", "gossip", "geometric_median",
+                     "trimmed_mean", "coordinate_median", "ring", "star",
+                     "fully_connected"):
+            assert name in out
+
+    def test_single_registry_selection(self, capsys):
+        assert main(["components", "--registry", "aggregators"]) == 0
+        out = capsys.readouterr().out
+        assert "geometric_median" in out
+        assert "sync-strategies" not in out
+
+
+class TestSyncFlags:
+    def test_run_with_sync_flags(self, capsys):
+        assert main(["run", "--model", "fnn3", "--algorithm", "dense",
+                     "--workers", "2", "--epochs", "1", "--iterations", "2",
+                     "--sync", "gossip", "--topology", "ring"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=gossip" in out and "topology=ring" in out
+
+    def test_run_with_local_sgd_period(self, capsys):
+        assert main(["run", "--model", "fnn3", "--workers", "2", "--epochs", "1",
+                     "--iterations", "2", "--sync", "local_sgd",
+                     "--sync-period", "2"]) == 0
+        assert "period=2" in capsys.readouterr().out
+
+    def test_sync_flags_merge_over_config(self, capsys, tmp_path):
+        """Flags refine the spec file's sync section instead of replacing it."""
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2, "epochs": 1,
+            "max_iterations_per_epoch": 2, "batch_size": 16,
+            "num_train": 128, "num_test": 32,
+            "sync": {"strategy": "gossip", "topology": "star"}}))
+        assert main(["run", "--config", str(path),
+                     "--topology", "fully_connected"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=gossip" in out and "topology=fully_connected" in out
+
+    def test_invalid_sync_combination_fails_validation(self, capsys):
+        assert main(["run", "--model", "fnn3", "--algorithm", "topk",
+                     "--workers", "2", "--epochs", "1", "--iterations", "2",
+                     "--aggregator", "coordinate_median"]) == 1
+        assert "allreduce-kind compressors only" in capsys.readouterr().err
+
+    def test_validate_prints_sync_summary(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "world_size": 4,
+            "sync": {"strategy": "local_sgd", "period": 4}}))
+        assert main(["validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=local_sgd" in out and "period=4" in out
+
+    def test_validate_reports_broken_sync_spec(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "world_size": 2,
+            "sync": {"strategy": "warp", "corrupt_ranks": [9]}}))
+        assert main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown sync strategy" in err
+        assert "out of range" in err
+
+    def test_sync_flag_switches_strategy_dropping_old_knobs(self, capsys, tmp_path):
+        """--sync to a different strategy resets the old strategy's specific
+        fields instead of letting them invalidate the merged spec."""
+        path = tmp_path / "gossip.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2, "epochs": 1,
+            "max_iterations_per_epoch": 2, "batch_size": 16,
+            "num_train": 128, "num_test": 32,
+            "sync": {"strategy": "gossip", "topology": "star"}}))
+        assert main(["run", "--config", str(path), "--sync", "allreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=gossip" not in out
+
+    def test_invalid_config_sync_with_flags_reports_spec_error(self, capsys, tmp_path):
+        """A broken sync section plus sync flags fails cleanly, not with a
+        raw traceback."""
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "world_size": 2,
+            "sync": {"perod": 3}}))
+        assert main(["run", "--config", str(path), "--aggregator", "mean"]) == 1
+        err = capsys.readouterr().err
+        assert "did you mean 'period'" in err
+
+    def test_sync_alias_not_treated_as_strategy_switch(self, capsys, tmp_path):
+        """An aliased strategy name in the config ("localsgd") plus the
+        canonical name on the flag must not reset the config's period."""
+        path = tmp_path / "alias.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2, "epochs": 1,
+            "max_iterations_per_epoch": 2, "batch_size": 16,
+            "num_train": 128, "num_test": 32,
+            "sync": {"strategy": "localsgd", "period": 4}}))
+        assert main(["run", "--config", str(path), "--sync", "local_sgd"]) == 0
+        assert "period=4" in capsys.readouterr().out
+
+    def test_aggregator_switch_drops_stale_kwargs(self, capsys, tmp_path):
+        """--aggregator to a different aggregator resets the config's
+        aggregator_kwargs instead of failing construction."""
+        path = tmp_path / "trimmed.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2, "epochs": 1,
+            "max_iterations_per_epoch": 2, "batch_size": 16,
+            "num_train": 128, "num_test": 32,
+            "sync": {"aggregator": "trimmed_mean",
+                     "aggregator_kwargs": {"trim_ratio": 0.25}}}))
+        assert main(["run", "--config", str(path), "--aggregator", "mean"]) == 0
+
+    def test_sync_flags_accept_registry_aliases(self, capsys):
+        """CLI flags resolve aliases exactly like spec files do."""
+        assert main(["run", "--model", "fnn3", "--algorithm", "dense",
+                     "--workers", "2", "--epochs", "1", "--iterations", "2",
+                     "--sync", "localsgd", "--sync-period", "2"]) == 0
+        assert "strategy=local_sgd" in capsys.readouterr().out
+
+    def test_sync_flag_rejects_unknown_name_with_suggestions(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "fnn3", "--sync", "gosip"])
+        assert "available" in capsys.readouterr().err

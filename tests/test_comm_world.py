@@ -86,3 +86,40 @@ class TestInProcessWorld:
         result = world.allreduce([np.array([1.0, 2.0])])
         np.testing.assert_allclose(result[0], [1.0, 2.0])
         assert world.simulated_comm_time == 0.0
+
+class TestCollectiveOpMax:
+    """CollectiveOp.MAX is supported end to end by the traced world."""
+
+    def test_ring_allreduce_max(self, rng):
+        P = 4
+        world = InProcessWorld(P)
+        buffers = [rng.standard_normal(37).astype(np.float32) for _ in range(P)]
+        results = world.allreduce(buffers, CollectiveOp.MAX)
+        expected = np.max(np.stack(buffers), axis=0)
+        for r in range(P):
+            np.testing.assert_allclose(results[r], expected, rtol=1e-6)
+
+    def test_naive_allreduce_max(self, rng):
+        world = InProcessWorld(3, use_ring_allreduce=False)
+        buffers = [rng.standard_normal(11).astype(np.float32) for _ in range(3)]
+        results = world.allreduce(buffers, CollectiveOp.MAX)
+        np.testing.assert_array_equal(results[0], np.max(np.stack(buffers), axis=0))
+
+    def test_max_is_traced_and_priced_like_sum(self, rng):
+        """MAX moves the same bytes as SUM — the op changes arithmetic, not
+        the collective's wire pattern."""
+        buffers = [rng.standard_normal(256).astype(np.float32) for _ in range(4)]
+        max_world = InProcessWorld(4)
+        max_world.allreduce([b.copy() for b in buffers], CollectiveOp.MAX)
+        sum_world = InProcessWorld(4)
+        sum_world.allreduce([b.copy() for b in buffers], CollectiveOp.SUM)
+        assert max_world.stats.bytes_sent_per_rank == sum_world.stats.bytes_sent_per_rank
+        assert max_world.simulated_comm_time == sum_world.simulated_comm_time
+        assert max_world.last_trace.kind == "allreduce_ring"
+
+    def test_max_single_rank(self, rng):
+        world = InProcessWorld(1)
+        buffer = rng.standard_normal(9).astype(np.float32)
+        np.testing.assert_allclose(world.allreduce([buffer], CollectiveOp.MAX)[0],
+                                   buffer, rtol=1e-6)
+

@@ -88,8 +88,13 @@ def test_batched_bit_identical_to_loop(name):
             np.testing.assert_array_equal(
                 np.asarray(lp[rank]), np.asarray(bp[rank]),
                 err_msg=f"{name}: payload mismatch rank {rank} iter {iteration}")
-            assert lc[rank].keys() == bc[rank].keys()
-            for key in lc[rank]:
+            # Underscore-prefixed keys are private batch-kernel caches (e.g.
+            # a2sgd's stacked mask/error matrices); the semantic context —
+            # everything decompress()/the checkpoint may read — must match.
+            def public(ctx):
+                return {k for k in ctx if not k.startswith("_")}
+            assert public(lc[rank]) == public(bc[rank])
+            for key in public(lc[rank]):
                 np.testing.assert_array_equal(
                     np.asarray(lc[rank][key]), np.asarray(bc[rank][key]),
                     err_msg=f"{name}: ctx[{key}] mismatch rank {rank} iter {iteration}")

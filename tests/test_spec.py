@@ -238,3 +238,117 @@ class TestRunExperimentWithSpec:
         kwargs = ExperimentSpec(model="fnn3", algorithm="a2sgd", world_size=2,
                                 epochs=2, max_iterations_per_epoch=6, batch_size=16)
         assert spec.to_trainer_config() == kwargs.to_trainer_config()
+
+
+class TestSyncSection:
+    """The nested ``sync`` section: resolution, validation, JSON round-trip
+    and replace() deep-copy semantics."""
+
+    def test_default_sync_is_the_paper_setup(self):
+        from repro.sync import SyncSpec
+
+        spec = quick_spec()
+        resolved = spec.resolved_sync()
+        assert resolved == SyncSpec()
+        assert resolved.strategy == "allreduce" and resolved.aggregator == "mean"
+
+    def test_dict_form_resolves_and_derives(self):
+        from repro.sync import SyncSpec
+
+        spec = quick_spec(sync={"strategy": "local_sgd", "period": 4})
+        config = spec.to_trainer_config()
+        assert isinstance(config.sync, SyncSpec)
+        assert config.sync.period == 4
+
+    def test_trainer_config_sync_is_deep_copied(self):
+        from repro.sync import SyncSpec
+
+        sync = SyncSpec(strategy="gossip", corrupt_ranks=[1])
+        spec = quick_spec(sync=sync)
+        config = spec.to_trainer_config()
+        assert config.sync == sync and config.sync is not sync
+        config.sync.corrupt_ranks.append(0)
+        assert sync.corrupt_ranks == [1]
+
+    def test_json_round_trip_preserves_sync(self):
+        spec = quick_spec(sync={"strategy": "gossip", "topology": "star",
+                                "aggregator": "trimmed_mean",
+                                "aggregator_kwargs": {"trim_ratio": 0.25}})
+        restored = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored.to_trainer_config() == spec.to_trainer_config()
+
+    def test_replace_deep_copies_nested_sync(self):
+        """Acceptance: sibling specs made by replace() never share the nested
+        sync section's mutable state."""
+        spec = quick_spec(sync={"strategy": "local_sgd", "period": 2,
+                                "corrupt_ranks": [0]})
+        sibling = spec.replace(world_size=4)
+        sibling.sync["corrupt_ranks"].append(3)
+        sibling.sync["period"] = 8
+        assert spec.sync["corrupt_ranks"] == [0]
+        assert spec.sync["period"] == 2
+
+    def test_replace_override_of_sync_section(self):
+        spec = quick_spec()
+        other = spec.replace(sync={"strategy": "gossip", "topology": "ring"})
+        assert spec.sync is None
+        assert other.resolved_sync().strategy == "gossip"
+
+    def test_validate_accepts_all_registered_components(self):
+        quick_spec(sync={"strategy": "gossip", "topology": "fully_connected",
+                         "aggregator": "geometric_median"}).validate()
+
+    def test_validate_rejects_unknown_strategy_with_suggestion(self):
+        with pytest.raises(SpecError, match="sync strategy"):
+            quick_spec(sync={"strategy": "gosip"}).validate()
+
+    def test_validate_rejects_unknown_sync_field_with_suggestion(self):
+        with pytest.raises(SpecError, match="did you mean 'period'"):
+            quick_spec(sync={"perod": 3}).validate()
+
+    def test_validate_rejects_bad_period_and_out_of_range_ranks(self):
+        with pytest.raises(SpecError) as excinfo:
+            quick_spec(sync={"period": 0, "corrupt_ranks": [7]}).validate()
+        message = str(excinfo.value)
+        assert "period" in message and "out of range" in message
+
+    def test_validate_rejects_robust_aggregator_with_allgather_compressor(self):
+        with pytest.raises(SpecError, match="allreduce-kind compressors only"):
+            quick_spec(algorithm="topk",
+                       sync={"aggregator": "coordinate_median"}).validate()
+
+    def test_validate_allows_robust_aggregator_for_parameter_strategies(self):
+        quick_spec(algorithm="topk",
+                   sync={"strategy": "local_sgd", "period": 4,
+                         "aggregator": "coordinate_median"}).validate()
+
+    def test_validate_rejects_unconstructible_aggregator_kwargs(self):
+        with pytest.raises(SpecError, match="cannot be constructed"):
+            quick_spec(sync={"aggregator": "trimmed_mean",
+                             "aggregator_kwargs": {"trim_ratio": 0.9}}).validate()
+
+    def test_validate_rejects_non_dict_sync(self):
+        with pytest.raises(SpecError, match="sync must be"):
+            quick_spec(sync="gossip").validate()
+
+    def test_sync_spec_run_end_to_end(self):
+        spec = quick_spec(epochs=1, max_iterations_per_epoch=2,
+                          sync={"strategy": "gossip", "topology": "ring"},
+                          algorithm="dense")
+        result = run_experiment(spec)
+        assert len(result.metrics.epochs) == 1
+
+    def test_validate_flags_period_on_non_local_sgd_strategy(self):
+        with pytest.raises(SpecError, match="only used by period-based"):
+            quick_spec(sync={"period": 4}).validate()
+        with pytest.raises(SpecError, match="only used by period-based"):
+            quick_spec(sync={"strategy": "gossip", "period": 4}).validate()
+
+    def test_validate_flags_topology_on_non_gossip_strategy(self):
+        with pytest.raises(SpecError, match="only used by graph-based"):
+            quick_spec(sync={"topology": "star"}).validate()
+
+    def test_validate_accepts_strategy_specific_fields_on_their_strategy(self):
+        quick_spec(sync={"strategy": "local_sgd", "period": 4}).validate()
+        quick_spec(sync={"strategy": "gossip", "topology": "star"},
+                   algorithm="dense").validate()

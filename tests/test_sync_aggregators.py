@@ -1,0 +1,169 @@
+"""Aggregator unit + property tests: permutation invariance, mean agreement,
+Byzantine robustness, and Weiszfeld convergence."""
+
+import numpy as np
+import pytest
+
+from repro.comm.backend import CollectiveOp
+from repro.sync import AGGREGATORS, get_aggregator
+from repro.sync.aggregators import (
+    CoordinateMedianAggregator,
+    GeometricMedianAggregator,
+    MeanAggregator,
+    TrimmedMeanAggregator,
+)
+
+ALL_NAMES = ["mean", "trimmed_mean", "coordinate_median", "geometric_median"]
+ROBUST_NAMES = ["trimmed_mean", "coordinate_median", "geometric_median"]
+
+
+class TestRegistry:
+    def test_all_aggregators_registered(self):
+        assert AGGREGATORS.list() == sorted(ALL_NAMES)
+
+    def test_aliases_resolve(self):
+        assert isinstance(get_aggregator("average"), MeanAggregator)
+        assert isinstance(get_aggregator("median"), CoordinateMedianAggregator)
+        assert isinstance(get_aggregator("geomed"), GeometricMedianAggregator)
+
+    def test_kwargs_forwarded(self):
+        agg = get_aggregator("trimmed_mean", trim_ratio=0.3)
+        assert agg.trim_ratio == 0.3
+
+    def test_only_mean_advertises_a_collective_op(self):
+        assert MeanAggregator.collective_op is CollectiveOp.MEAN
+        for name in ROBUST_NAMES:
+            assert AGGREGATORS.get(name).collective_op is None
+            assert AGGREGATORS.get(name).robust
+
+
+class TestBasicCombine:
+    def test_mean_matches_numpy(self, rng):
+        X = rng.standard_normal((6, 40)).astype(np.float32)
+        np.testing.assert_array_equal(MeanAggregator().combine(X), X.mean(axis=0))
+
+    def test_requires_matrix(self, rng):
+        for name in ALL_NAMES:
+            with pytest.raises(ValueError):
+                get_aggregator(name).combine(rng.standard_normal(8))
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_identical_rows_reproduce_the_row(self, name, rng):
+        """With zero disagreement every aggregator returns the common vector."""
+        row = rng.standard_normal(33).astype(np.float32)
+        X = np.tile(row, (8, 1))
+        np.testing.assert_allclose(get_aggregator(name).combine(X), row,
+                                   rtol=1e-6, atol=1e-7)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_contributor_is_identity(self, name, rng):
+        row = rng.standard_normal(17).astype(np.float32)
+        np.testing.assert_allclose(get_aggregator(name).combine(row[None]), row,
+                                   rtol=1e-6, atol=1e-7)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_permutation_invariant(self, name, rng):
+        """Shuffling the rank order never changes the combined vector."""
+        X = rng.standard_normal((8, 64)).astype(np.float32)
+        aggregator = get_aggregator(name)
+        reference = aggregator.combine(X)
+        for seed in range(5):
+            perm = np.random.default_rng(seed).permutation(8)
+            np.testing.assert_allclose(aggregator.combine(X[perm]), reference,
+                                       rtol=1e-6, atol=1e-7)
+
+    @pytest.mark.parametrize("name", ROBUST_NAMES)
+    def test_agrees_with_mean_when_no_ranks_corrupted(self, name, rng):
+        """On honest iid contributions the robust combines estimate the same
+        center as the mean (statistical agreement, not bitwise)."""
+        center = rng.standard_normal(48).astype(np.float32)
+        X = center + 0.01 * rng.standard_normal((16, 48)).astype(np.float32)
+        robust = get_aggregator(name).combine(X)
+        mean = X.mean(axis=0)
+        # The combines differ by at most a fraction of the per-rank noise.
+        assert np.abs(robust - mean).max() < 0.01
+        np.testing.assert_allclose(robust, mean, atol=0.01)
+
+    def test_trimmed_mean_equals_mean_when_nothing_trimmed(self, rng):
+        """k = floor(trim_ratio * P) = 0 degenerates to the exact mean."""
+        X = rng.standard_normal((6, 20)).astype(np.float32)
+        result = TrimmedMeanAggregator(trim_ratio=0.1).combine(X)  # k = 0
+        np.testing.assert_array_equal(result, X.mean(axis=0))
+
+    @pytest.mark.parametrize("name", ROBUST_NAMES)
+    def test_bounded_under_corruption_where_mean_is_dragged(self, name, rng):
+        """Two corrupted ranks drag the mean arbitrarily far; the robust
+        aggregators stay near the honest center."""
+        center = rng.standard_normal(32).astype(np.float32)
+        X = center + 0.01 * rng.standard_normal((8, 32)).astype(np.float32)
+        # Both Byzantine ranks push the same direction so the mean cannot
+        # benefit from cancellation.
+        X[1] = 1e4
+        X[5] = 1e4
+        honest = center
+        robust = get_aggregator(name).combine(X)
+        mean = X.mean(axis=0)
+        assert np.abs(robust - honest).max() < 0.1
+        assert np.abs(mean - honest).max() > 100.0
+
+    def test_coordinate_median_is_exact_median(self, rng):
+        X = rng.standard_normal((5, 12)).astype(np.float32)
+        np.testing.assert_allclose(CoordinateMedianAggregator().combine(X),
+                                   np.median(X, axis=0), rtol=1e-6)
+
+
+class TestGeometricMedian:
+    def test_minimizes_distance_sum_vs_mean(self, rng):
+        """The Weiszfeld point has no larger a distance-sum objective than
+        the mean (it is the minimizer of exactly that objective)."""
+        X = rng.standard_normal((7, 10)).astype(np.float64)
+        X[0] *= 50.0
+        gm = GeometricMedianAggregator().combine(X)
+
+        def objective(y):
+            return float(np.linalg.norm(X - y, axis=1).sum())
+
+        assert objective(gm) <= objective(X.mean(axis=0)) + 1e-9
+
+    def test_collinear_points_converge_to_inner_point(self):
+        """For 1-D style data the geometric median is the coordinate median."""
+        X = np.array([[0.0], [1.0], [10.0]])
+        gm = GeometricMedianAggregator().combine(X)
+        assert abs(float(gm[0]) - 1.0) < 1e-3
+
+    def test_handles_point_coincident_with_iterate(self):
+        """The eps floor keeps Weiszfeld finite when the iterate sits on a
+        data point (the mean of symmetric points is itself a point)."""
+        X = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 0.0]])
+        gm = GeometricMedianAggregator().combine(X)
+        assert np.all(np.isfinite(gm))
+        np.testing.assert_allclose(gm, [0.0, 0.0], atol=1e-6)
+
+    def test_preserves_dtype(self, rng):
+        X = rng.standard_normal((4, 6)).astype(np.float32)
+        assert GeometricMedianAggregator().combine(X).dtype == np.float32
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            GeometricMedianAggregator(max_iterations=0)
+        with pytest.raises(ValueError):
+            GeometricMedianAggregator(tol=0.0)
+
+
+class TestTrimmedMeanValidation:
+    def test_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim_ratio=0.5)
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim_ratio=-0.1)
+
+    def test_trims_expected_extremes(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [100.0], [-100.0],
+                      [1.5], [2.5]])
+        # P=8, trim_ratio=0.25 -> k=2 per side: both outliers plus one honest
+        # value per side are dropped.
+        result = TrimmedMeanAggregator(trim_ratio=0.25).combine(X)
+        ordered = np.sort(X[:, 0])[2:-2]
+        assert abs(float(result[0]) - ordered.mean()) < 1e-12
