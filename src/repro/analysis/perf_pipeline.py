@@ -34,7 +34,8 @@ from repro.version import __version__
 
 
 def _build_trainer(fused: bool, *, model: str, algorithm: str, world_size: int,
-                   iterations: int, seed: int) -> DistributedTrainer:
+                   iterations: int, seed: int,
+                   sync: Optional[Dict] = None) -> DistributedTrainer:
     if get_model_spec(model, "tiny").task == "language_model":
         # num_train counts tokens for language models; the dataset default
         # (20k tokens) gives enough BPTT windows, and the timing loop wraps
@@ -46,7 +47,8 @@ def _build_trainer(fused: bool, *, model: str, algorithm: str, world_size: int,
     config = TrainerConfig(model=model, preset="tiny", algorithm=algorithm,
                            world_size=world_size, epochs=1, seed=seed,
                            max_iterations_per_epoch=iterations,
-                           fused_pipeline=fused, **sizes)
+                           fused_pipeline=fused, sync=dict(sync) if sync else None,
+                           **sizes)
     return DistributedTrainer(config)
 
 
@@ -89,17 +91,24 @@ def _time_iterations(trainer: DistributedTrainer, iterations: int) -> Dict[str, 
         else:
             gradients, _loss = trainer._classification_gradients(batches)
         t1 = time.perf_counter()
+        # The bound strategy, not the deprecated allreduce shim: non-default
+        # setups (local SGD, gossip, compressed parameter exchange) time
+        # their real exchange behaviour.
         if fused:
-            new_matrix, _report = trainer.synchronizer.exchange_batched(G)
+            new_matrix, report = trainer.sync_strategy.exchange_batched(G)
             t2 = time.perf_counter()
             trainer._apply_gradients_fused(new_matrix, progress)
         else:
-            new_gradients, _report = trainer.synchronizer.exchange(gradients)
+            new_gradients, report = trainer.sync_strategy.exchange(gradients)
             t2 = time.perf_counter()
             trainer._apply_gradients(new_gradients, progress)
         t3 = time.perf_counter()
+        # Post-optimizer parameter phase (local-SGD averaging, gossip):
+        # counted as exchange — it IS the wire traffic of those strategies.
+        trainer._parameter_phase(report, fused)
+        t4 = time.perf_counter()
         stage["gradients_s"] += t1 - t0
-        stage["exchange_s"] += t2 - t1
+        stage["exchange_s"] += (t2 - t1) + (t4 - t3)
         stage["apply_s"] += t3 - t2
     wall = time.perf_counter() - wall_start
 
@@ -114,11 +123,18 @@ def _time_iterations(trainer: DistributedTrainer, iterations: int) -> Dict[str, 
 
 def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
                            world_size: int = 8, iterations: int = 60,
-                           repeats: int = 3, seed: int = 0) -> Dict:
+                           repeats: int = 3, seed: int = 0,
+                           sync: Optional[Dict] = None) -> Dict:
     """Time the seed vs fused pipeline on a Figure-4-style workload.
 
-    Returns per-path per-stage times in milliseconds per iteration (best of
-    ``repeats`` runs, after one warm-up) plus the end-to-end speedup.
+    ``sync`` optionally selects a synchronization setup in
+    :class:`~repro.sync.SyncSpec` dict form (``{"strategy": "gossip",
+    "topology": "ring", "parameter_compression": "topk"}``), so the
+    trajectory file accumulates rows for the decentralized strategies and
+    their compressed parameter exchange too; None benchmarks the paper's
+    allreduce + mean.  Returns per-path per-stage times in milliseconds per
+    iteration (best of ``repeats`` runs, after one warm-up) plus the
+    end-to-end speedup.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -128,7 +144,7 @@ def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
         for attempt in range(repeats + 1):            # first run warms caches
             trainer = _build_trainer(fused, model=model, algorithm=algorithm,
                                      world_size=world_size, iterations=iterations,
-                                     seed=seed)
+                                     seed=seed, sync=sync)
             timing = _time_iterations(trainer, iterations)
             if attempt == 0:
                 continue
@@ -153,7 +169,8 @@ def run_pipeline_benchmark(model: str = "fnn3", algorithm: str = "a2sgd",
         "version": __version__,
         "workload": {"model": model, "preset": "tiny", "algorithm": algorithm,
                      "world_size": world_size, "iterations": iterations,
-                     "repeats": repeats, "seed": seed},
+                     "repeats": repeats, "seed": seed,
+                     **({"sync": dict(sync)} if sync else {})},
         "host": {"platform": platform.platform(), "python": platform.python_version(),
                  "numpy": np.__version__},
         "seed_path": results["seed_path"],
@@ -194,9 +211,18 @@ def write_benchmark_json(result: Dict, path: str | Path) -> Path:
 def format_benchmark(result: Dict) -> str:
     """Human-readable rendering of one benchmark result."""
     w = result["workload"]
+    sync = w.get("sync")
+    sync_note = ""
+    if sync:
+        parts = [sync.get("strategy", "allreduce")]
+        parts += [str(sync[key]) for key in ("topology", "period",
+                                             "parameter_compression")
+                  if sync.get(key) not in (None, "none")]
+        sync_note = f" [sync: {'+'.join(parts)}]"
     lines = [
         f"Gradient pipeline benchmark — {w['model']}/{w['preset']}, "
-        f"{w['algorithm']}, {w['world_size']} workers, {w['iterations']} iterations",
+        f"{w['algorithm']}, {w['world_size']} workers, "
+        f"{w['iterations']} iterations{sync_note}",
         f"{'stage':<14}{'seed path':>12}{'fused':>12}{'speedup':>10}",
     ]
     regressions = set(result.get("stage_regressions", ()))

@@ -69,6 +69,21 @@ DEFAULT_SYNC_SETUPS = {
     "allreduce": {"strategy": "allreduce"},
     "local_sgd_h4": {"strategy": "local_sgd", "period": 4},
     "gossip_ring": {"strategy": "gossip", "topology": "ring"},
+    # Compressed parameter exchange: the decentralized strategies ship
+    # per-rank deltas against the last synchronized reference instead of
+    # dense float32 vectors (quantized gossip / compressed local SGD).
+    # levels >= sqrt(bucket_size): error feedback needs a contractive
+    # compressor (see repro.compress.param_delta), and QSGD's default
+    # levels=4 @ bucket 512 is not.
+    "local_sgd_h4_qsgd": {"strategy": "local_sgd", "period": 4,
+                          "parameter_compression": "qsgd",
+                          "parameter_compression_kwargs": {"levels": 16,
+                                                           "bucket_size": 64}},
+    # ratio 0.1 matches dense-gossip accuracy on the tiny presets at ~10x
+    # less steady-state parameter traffic.
+    "gossip_ring_topk": {"strategy": "gossip", "topology": "ring",
+                         "parameter_compression": "topk",
+                         "parameter_compression_kwargs": {"ratio": 0.1}},
 }
 
 

@@ -88,6 +88,7 @@ SYNC_FLAG_FIELDS: Dict[str, str] = {
     "sync_period": "period",
     "aggregator": "aggregator",
     "topology": "topology",
+    "param_compression": "parameter_compression",
 }
 
 #: Flag-mode baseline for ``repro run`` (historical CLI defaults; the
@@ -118,6 +119,16 @@ def _registry_name(registry):
             raise argparse.ArgumentTypeError(str(error)) from None
     parse.__name__ = registry.kind.replace(" ", "_")    # shown in error text
     return parse
+
+
+def _param_compression_name(value: str) -> str:
+    """argparse ``type=`` for ``--param-compression``: "none" or a compressor."""
+    if value.strip().lower() in ("none", "off"):
+        return "none"
+    try:
+        return COMPRESSORS.canonical(value)
+    except KeyError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,6 +178,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               type=_registry_name(TOPOLOGIES),
                               metavar=f"{{{','.join(TOPOLOGIES.list())}}}",
                               help="gossip communication graph (default: ring)")
+    train_parent.add_argument("--param-compression", dest="param_compression",
+                              default=argparse.SUPPRESS,
+                              type=_param_compression_name,
+                              metavar=f"{{none,{','.join(COMPRESSORS.list())}}}",
+                              help="compress the parameter-phase payloads of "
+                                   "local_sgd/gossip as deltas against the last "
+                                   "synchronized reference (default: none)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
@@ -222,6 +240,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=8)
     bench.add_argument("--iterations", type=int, default=60)
     bench.add_argument("--repeats", type=int, default=3)
+    # Synchronization setup for the benchmarked workload (None fields are
+    # dropped, so the default stays the paper's allreduce + mean).
+    bench.add_argument("--sync", default=None,
+                       type=_registry_name(SYNC_STRATEGIES),
+                       metavar=f"{{{','.join(SYNC_STRATEGIES.list())}}}",
+                       help="synchronization strategy to benchmark")
+    bench.add_argument("--sync-period", type=int, default=None, metavar="H",
+                       help="local_sgd: aggregate parameters every H iterations")
+    bench.add_argument("--topology", default=None,
+                       type=_registry_name(TOPOLOGIES),
+                       metavar=f"{{{','.join(TOPOLOGIES.list())}}}",
+                       help="gossip communication graph")
+    bench.add_argument("--param-compression", dest="param_compression",
+                       default=None, type=_param_compression_name,
+                       metavar=f"{{none,{','.join(COMPRESSORS.list())}}}",
+                       help="parameter-phase delta compressor for local_sgd/gossip")
     bench.add_argument("--output", default="BENCH_pipeline.json",
                        help="JSON file the run is appended to")
     bench.set_defaults(handler=cmd_bench_pipeline)
@@ -320,8 +354,11 @@ def cmd_run(args: argparse.Namespace):
     text = format_table(
         ["epoch", "train loss", result.metric_name],
         rows,
+        # "peak": the busiest rank's traffic — for gossip the max-degree rank
+        # (the same critical path the α–β model prices); identical across
+        # ranks for the symmetric strategies.
         title=(f"{spec.model} / {spec.algorithm} / {spec.world_size} workers — "
-               f"{result.wire_bits_per_iteration:,.0f} bits/worker/iteration, "
+               f"{result.wire_bits_per_iteration:,.0f} peak bits/worker/iteration, "
                f"{result.wall_time_s:.1f}s wall time{sync_note}"))
     print(text)
     if args.output:
@@ -415,9 +452,23 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> str:
         write_benchmark_json,
     )
 
+    sync_fields = {"strategy": args.sync, "period": args.sync_period,
+                   "topology": args.topology,
+                   "parameter_compression": args.param_compression}
+    sync = {key: value for key, value in sync_fields.items() if value is not None}
+    if sync:
+        # Same gate as run/validate: a benchmark row must describe a setup
+        # that was actually exercised, not silently-ignored flags.
+        try:
+            SyncSpec.from_dict(sync).validate(world_size=args.workers,
+                                              algorithm=args.algorithm)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 1
     result = run_pipeline_benchmark(model=args.model, algorithm=args.algorithm,
                                     world_size=args.workers,
-                                    iterations=args.iterations, repeats=args.repeats)
+                                    iterations=args.iterations, repeats=args.repeats,
+                                    sync=sync or None)
     text = format_benchmark(result)
     print(text)
     if args.output:

@@ -69,6 +69,30 @@ def _stage_read_only(payload: np.ndarray) -> np.ndarray:
     return staged
 
 
+def _stage_ragged_payloads(buffers: Sequence[np.ndarray], collective: str
+                           ) -> tuple[List[np.ndarray], float]:
+    """Validate + stage possibly ragged per-rank payloads for gathering.
+
+    Payload lengths may differ across ranks (sparse compressors select a
+    different number of coordinates per worker), but every payload must
+    share one dtype — validated up front with the offending ranks named,
+    instead of failing deep inside a downstream concatenation.  Each
+    payload is staged once into a shared read-only buffer; the returned
+    mean byte size is what gather-style traces report as the message size.
+    """
+    arrays = [np.asarray(b) for b in buffers]
+    if not arrays:
+        raise ValueError("collective called with no participants")
+    dtypes = [a.dtype for a in arrays]
+    if len(set(dtypes)) > 1:
+        offenders = ", ".join(f"rank {rank}: {dtype}" for rank, dtype in enumerate(dtypes))
+        raise ValueError(
+            f"{collective} requires every rank's payload to share one dtype, "
+            f"got {offenders}; cast the payloads to a common dtype before the collective")
+    mean_bytes = float(np.mean([a.nbytes for a in arrays]))
+    return [_stage_read_only(a) for a in arrays], mean_bytes
+
+
 def _as_float_arrays(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
     arrays = [np.asarray(b) for b in buffers]
     if not arrays:
@@ -169,18 +193,8 @@ def allgather(buffers: Sequence[np.ndarray]) -> tuple[List[List[np.ndarray]], Co
     exchange instead of the seed's copy-per-rank O(P²·n)); the trace's byte
     accounting still describes the modelled ring traffic, unchanged.
     """
-    arrays = [np.asarray(b) for b in buffers]
-    if not arrays:
-        raise ValueError("collective called with no participants")
-    p = len(arrays)
-    dtypes = [a.dtype for a in arrays]
-    if len(set(dtypes)) > 1:
-        offenders = ", ".join(f"rank {rank}: {dtype}" for rank, dtype in enumerate(dtypes))
-        raise ValueError(
-            f"allgather requires every rank's payload to share one dtype, got {offenders}; "
-            "cast the payloads to a common dtype before the collective")
-    mean_bytes = float(np.mean([a.nbytes for a in arrays]))
-    staged = [_stage_read_only(a) for a in arrays]
+    staged, mean_bytes = _stage_ragged_payloads(buffers, "allgather")
+    p = len(staged)
     gathered = [list(staged) for _ in range(p)]
     trace = CollectiveTrace(kind="allgather", message_bytes=mean_bytes,
                             bytes_sent_per_rank=(p - 1) * mean_bytes if p > 1 else 0.0,
@@ -217,6 +231,14 @@ def neighbor_exchange(buffers: Sequence[np.ndarray], topology
     staged once into a shared read-only buffer exactly like
     :func:`allgather`, so neighbours receive views, not copies.
 
+    Contributions may have different lengths (an "allgatherv" over the
+    graph): compressed parameter payloads — Gaussian-K deltas in
+    particular — select a different number of coordinates per rank.  Every
+    payload must share one dtype (validated up front with the offending
+    ranks named).  The trace reports the *average* contribution as the
+    message size, so callers that price a compressed exchange pass the
+    analytic payload size via ``logical_bytes``.
+
     The trace models one send per edge endpoint: a rank with degree ``d``
     puts ``d`` copies of its payload on the wire, and the critical path is
     the maximum degree (a rank's NIC serializes its sends), which is what
@@ -224,14 +246,12 @@ def neighbor_exchange(buffers: Sequence[np.ndarray], topology
     a ring costs 2 rounds for any ``P >= 3`` (1 at ``P = 2``) while the
     star's hub pays ``P - 1``.
     """
-    arrays = _as_float_arrays(buffers)
-    p = len(arrays)
+    staged, mean_bytes = _stage_ragged_payloads(buffers, "neighbor_exchange")
+    p = len(staged)
     topology.validate(p)
-    nbytes = float(arrays[0].nbytes)
-    staged = [_stage_read_only(a) for a in arrays]
     gathered = [[staged[q] for q in topology.closed_neighborhood(r, p)] for r in range(p)]
-    trace = CollectiveTrace(kind="neighbor_exchange", message_bytes=nbytes,
-                            bytes_sent_per_rank=topology.mean_degree(p) * nbytes,
+    trace = CollectiveTrace(kind="neighbor_exchange", message_bytes=mean_bytes,
+                            bytes_sent_per_rank=topology.mean_degree(p) * mean_bytes,
                             rounds=topology.max_degree(p), world_size=p)
     return gathered, trace
 

@@ -149,12 +149,18 @@ class CollectiveTimeModel:
     def neighbor_exchange(self, message_bytes: float, max_degree: int) -> float:
         """Gossip neighbour exchange: the busiest rank's sends gate the step.
 
-        Every rank sends its full payload to each graph neighbour; sends
-        share one NIC, so the critical path is ``max_degree`` sequential
+        Every rank sends its payload to each graph neighbour; sends share
+        one NIC, so the critical path is ``max_degree`` sequential
         point-to-point messages.  A ring therefore costs 2 messages for any
         ``P >= 3`` (1 at ``P = 2``, where both directions collapse onto the
         single other rank) while a star's hub pays ``P − 1`` — the
         topology, not the world size, sets the price.
+
+        ``message_bytes`` is the payload actually serialized per message:
+        dense float32 parameter vectors cost ``4n`` bytes, while a
+        compressed parameter exchange passes the compressor's analytic
+        payload size (``wire_bits / 8``), so quantized gossip is priced by
+        what travels, not by what it reconstructs.
         """
         return max(0, int(max_degree)) * self.network.point_to_point(message_bytes)
 

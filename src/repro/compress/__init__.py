@@ -20,6 +20,7 @@ back into the gradient used for the model update, and the analytic methods
 """
 
 from repro.compress.base import CompressionStats, Compressor, ExchangeKind
+from repro.compress.param_delta import ParameterDeltaCodec
 from repro.compress.dense import DenseCompressor
 from repro.compress.a2sgd import A2SGDCompressor
 from repro.compress.topk import TopKCompressor
@@ -35,6 +36,7 @@ __all__ = [
     "Compressor",
     "ExchangeKind",
     "CompressionStats",
+    "ParameterDeltaCodec",
     "DenseCompressor",
     "A2SGDCompressor",
     "TopKCompressor",

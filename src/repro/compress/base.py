@@ -233,6 +233,38 @@ class Compressor:
         return f"{type(self).__name__}(name={self.name!r}, exchange={self.exchange.value})"
 
 
+def compressor_state_arrays(compressor: Compressor) -> Dict[str, np.ndarray]:
+    """The compressor's persistent per-rank state (error-feedback residual,
+    DGC velocity), keyed by kind — the single source of truth for
+    checkpointing, shared by the trainer checkpoint and the parameter-delta
+    codec."""
+    state: Dict[str, np.ndarray] = {}
+    for kind in ("residual", "velocity"):
+        value = getattr(compressor, f"_{kind}", None)
+        if value is not None:
+            state[kind] = value
+    return state
+
+
+def restore_compressor_state(compressor: Compressor,
+                             state: Dict[str, np.ndarray]) -> None:
+    """Inverse of :func:`compressor_state_arrays` (missing kinds are left
+    as-is).  Writes in place when shape/dtype match so state that aliases a
+    shared ``(P, n)`` matrix (rows written by the batched kernels) keeps its
+    zero-copy home."""
+    for kind in ("residual", "velocity"):
+        if kind not in state:
+            continue
+        attr = f"_{kind}"
+        current = getattr(compressor, attr, None)
+        value = state[kind]
+        if (isinstance(current, np.ndarray) and current.shape == value.shape
+                and current.dtype == value.dtype):
+            current[...] = value
+        else:
+            setattr(compressor, attr, np.array(value, copy=True))
+
+
 def sparsity_k(n: int, ratio: float, minimum: int = 1) -> int:
     """Number of retained coordinates for a sparsification ratio.
 

@@ -3,9 +3,11 @@
 Long sweeps (the paper's 150-epoch VGG runs) need to survive interruption.
 A checkpoint captures, for every simulated worker: the replica parameters,
 the optimizer state (momentum buffers), and the compressor's error-feedback
-residual — plus the trainer's progress counters and metric history.  Loading
-restores bit-identical training state so a resumed run continues exactly
-where it stopped.
+residual — plus the trainer's progress counters, metric history and the
+synchronization strategy's resume state (the step phase of periodic
+schedules, and the parameter-delta codec's references + residuals when
+``parameter_compression`` is configured).  Loading restores bit-identical
+training state so a resumed run continues exactly where it stopped.
 """
 
 from __future__ import annotations
@@ -15,35 +17,9 @@ from typing import Dict
 
 import numpy as np
 
+from repro.compress.base import compressor_state_arrays, restore_compressor_state
 from repro.core.flatten import flatten_parameters, unflatten_into_parameters
 from repro.core.trainer import DistributedTrainer
-
-
-def _compressor_state(compressor) -> Dict[str, np.ndarray]:
-    state: Dict[str, np.ndarray] = {}
-    residual = getattr(compressor, "_residual", None)
-    if residual is not None:
-        state["residual"] = residual
-    velocity = getattr(compressor, "_velocity", None)
-    if velocity is not None:
-        state["velocity"] = velocity
-    return state
-
-
-def _restore_compressor_state(compressor, state: Dict[str, np.ndarray]) -> None:
-    for kind in ("residual", "velocity"):
-        if kind not in state:
-            continue
-        attr = f"_{kind}"
-        current = getattr(compressor, attr, None)
-        value = state[kind]
-        if (isinstance(current, np.ndarray) and current.shape == value.shape
-                and current.dtype == value.dtype):
-            # Write in place so state that aliases a shared (P, n) matrix
-            # (rows written by the batched kernels) keeps its zero-copy home.
-            current[...] = value
-        else:
-            setattr(compressor, attr, np.array(value, copy=True))
 
 
 def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
@@ -60,8 +36,13 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
         arrays[f"opt_lr_{rank}"] = np.array([optimizer_state["lr"]], dtype=np.float64)
         for index, buffer in optimizer_state.get("velocity", {}).items():
             arrays[f"opt_velocity_{rank}_{index}"] = buffer
-        for key, value in _compressor_state(trainer.compressors[rank]).items():
+        for key, value in compressor_state_arrays(trainer.compressors[rank]).items():
             arrays[f"compressor_{key}_{rank}"] = value
+
+    codec = getattr(trainer.sync_strategy, "parameter_codec", None)
+    if codec is not None:
+        for key, value in codec.state_arrays().items():
+            arrays[f"sync_param_{key}"] = value
 
     arrays["progress"] = np.array([trainer._global_iteration, len(trainer.metrics.epochs)],
                                   dtype=np.int64)
@@ -103,7 +84,13 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
             key = f"compressor_{kind}_{rank}"
             if key in data:
                 state[kind] = data[key]
-        _restore_compressor_state(trainer.compressors[rank], state)
+        restore_compressor_state(trainer.compressors[rank], state)
+
+    codec = getattr(trainer.sync_strategy, "parameter_codec", None)
+    if codec is not None:
+        prefix = "sync_param_"
+        codec.load_state_arrays({name[len(prefix):]: data[name]
+                                 for name in data.files if name.startswith(prefix)})
 
     progress = data["progress"]
     trainer._global_iteration = int(progress[0])

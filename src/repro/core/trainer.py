@@ -118,7 +118,8 @@ class TrainerConfig:
     fused_pipeline: bool = True
     #: Synchronization setup: None (the default allreduce + mean, i.e. the
     #: paper's Algorithm 1), a :class:`repro.sync.SyncSpec`, or its dict form
-    #: (``{"strategy": "gossip", "topology": "ring", ...}``).
+    #: (``{"strategy": "gossip", "topology": "ring",
+    #: "parameter_compression": "topk", ...}``).
     sync: Optional[object] = None
 
 
@@ -505,12 +506,15 @@ class DistributedTrainer:
     # ------------------------------------------------------------------ #
     @property
     def wire_bits_per_iteration(self) -> float:
-        """Analytic per-worker traffic of the configured synchronization.
+        """Analytic peak per-worker traffic of the configured synchronization.
 
         Strategy-aware: the default allreduce reports the compressor's
         Table-2 figure; local SGD reports its amortized parameter exchange
-        (32n/H bits) and gossip its per-step neighbour payloads, so sweeps
-        over sync setups compare real traffic.
+        (one payload every H iterations) and gossip the busiest rank's
+        per-step neighbour payloads (max degree — the same critical path
+        the α–β model prices).  With ``sync.parameter_compression`` the
+        payload is the configured compressor's actual bits, not the dense
+        32n, so sweeps over sync setups compare real traffic.
         """
         return self.sync_strategy.wire_bits_per_iteration(
             self.num_parameters, self.config.world_size)

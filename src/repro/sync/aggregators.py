@@ -25,6 +25,7 @@ fall back to an allgather before combining.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -100,12 +101,24 @@ class TrimmedMeanAggregator(Aggregator):
     def combine(self, X: np.ndarray) -> np.ndarray:
         X = self._as_matrix(X)
         P = X.shape[0]
-        # trim_ratio < 0.5 guarantees 2k < P, so something always remains.
-        k = int(self.trim_ratio * P)
+        k = self.trim_count(P)
         if k == 0:
             return X.mean(axis=0)
         ordered = np.sort(X, axis=0)
         return ordered[k:P - k].mean(axis=0)
+
+    def trim_count(self, P: int) -> int:
+        """``floor(trim_ratio * P)`` computed robustly.
+
+        ``int(self.trim_ratio * P)`` truncates the *binary float* product,
+        which can land one below the documented floor of the decimal ratio
+        (e.g. ``0.3 * 10 == 2.999…96`` truncates to 2, not 3).  Nudging the
+        product by one part in 2⁴⁰ before flooring absorbs that
+        representation error; the clamp keeps ``2k < P`` even if a ratio
+        epsilon-close to 0.5 rounds up.
+        """
+        k = int(math.floor(self.trim_ratio * P * (1.0 + 2.0 ** -40)))
+        return min(k, (P - 1) // 2)
 
 
 @AGGREGATORS.register("coordinate_median", aliases=("median",),

@@ -20,13 +20,17 @@ pre-redesign :class:`~repro.core.synchronizer.GradientSynchronizer`
 bit for bit on both paths.
 
 Byzantine scenarios plug in through :class:`GradientCorruption`: the
-strategy flips the sign of (or scales) selected ranks' local gradients
-before any compression or exchange, modelling workers that send poisoned
-updates.  Robust aggregators bound the damage; the plain mean does not.
+corruption poisons whatever the strategy puts on the wire — gradient-phase
+strategies flip (or scale) the selected ranks' local gradients before any
+compression or exchange, while parameter-phase strategies (local SGD with
+H > 1, gossip) corrupt the *staged parameter payload* so the poison reaches
+neighbours through the aggregator, never through the rank's own local
+update.  Robust aggregators bound the damage; the plain mean does not.
 """
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +38,7 @@ import numpy as np
 from repro.comm.inprocess import InProcessWorld
 from repro.comm.topology import CommTopology
 from repro.compress.base import Compressor
+from repro.compress.param_delta import ParameterDeltaCodec
 from repro.core.timeline import SyncReport
 from repro.registry import Registry
 from repro.sync.aggregators import Aggregator
@@ -58,13 +63,18 @@ def validate_compressors(world: InProcessWorld, compressors: Sequence[Compressor
 
 
 class GradientCorruption:
-    """Byzantine gradient corruption applied to selected ranks.
+    """Byzantine corruption of selected ranks' wire contributions.
 
-    ``sign_flip`` negates the rank's gradient (a worker pushing training
+    ``sign_flip`` negates the rank's payload (a worker pushing training
     backwards); ``scale`` multiplies it by ``scale`` (a worker shouting
     ``scale`` times louder than everyone else).  Corruption happens before
     compression/exchange, so it poisons whatever the strategy puts on the
     wire — exactly the threat model robust aggregators defend against.
+    Gradient-phase strategies corrupt the local gradients in place
+    (:meth:`apply_list` / :meth:`apply_rows`, the seed semantics);
+    parameter-phase strategies corrupt *staged copies* of the parameter
+    payloads (:meth:`staged`) so a Byzantine rank's poison travels to its
+    neighbours without rewriting the rank's own local state.
     """
 
     def __init__(self, ranks: Sequence[int], kind: str = "sign_flip",
@@ -100,6 +110,20 @@ class GradientCorruption:
             g = gradients[rank]
             np.multiply(g, g.dtype.type(self._factor()), out=g)
         return gradients
+
+    def staged(self, vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Corrupted *copies* of the selected ranks' vectors, rest untouched.
+
+        Used by the parameter phase: the returned list is what goes on the
+        wire, while the caller's vectors (the ranks' live parameters) stay
+        clean — a Byzantine worker lies to the network, it does not corrupt
+        its own optimizer state.
+        """
+        staged = list(vectors)
+        for rank in self.ranks:
+            vector = np.asarray(staged[rank])
+            staged[rank] = vector * vector.dtype.type(self._factor())
+        return staged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"GradientCorruption(ranks={list(self.ranks)}, kind={self.kind!r}, "
@@ -148,6 +172,19 @@ class SyncStrategy:
         """
         return False
 
+    @classmethod
+    def exchanges_parameters(cls, period: int = 1) -> bool:
+        """Whether this strategy puts *parameter* payloads on the wire.
+
+        Consulted by :meth:`SyncSpec.problems` and :meth:`bind` to decide
+        whether ``parameter_compression`` applies: only parameter-phase
+        strategies (local SGD with H > 1, gossip) stage parameter payloads
+        a :class:`~repro.compress.param_delta.ParameterDeltaCodec` can
+        compress.  Custom strategies that implement :meth:`post_step`
+        opt in by overriding this.
+        """
+        return False
+
     def __init__(self) -> None:
         self.world: Optional[InProcessWorld] = None
         self.compressors: List[Compressor] = []
@@ -155,6 +192,9 @@ class SyncStrategy:
         self.topology: Optional[CommTopology] = None
         self.period: int = 1
         self.corruption: Optional[GradientCorruption] = None
+        #: Delta codec for the parameter phase, or None for dense float32
+        #: parameter payloads (the pre-compression behaviour, bit for bit).
+        self.parameter_codec: Optional[ParameterDeltaCodec] = None
         #: Number of completed gradient exchanges (one per iteration).
         self._step: int = 0
 
@@ -163,9 +203,17 @@ class SyncStrategy:
     # ------------------------------------------------------------------ #
     def bind(self, world: InProcessWorld, compressors: Sequence[Compressor],
              aggregator: Aggregator, *, topology: Optional[CommTopology] = None,
-             period: int = 1, corruption: Optional[GradientCorruption] = None
+             period: int = 1, corruption: Optional[GradientCorruption] = None,
+             parameter_compressors: Optional[Sequence[Compressor]] = None
              ) -> "SyncStrategy":
-        """Attach the strategy to a world; returns ``self`` for chaining."""
+        """Attach the strategy to a world; returns ``self`` for chaining.
+
+        ``parameter_compressors`` (one instance per rank, never shared with
+        the gradient-phase ``compressors``) enables compressed parameter
+        exchange: the strategy's parameter phase then ships compressed
+        deltas against per-rank references instead of dense float32 vectors.
+        Only parameter-phase strategies accept it.
+        """
         validate_compressors(world, compressors)
         if period < 1:
             raise ValueError(f"sync period must be >= 1, got {period}")
@@ -176,12 +224,22 @@ class SyncStrategy:
             topology.validate(world.world_size)
         if corruption is not None:
             corruption.validate_world(world.world_size)
+        if parameter_compressors is not None:
+            if not type(self).exchanges_parameters(period):
+                raise ValueError(
+                    f"sync strategy {self.name!r} never exchanges parameters "
+                    f"(with period={period}); parameter compression only applies "
+                    f"to parameter-phase strategies (local_sgd with period > 1, "
+                    f"gossip)")
+            validate_compressors(world, parameter_compressors)
         self.world = world
         self.compressors = list(compressors)
         self.aggregator = aggregator
         self.topology = topology
         self.period = int(period)
         self.corruption = corruption
+        self.parameter_codec = (ParameterDeltaCodec(parameter_compressors)
+                                if parameter_compressors is not None else None)
         self._step = 0
         self._after_bind()
         return self
@@ -209,10 +267,11 @@ class SyncStrategy:
     def syncs_parameters(self) -> bool:
         """Whether :meth:`post_step` may *ever* exchange parameters.
 
-        Static capability metadata; the per-iteration gate the trainer
-        consults is :meth:`post_step_pending`.
+        Static capability metadata (delegates to the class-level
+        :meth:`exchanges_parameters` with the bound period); the
+        per-iteration gate the trainer consults is :meth:`post_step_pending`.
         """
-        return False
+        return type(self).exchanges_parameters(self.period)
 
     # ------------------------------------------------------------------ #
     # gradient phase (Algorithm 1 lines 3-6, or a strategy's replacement)
@@ -282,6 +341,80 @@ class SyncStrategy:
         """Report for an iteration that touched no wire."""
         return SyncReport(compression_time_s=0.0, comm_time_s=0.0,
                           wire_bits_per_worker=0.0, exchange="local")
+
+    def _validated_gradient_count(self, gradients: Sequence[np.ndarray]) -> int:
+        """Validate the per-rank gradient list; returns the common length.
+
+        Runs *before* the strategy advances its step counter: a rejected
+        call must leave the step phase untouched, or every subsequent
+        ``post_step_pending`` / period computation would be off by one.
+        """
+        if len(gradients) != self.world.world_size:
+            raise ValueError("one gradient per rank is required")
+        n = int(np.asarray(gradients[0]).size)
+        for g in gradients:
+            if np.asarray(g).size != n:
+                raise ValueError("all ranks must contribute gradients of equal length")
+        return n
+
+    def _validated_gradient_matrix(self, G: np.ndarray) -> np.ndarray:
+        """Validate the stacked ``(P, n)`` matrix before the step advances."""
+        M = np.asarray(G)
+        if M.ndim != 2 or M.shape[0] != self.world.world_size:
+            raise ValueError(f"expected a ({self.world.world_size}, n) gradient matrix, "
+                             f"got shape {M.shape}")
+        return M
+
+    def _staged_parameter_payloads(self, rows: Sequence[np.ndarray]
+                                   ) -> List[np.ndarray]:
+        """What each rank stages on the wire for a parameter exchange.
+
+        Byzantine ranks stage corrupted *copies*: the poison reaches the
+        aggregator (and through it the neighbours), while the rank's live
+        parameter row — which the caller keeps — stays clean.
+        """
+        vectors = list(rows)
+        if self.corruption is not None:
+            vectors = self.corruption.staged(vectors)
+        return vectors
+
+    def _parameter_payload_bits(self, n: int) -> float:
+        """Analytic bits of one rank's parameter payload (codec-aware)."""
+        if self.parameter_codec is not None:
+            return self.parameter_codec.wire_bits(n)
+        return 32.0 * n
+
+    def _exchange_parameters_compressed(self, param_rows: Sequence[np.ndarray]
+                                        ) -> SyncReport:
+        """Globally aggregate parameters through the delta codec.
+
+        Every rank's staged payload is its compressed delta; the payloads
+        are allgathered (compressed payloads are not elementwise-reducible,
+        so even the ``mean`` aggregator combines off-wire), the per-rank
+        estimates are rebuilt as ``ref + decompress(delta)``, combined once
+        by the aggregator (the combine is rank-invariant), and every rank's
+        row is set to the combined result.  References then advance to the
+        estimates, keeping senders and receivers in lockstep.
+        """
+        codec = self.parameter_codec
+        staged = self._staged_parameter_payloads(param_rows)
+        start = time.perf_counter()
+        payloads, estimates, wire_bits = codec.encode(staged)
+        kernel_time = time.perf_counter() - start
+        comm_before = self.world.simulated_comm_time
+        self.world.allgather(payloads, logical_bytes=wire_bits / 8.0)
+        comm_time = self.world.simulated_comm_time - comm_before
+        start = time.perf_counter()
+        combined = self.aggregator.combine(estimates)
+        codec.advance(estimates)
+        for row in param_rows:
+            row[...] = combined
+        kernel_time += time.perf_counter() - start
+        return SyncReport(
+            compression_time_s=float(kernel_time) / self.world.world_size,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange="compressed_parameter_allgather")
 
     def _aggregate_global(self, vectors: List[np.ndarray]
                           ) -> Tuple[List[np.ndarray], SyncReport]:

@@ -44,6 +44,14 @@ class SyncSpec:
     period: int = 1
     #: Gossip communication graph: ring, star, fully_connected.
     topology: str = "ring"
+    #: Compressor for the parameter-phase payloads of local_sgd (H > 1) /
+    #: gossip: any registered compressor name, applied to the per-rank
+    #: parameter *delta* against the last synchronized reference.  "none"
+    #: keeps the dense float32 exchange, bit for bit.
+    parameter_compression: str = "none"
+    #: Extra kwargs for the parameter-phase compressor constructor
+    #: (e.g. {"ratio": 0.01} for topk).
+    parameter_compression_kwargs: Dict[str, object] = field(default_factory=dict)
     #: Ranks whose local gradients are Byzantine-corrupted every iteration.
     corrupt_ranks: List[int] = field(default_factory=list)
     #: Corruption kind: "sign_flip" (g -> -g) or "scale" (g -> scale * g).
@@ -83,9 +91,10 @@ class SyncSpec:
         """Overlay partial field overrides, dict form, for CLI/API merging.
 
         Switching a component resets the knobs owned by the old one:
-        changing ``strategy`` drops ``period``/``topology`` (a gossip
-        config's topology must not invalidate a switch to allreduce) and
-        changing ``aggregator`` drops ``aggregator_kwargs`` (trimmed_mean's
+        changing ``strategy`` drops ``period``/``topology``/
+        ``parameter_compression`` (+ kwargs) — a gossip config's topology
+        or delta compressor must not invalidate a switch to allreduce —
+        and changing ``aggregator`` drops ``aggregator_kwargs`` (trimmed_mean's
         ``trim_ratio`` would make ``mean`` unconstructible).  Names are
         compared canonically so registered aliases ("localsgd", "median")
         never read as a switch.  Overrides themselves always win.
@@ -104,6 +113,12 @@ class SyncSpec:
                 != canonical(SYNC_STRATEGIES, merged["strategy"]):
             merged["period"] = defaults.period
             merged["topology"] = defaults.topology
+            # Parameter compression belongs to the parameter-phase strategy
+            # being switched away from; a leftover compressor would make the
+            # new strategy unconstructible (or silently misconfigured).
+            merged["parameter_compression"] = defaults.parameter_compression
+            merged["parameter_compression_kwargs"] = \
+                dict(defaults.parameter_compression_kwargs)
         if "aggregator" in overrides \
                 and canonical(AGGREGATORS, overrides["aggregator"]) \
                 != canonical(AGGREGATORS, merged["aggregator"]):
@@ -160,6 +175,8 @@ class SyncSpec:
                 problems.append(f"aggregator {self.aggregator!r} cannot be constructed "
                                 f"with {self.aggregator_kwargs!r}: {error}")
 
+        problems.extend(self._parameter_compression_problems(strategy_cls))
+
         if self.corruption not in CORRUPTION_KINDS:
             problems.append(f"unknown corruption {self.corruption!r}; "
                             f"expected one of {list(CORRUPTION_KINDS)}")
@@ -200,6 +217,52 @@ class SyncSpec:
                     f"(dense, a2sgd) — or use strategy local_sgd with period > 1 / "
                     f"gossip, which aggregate parameters instead")
         return problems
+
+    def _parameter_compression_problems(self, strategy_cls: Optional[type]
+                                        ) -> List[str]:
+        """Validation of the ``parameter_compression`` (+ kwargs) fields."""
+        problems: List[str] = []
+        kwargs_ok = isinstance(self.parameter_compression_kwargs, dict)
+        if not kwargs_ok:
+            problems.append(
+                f"parameter_compression_kwargs must be a dict, "
+                f"got {type(self.parameter_compression_kwargs).__name__}")
+        if not self.compresses_parameters:
+            if kwargs_ok and self.parameter_compression_kwargs:
+                problems.append(
+                    f"parameter_compression_kwargs "
+                    f"{self.parameter_compression_kwargs!r} given but "
+                    f"parameter_compression is {self.parameter_compression!r}")
+            return problems
+        try:
+            COMPRESSORS.canonical(str(self.parameter_compression))
+        except RegistryKeyError as error:
+            problems.append(f"parameter_compression: {error}")
+            return problems
+        if kwargs_ok:
+            try:
+                COMPRESSORS.create(self.parameter_compression,
+                                   **self.parameter_compression_kwargs)
+            except Exception as error:
+                problems.append(
+                    f"parameter compressor {self.parameter_compression!r} cannot "
+                    f"be constructed with {self.parameter_compression_kwargs!r}: "
+                    f"{error}")
+        if strategy_cls is not None:
+            period = self.period if isinstance(self.period, int) else 1
+            if not strategy_cls.exchanges_parameters(period):
+                problems.append(
+                    f"parameter_compression={self.parameter_compression!r} only "
+                    f"applies to parameter-phase strategies (local_sgd with "
+                    f"period > 1, gossip); strategy {self.strategy!r} with "
+                    f"period={period} never exchanges parameters")
+        return problems
+
+    @property
+    def compresses_parameters(self) -> bool:
+        """Whether a parameter-phase compressor is configured (not "none")."""
+        name = str(self.parameter_compression).strip().lower()
+        return name not in ("none", "")
 
     def _strategy_class(self) -> Optional[type]:
         """The registered strategy class, or None when unregistered."""
@@ -242,8 +305,17 @@ class SyncSpec:
         if self.corrupt_ranks:
             corruption = GradientCorruption(self.corrupt_ranks, kind=self.corruption,
                                             scale=self.corruption_scale)
+        parameter_compressors = None
+        if self.compresses_parameters:
+            # One instance per rank: the delta codec's error-feedback
+            # residuals are per worker, exactly like the gradient phase's.
+            parameter_compressors = [
+                COMPRESSORS.create(self.parameter_compression,
+                                   **dict(self.parameter_compression_kwargs))
+                for _ in range(world.world_size)]
         return strategy.bind(world, compressors, aggregator, topology=topology,
-                             period=self.period, corruption=corruption)
+                             period=self.period, corruption=corruption,
+                             parameter_compressors=parameter_compressors)
 
     def describe(self) -> str:
         """One-line human-readable summary (used by the CLI)."""
@@ -253,6 +325,8 @@ class SyncSpec:
             parts.append(f"period={self.period}")
         if strategy_cls is not None and strategy_cls.needs_topology:
             parts.append(f"topology={self.topology}")
+        if self.compresses_parameters:
+            parts.append(f"param_compression={self.parameter_compression}")
         if self.corrupt_ranks:
             parts.append(f"corrupt_ranks={list(self.corrupt_ranks)} "
                          f"({self.corruption})")

@@ -21,6 +21,13 @@ rank averages its parameters with its neighbours on a
 not the world size — prices the exchange.  On a fully-connected graph the
 closed neighbourhood is the whole world, so gossip with the ``mean``
 aggregator matches global mean-allreduce training to float32 tolerance.
+
+Both parameter-phase strategies optionally compress their parameter
+payloads: with ``parameter_compression`` set, each rank ships a compressed
+*delta* against the last synchronized reference through a
+:class:`~repro.compress.param_delta.ParameterDeltaCodec` (quantized
+gossip), extending the paper's compression story beyond the gradient
+phase.  ``none`` keeps the dense float32 exchange, bit for bit.
 """
 
 from __future__ import annotations
@@ -78,13 +85,8 @@ class AllreduceStrategy(SyncStrategy):
     def exchange(self, gradients: Sequence[np.ndarray]
                  ) -> Tuple[List[np.ndarray], SyncReport]:
         """Synchronize one iteration's gradients (per-rank loop path)."""
+        n = self._validated_gradient_count(gradients)
         self._step += 1
-        if len(gradients) != self.world.world_size:
-            raise ValueError("one gradient per rank is required")
-        n = int(np.asarray(gradients[0]).size)
-        for g in gradients:
-            if np.asarray(g).size != n:
-                raise ValueError("all ranks must contribute gradients of equal length")
         if self.corruption is not None:
             self.corruption.apply_list(gradients)
 
@@ -138,11 +140,8 @@ class AllreduceStrategy(SyncStrategy):
         all ranks' compression in one call on one host, while the modelled
         deployment runs the per-worker kernels in parallel.
         """
+        G = np.asarray(self._validated_gradient_matrix(G), dtype=np.float32)
         self._step += 1
-        G = np.asarray(G, dtype=np.float32)
-        if G.ndim != 2 or G.shape[0] != self.world.world_size:
-            raise ValueError(f"expected a ({self.world.world_size}, n) gradient matrix, "
-                             f"got shape {G.shape}")
         if self.corruption is not None:
             self.corruption.apply_rows(G)
         n = G.shape[1]
@@ -227,41 +226,48 @@ class LocalSGDStrategy(AllreduceStrategy):
         # with any compressor (the aggregator only combines parameters).
         return period == 1
 
-    @property
-    def syncs_parameters(self) -> bool:
-        return self.period > 1
+    @classmethod
+    def exchanges_parameters(cls, period: int = 1) -> bool:
+        return period > 1
 
     def post_step_pending(self) -> bool:
         # _step > 0: no iteration has been exchanged yet before training.
         return self.period > 1 and self._step > 0 and self._step % self.period == 0
 
     def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
-        """Amortized: one dense 32n-bit parameter exchange every H steps."""
+        """Amortized: one parameter-payload exchange every H steps.
+
+        Dense float32 vectors cost 32n bits; with ``parameter_compression``
+        the configured compressor's actual payload bits are charged instead.
+        """
         if self.period == 1:
             return super().wire_bits_per_iteration(n, world_size)
-        return 32.0 * n / self.period
+        return self._parameter_payload_bits(n) / self.period
 
     def exchange(self, gradients: Sequence[np.ndarray]
                  ) -> Tuple[List[np.ndarray], SyncReport]:
         if self.period == 1:
             return super().exchange(gradients)
+        # Local-only iteration: nothing gradient-shaped ever reaches the
+        # wire, so Byzantine corruption does NOT touch the local gradients —
+        # it poisons the parameter payload staged in post_step instead.
+        self._validated_gradient_count(gradients)
         self._step += 1
-        if self.corruption is not None:
-            self.corruption.apply_list(gradients)
         return list(gradients), self._passthrough_report()
 
     def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
         if self.period == 1:
             return super().exchange_batched(G)
+        self._validated_gradient_matrix(G)
         self._step += 1
-        if self.corruption is not None:
-            self.corruption.apply_rows(G)
         return G, self._passthrough_report()
 
     def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
         if self.period == 1 or self._step % self.period != 0:
             return None
-        vectors = list(param_rows)
+        if self.parameter_codec is not None:
+            return self._exchange_parameters_compressed(param_rows)
+        vectors = self._staged_parameter_payloads(param_rows)
         results, report = self._aggregate_global(vectors)
         for row, result in zip(param_rows, results):
             row[...] = result
@@ -287,43 +293,91 @@ class GossipStrategy(SyncStrategy):
     name = "gossip"
     needs_topology = True
 
-    @property
-    def syncs_parameters(self) -> bool:
+    @classmethod
+    def exchanges_parameters(cls, period: int = 1) -> bool:
         return True
 
     def post_step_pending(self) -> bool:
         return True
 
     def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
-        """One 32n-bit parameter payload to each graph neighbour, every step."""
+        """One parameter payload to each neighbour of the *busiest* rank.
+
+        Priced by the graph's **maximum** degree — the same critical path
+        the α–β network model charges for the exchange (a star's hub sends
+        P − 1 payloads while the leaves send one; the hub gates the step).
+        Per-payload bits are 32n for dense float32 vectors, or the
+        configured ``parameter_compression`` compressor's actual bits.
+        The *average* per-rank traffic is ``topology.mean_degree(P)``
+        payloads instead.
+        """
         if self.topology is None:
             return 0.0
-        return self.topology.mean_degree(world_size) * 32.0 * n
+        return self.topology.max_degree(world_size) * self._parameter_payload_bits(n)
 
     def exchange(self, gradients: Sequence[np.ndarray]
                  ) -> Tuple[List[np.ndarray], SyncReport]:
+        # Gradients never reach the wire under gossip; Byzantine corruption
+        # poisons the parameter payload staged in post_step instead.
+        self._validated_gradient_count(gradients)
         self._step += 1
-        if self.corruption is not None:
-            self.corruption.apply_list(gradients)
         return list(gradients), self._passthrough_report()
 
     def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
+        self._validated_gradient_matrix(G)
         self._step += 1
-        if self.corruption is not None:
-            self.corruption.apply_rows(G)
         return G, self._passthrough_report()
 
     def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
         world, topology = self.world, self.topology
-        nbytes = float(np.asarray(param_rows[0]).nbytes)
+        max_degree = topology.max_degree(world.world_size)
+        if self.parameter_codec is not None:
+            return self._gossip_compressed(param_rows, max_degree)
+        staged_rows = self._staged_parameter_payloads(param_rows)
+        nbytes = float(np.asarray(staged_rows[0]).nbytes)
         comm_before = world.simulated_comm_time
-        gathered = world.neighbor_exchange(list(param_rows), topology)
+        gathered = world.neighbor_exchange(staged_rows, topology)
         comm_time = world.simulated_comm_time - comm_before
         # All neighbourhood payloads are staged read-only copies, so the
         # in-place writes below cannot corrupt a neighbour's input.
         for rank, neighborhood in enumerate(gathered):
             param_rows[rank][...] = self.aggregator.combine(np.stack(neighborhood))
-        mean_degree = topology.mean_degree(world.world_size)
         return SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),
-                          wire_bits_per_worker=mean_degree * 8.0 * nbytes,
+                          wire_bits_per_worker=max_degree * 8.0 * nbytes,
                           exchange="neighbor_exchange")
+
+    def _gossip_compressed(self, param_rows: Sequence[np.ndarray],
+                           max_degree: int) -> SyncReport:
+        """One gossip step over compressed parameter deltas.
+
+        Each rank ships its compressed delta to its neighbours; receivers
+        rebuild the sender's estimate as ``ref + decompress(delta)`` and
+        aggregate their closed neighbourhood's *estimates* (including their
+        own — sender and receivers must agree on what rank ``p``'s
+        parameters look like).  References advance to the estimates, so the
+        next deltas stay small and the compressors' error feedback carries
+        the loss forward.
+        """
+        world, topology = self.world, self.topology
+        codec = self.parameter_codec
+        staged_rows = self._staged_parameter_payloads(param_rows)
+        start = time.perf_counter()
+        payloads, estimates, wire_bits = codec.encode(staged_rows)
+        kernel_time = time.perf_counter() - start
+        # The exchange moves the compressed payloads (the estimates are
+        # recomputed locally by every receiver); the α–β model prices the
+        # compressed payload size, not the dense vectors it stands for.
+        comm_before = world.simulated_comm_time
+        world.neighbor_exchange(payloads, topology, logical_bytes=wire_bits / 8.0)
+        comm_time = world.simulated_comm_time - comm_before
+        start = time.perf_counter()
+        for rank in range(world.world_size):
+            neighborhood = list(topology.closed_neighborhood(rank, world.world_size))
+            param_rows[rank][...] = self.aggregator.combine(estimates[neighborhood])
+        codec.advance(estimates)
+        kernel_time += time.perf_counter() - start
+        return SyncReport(
+            compression_time_s=float(kernel_time) / world.world_size,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=max_degree * float(wire_bits),
+            exchange="compressed_neighbor_exchange")

@@ -167,3 +167,34 @@ class TestTrimmedMeanValidation:
         result = TrimmedMeanAggregator(trim_ratio=0.25).combine(X)
         ordered = np.sort(X[:, 0])[2:-2]
         assert abs(float(result[0]) - ordered.mean()) < 1e-12
+
+    @pytest.mark.parametrize("ratio,P,expected", [
+        (0.3, 10, 3),      # 0.3 * 10 == 2.999…96 in binary: int() said 2
+        (0.29, 100, 29),   # 0.29 * 100 == 28.999…96: int() said 28
+        (0.35, 20, 7),     # 0.35 * 20 == 6.999…99: int() said 6
+        (0.1, 30, 3),
+        (0.1, 7, 0),       # genuine sub-integer products still floor down
+        (0.25, 8, 2),      # exact products stay exact (no overshoot)
+        (0.4999, 10, 4),
+        (0.2, 4, 0),       # 0.2 * 4 == 0.8 -> floor 0
+    ])
+    def test_trim_count_is_the_decimal_floor(self, ratio, P, expected):
+        """k must be floor(trim_ratio · P) of the *decimal* ratio; binary
+        float truncation used to land one below at awkward (ratio, P)."""
+        aggregator = TrimmedMeanAggregator(trim_ratio=ratio)
+        assert aggregator.trim_count(P) == expected
+        # The combine agrees with an explicitly sorted-and-sliced reference.
+        X = np.arange(P, dtype=np.float64)[:, None] * np.ones((1, 3))
+        result = aggregator.combine(X)
+        reference = (np.arange(P, dtype=np.float64)[expected:P - expected].mean()
+                     if expected else np.arange(P, dtype=np.float64).mean())
+        np.testing.assert_allclose(result, np.full(3, reference))
+
+    def test_trim_count_near_half_never_empties_the_stack(self):
+        """Ratios epsilon-close to 0.5 clamp so 2k < P always holds."""
+        aggregator = TrimmedMeanAggregator(trim_ratio=0.49999999999999)
+        for P in (2, 3, 4, 5, 8, 10, 11):
+            k = aggregator.trim_count(P)
+            assert 2 * k < P
+            result = aggregator.combine(np.ones((P, 2)))
+            np.testing.assert_array_equal(result, np.ones(2))
