@@ -37,6 +37,14 @@ The package is organised as a stack of subsystems:
 
 from repro.version import __version__
 
+from repro.utils import denormals
+
+# Subnormal floats run through 10-100x-slower microcode assists on x86, and
+# training produces them constantly (saturated gates, BPTT chain products,
+# softmax tails).  Flush them at the hardware level for the importing thread,
+# exactly as PyTorch does by default; set REPRO_KEEP_DENORMALS=1 to opt out.
+denormals.enable_flush_to_zero()
+
 from repro.compress import (
     A2SGDCompressor,
     Compressor,

@@ -80,6 +80,7 @@ RUN_FLAG_FIELDS: Dict[str, str] = {
     "seed": "seed",
     "eval_every": "eval_every",
     "fused_pipeline": "fused_pipeline",
+    "taped": "taped",
 }
 
 #: argparse dest -> SyncSpec field, merged into the spec's ``sync`` section.
@@ -160,6 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               default=argparse.SUPPRESS,
                               help="use the zero-copy fused pipeline (--no-fused for "
                                    "the seed per-rank loops)")
+    train_parent.add_argument("--taped", dest="taped",
+                              action=argparse.BooleanOptionalAction,
+                              default=argparse.SUPPRESS,
+                              help="record the batched graph once and replay it every "
+                                   "iteration (--no-taped for the eager batched path)")
     # type=, not choices=: registry lookups accept aliases and case/
     # punctuation variants ("localsgd", "Top-K"), exactly like spec files,
     # and the canonical name lands in the namespace.
@@ -240,6 +246,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=8)
     bench.add_argument("--iterations", type=int, default=60)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--taped", dest="taped", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="also time the taped record/replay executor "
+                            "(--no-taped to benchmark only seed vs fused)")
     # Synchronization setup for the benchmarked workload (None fields are
     # dropped, so the default stays the paper's allreduce + mean).
     bench.add_argument("--sync", default=None,
@@ -379,8 +389,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
     derived = spec.to_trainer_config()
     print(f"derived TrainerConfig: model={derived.model!r} preset={derived.preset!r} "
           f"algorithm={derived.algorithm!r} world_size={derived.world_size} "
-          f"epochs={derived.epochs} fused_pipeline={derived.fused_pipeline}")
-    print(f"sync: {spec.resolved_sync().describe()}")
+          f"epochs={derived.epochs} fused_pipeline={derived.fused_pipeline} "
+          f"taped={derived.taped}")
+    sync = spec.resolved_sync()
+    print(f"sync: {sync.describe()}")
+    for note in sync.notes():
+        print(f"note: {note}")
     return 0
 
 
@@ -468,7 +482,7 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> str:
     result = run_pipeline_benchmark(model=args.model, algorithm=args.algorithm,
                                     world_size=args.workers,
                                     iterations=args.iterations, repeats=args.repeats,
-                                    sync=sync or None)
+                                    sync=sync or None, taped=args.taped)
     text = format_benchmark(result)
     print(text)
     if args.output:

@@ -185,6 +185,19 @@ class Compressor:
                 M[p] = r
         return M
 
+    def contraction_problem(self) -> Optional[str]:
+        """Why this configuration is not provably contractive, or None.
+
+        Error-feedback recursions (and the parameter-delta codec built on
+        them, see :mod:`repro.compress.param_delta`) require a *contractive*
+        compressor — ``E‖v − C(v)‖² ≤ (1 − δ)‖v‖²`` with ``δ > 0`` — or the
+        residual amplifies instead of draining.  The sparsifiers are
+        contractive by construction, so the base returns None; quantizers
+        whose error bound can exceed the input norm override this with the
+        configured-instance check.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # analytic properties (Table 2)
     # ------------------------------------------------------------------ #

@@ -40,6 +40,12 @@ class DGCCompressor(TopKCompressor):
     clip_norm_factor:
         Gradients are clipped to ``clip_norm_factor * ||g||_2 / sqrt(n)`` per
         coordinate before accumulation; ``None`` disables clipping.
+    clip_dtype:
+        Dtype of the clip threshold, which numpy promotion then propagates to
+        the clipped gradient and the velocity/residual state.  The historical
+        ``float64`` default doubles the state memory and runs the momentum
+        arithmetic in double precision; ``float32`` keeps the whole pipeline
+        in single precision at the cost of one rounding of the threshold.
     """
 
     name = "dgc"
@@ -47,12 +53,17 @@ class DGCCompressor(TopKCompressor):
     uses_error_feedback = True
 
     def __init__(self, ratio: float = 0.001, momentum: float = 0.9,
-                 clip_norm_factor: float | None = 1.0):
+                 clip_norm_factor: float | None = 1.0,
+                 clip_dtype: str | np.dtype = "float64"):
         super().__init__(ratio=ratio, error_feedback=True)
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = float(momentum)
         self.clip_norm_factor = clip_norm_factor
+        self.clip_dtype = np.dtype(clip_dtype)
+        if self.clip_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("clip_dtype must be float32 or float64, "
+                             f"got {clip_dtype!r}")
         self._velocity: np.ndarray | None = None
 
     def reset_state(self) -> None:
@@ -65,7 +76,8 @@ class DGCCompressor(TopKCompressor):
         norm = float(np.linalg.norm(gradient))
         if norm == 0.0:
             return gradient
-        threshold = self.clip_norm_factor * norm / np.sqrt(gradient.size)
+        threshold = self.clip_dtype.type(
+            self.clip_norm_factor * norm / np.sqrt(gradient.size))
         return np.clip(gradient, -threshold, threshold)
 
     def compress(self, gradient: np.ndarray) -> Tuple[np.ndarray, Dict]:
@@ -111,6 +123,7 @@ class DGCCompressor(TopKCompressor):
         reference = compressors[0]
         if any(c.ratio != reference.ratio or c.momentum != reference.momentum
                or c.clip_norm_factor != reference.clip_norm_factor
+               or c.clip_dtype != reference.clip_dtype
                for c in compressors):
             return Compressor.compress_batch(compressors, G)
 
@@ -121,10 +134,10 @@ class DGCCompressor(TopKCompressor):
             state_dtype = np.float32
         else:
             # Same per-rank norm + scalar clip as the looped _clip.  The
-            # numpy-scalar threshold promotes the clipped gradient (and hence
-            # the velocity/residual state) to float64, exactly as the looped
-            # path does; a rank with a zero-norm gradient keeps float32 there,
-            # so that degenerate mix falls back to the loop.
+            # clip_dtype threshold scalar propagates its dtype to the clipped
+            # gradient (and hence the velocity/residual state), exactly as the
+            # looped path does; a rank with a zero-norm gradient keeps float32
+            # there, so that degenerate mix falls back to the loop.
             if any(float(np.linalg.norm(G[p])) == 0.0 for p in range(P)):
                 return Compressor.compress_batch(compressors, G)
             clipped = np.stack([reference._clip(G[p]) for p in range(P)])

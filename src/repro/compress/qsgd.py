@@ -215,6 +215,26 @@ class QSGDCompressor(Compressor):
         return payloads, contexts
 
     # ------------------------------------------------------------------ #
+    def contraction_problem(self) -> Optional[str]:
+        """QSGD's per-bucket error bound is ``(b/s²)·‖v‖²`` for ``b``
+        coordinates at ``s`` levels: the quantization contracts only when
+        ``levels >= sqrt(bucket_size)``.  The paper-default ``s = 4`` with
+        512-coordinate buckets is unbiased but *not* contractive."""
+        if self.bucket_size is None:
+            return ("qsgd with bucket_size=None quantizes against the whole-"
+                    "vector norm, so its error bound n/levels^2 grows with the "
+                    "model size and the compression is not contractive; set a "
+                    "bucket_size <= levels^2")
+        if self.levels * self.levels < self.bucket_size:
+            required = int(np.ceil(np.sqrt(self.bucket_size)))
+            return (f"qsgd with levels={self.levels} and "
+                    f"bucket_size={self.bucket_size} is not contractive "
+                    f"(needs levels >= sqrt(bucket_size) = {required}); "
+                    f"error feedback cannot drain the residual of a "
+                    f"non-contractive codec — raise levels or shrink "
+                    f"bucket_size (e.g. levels=16, bucket_size=64)")
+        return None
+
     def wire_bits(self, n: int, world_size: int = 1) -> float:
         """The paper quotes 2.8n + 32 bits for QSGD at low quantization levels."""
         return 2.8 * n + 32.0

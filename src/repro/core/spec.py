@@ -85,6 +85,8 @@ class ExperimentSpec:
     network: Union[None, str, dict, NetworkModel] = None
     eval_every: int = 1
     fused_pipeline: bool = True
+    #: Record-once/replay execution on the fused path (see repro.tensor.tape).
+    taped: bool = True
     #: Callback specs: registered names or {"name": ..., **kwargs} dicts
     #: (ready Callback instances are accepted but not JSON-serializable).
     callbacks: List[object] = field(default_factory=list)
@@ -221,6 +223,8 @@ class ExperimentSpec:
                             f"got {type(self.compressor_kwargs).__name__}")
         if not isinstance(self.fused_pipeline, bool):
             problems.append(f"fused_pipeline must be true/false, got {self.fused_pipeline!r}")
+        if not isinstance(self.taped, bool):
+            problems.append(f"taped must be true/false, got {self.taped!r}")
 
         if isinstance(self.network, str) and self.network not in NETWORKS:
             problems.append(f"unknown network {self.network!r}; "

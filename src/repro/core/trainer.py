@@ -116,6 +116,11 @@ class TrainerConfig:
     #: loops — kept for A/B benchmarking and as the reference semantics the
     #: fused path is tested against.
     fused_pipeline: bool = True
+    #: Record the batched executor's graph once per input signature and replay
+    #: it on later iterations (bit-identical; see repro.tensor.tape).  Only
+    #: affects the fused pipeline; models that record unreplayable ops (e.g.
+    #: active dropout) fall back to eager batched execution automatically.
+    taped: bool = True
     #: Synchronization setup: None (the default allreduce + mean, i.e. the
     #: paper's Algorithm 1), a :class:`repro.sync.SyncSpec`, or its dict form
     #: (``{"strategy": "gossip", "topology": "ring",
@@ -182,7 +187,8 @@ class DistributedTrainer:
                 optimizer.bind_flat(self.flat_world.replica_buffers[rank],
                                     velocity_store=self._velocity_matrix[rank])
             self.executor = build_replica_executor(self.replicas, self.flat_world,
-                                                   self.spec.task)
+                                                   self.spec.task,
+                                                   taped=config.taped)
 
         self._setup_data()
         # The stacked LM executor needs every rank to contribute equally-shaped

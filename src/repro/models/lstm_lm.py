@@ -93,6 +93,11 @@ class LSTMLanguageModel(nn.Module):
         logits = self.decoder.forward_batched(flat, stack)            # (P, T*N, V)
         return logits, state
 
+    def initial_state_batched(self, world_size: int, batch_size: int
+                              ) -> List[Tuple[Tensor, Tensor]]:
+        """Zero per-layer LSTM state for a stacked ``(P, N)`` replica batch."""
+        return self.lstm.initial_state_batched(world_size, batch_size)
+
     def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:
         """Detach the carried state between truncated-BPTT windows."""
         return self.lstm.detach_state(state)

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor, init
+from repro.tensor.tensor import invalidate_active_tape, record_tape_effect
 
 
 class _BatchNormBase(Module):
@@ -55,11 +56,20 @@ class BatchNorm1d(_BatchNormBase):
         if self.training:
             mean = x.mean(axis=1, keepdims=True)
             var = x.var(axis=1, keepdims=True)
-            for sibling, m_row, v_row in zip(stack.siblings(self),
-                                             mean.data.reshape(P, -1),
-                                             var.data.reshape(P, -1)):
-                sibling._update_running(m_row, v_row)
+            siblings = list(stack.siblings(self))
+
+            def update_running() -> None:
+                # Reads mean/var data fresh at call time, so a tape replay that
+                # refreshed those buffers in place updates the same statistics.
+                for sibling, m_row, v_row in zip(siblings,
+                                                 mean.data.reshape(P, -1),
+                                                 var.data.reshape(P, -1)):
+                    sibling._update_running(m_row, v_row)
+
+            update_running()
+            record_tape_effect(update_running)
         else:
+            invalidate_active_tape("batchnorm eval-mode buffers")
             siblings = stack.siblings(self)
             mean = Tensor(np.stack([s._buffers["running_mean"] for s in siblings])
                           .reshape(P, 1, -1))
@@ -97,11 +107,18 @@ class BatchNorm2d(_BatchNormBase):
         if self.training:
             mean = x.mean(axis=(1, 3, 4), keepdims=True)
             var = self._channel_var_batched(x, mean)
-            for sibling, m_row, v_row in zip(stack.siblings(self),
-                                             mean.data.reshape(P, -1),
-                                             var.data.reshape(P, -1)):
-                sibling._update_running(m_row, v_row)
+            siblings = list(stack.siblings(self))
+
+            def update_running() -> None:
+                for sibling, m_row, v_row in zip(siblings,
+                                                 mean.data.reshape(P, -1),
+                                                 var.data.reshape(P, -1)):
+                    sibling._update_running(m_row, v_row)
+
+            update_running()
+            record_tape_effect(update_running)
         else:
+            invalidate_active_tape("batchnorm eval-mode buffers")
             siblings = stack.siblings(self)
             mean = Tensor(np.stack([s._buffers["running_mean"] for s in siblings])
                           .reshape(P, 1, -1, 1, 1))

@@ -43,8 +43,12 @@ class LSTMCell(Module):
         f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
         g_gate = gates[:, 2 * hs:3 * hs].tanh()
         o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
-        c_new = f_gate * c_prev + i_gate * g_gate
-        h_new = o_gate * c_new.tanh()
+        # Saturated-gate products decay carried values into float32
+        # subnormals across long chains, where x86 kernels run 10-100x
+        # slower; flushing the state updates keeps the recurrence (and its
+        # backward) at full kernel speed without touching normal values.
+        c_new = (f_gate * c_prev + i_gate * g_gate).flush_subnormals()
+        h_new = (o_gate * c_new.tanh()).flush_subnormals()
         return h_new, c_new
 
     def forward_batched(self, x: Tensor, state: Tuple[Tensor, Tensor], stack
@@ -68,8 +72,10 @@ class LSTMCell(Module):
         f_gate = gates[:, :, 1 * hs:2 * hs].sigmoid()
         g_gate = gates[:, :, 2 * hs:3 * hs].tanh()
         o_gate = gates[:, :, 3 * hs:4 * hs].sigmoid()
-        c_new = f_gate * c_prev + i_gate * g_gate
-        h_new = o_gate * c_new.tanh()
+        # Same subnormal flush as :meth:`forward` — the stacked update must
+        # stay bit-identical to stepping each replica's cell alone.
+        c_new = (f_gate * c_prev + i_gate * g_gate).flush_subnormals()
+        h_new = (o_gate * c_new.tanh()).flush_subnormals()
         return h_new, c_new
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
@@ -153,6 +159,11 @@ class LSTM(Module):
             outputs.append(layer_input)
         stacked = Tensor.stack(outputs, axis=1)
         return stacked, states
+
+    def initial_state_batched(self, world_size: int, batch_size: int
+                              ) -> List[Tuple[Tensor, Tensor]]:
+        """Zero per-layer state for all replicas at once."""
+        return [cell.initial_state_batched(world_size, batch_size) for cell in self.cells]
 
     def detach_state(self, state: List[Tuple[Tensor, Tensor]]) -> List[Tuple[Tensor, Tensor]]:
         """Truncate backpropagation-through-time by detaching carried state."""

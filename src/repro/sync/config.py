@@ -17,6 +17,7 @@ synchronous allreduce with mean aggregation and no corruption.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -258,6 +259,30 @@ class SyncSpec:
                     f"period={period} never exchanges parameters")
         return problems
 
+    def notes(self) -> List[str]:
+        """Advisory notes: configurations that run but deserve a warning.
+
+        Unlike :meth:`problems` these never fail :meth:`validate` — a
+        non-contractive parameter compressor still trains (the end-to-end
+        tests exercise QSGD's defaults) but its error-feedback residual has
+        no drain guarantee, so the mistake is surfaced rather than enforced.
+        ``repro validate`` prints these and :meth:`build` raises them as
+        ``RuntimeWarning``.
+        """
+        notes: List[str] = []
+        if self.compresses_parameters \
+                and isinstance(self.parameter_compression_kwargs, dict):
+            try:
+                compressor = COMPRESSORS.create(
+                    self.parameter_compression,
+                    **self.parameter_compression_kwargs)
+            except Exception:
+                return notes                   # reported by problems()
+            issue = compressor.contraction_problem()
+            if issue:
+                notes.append(f"parameter_compression: {issue}")
+        return notes
+
     @property
     def compresses_parameters(self) -> bool:
         """Whether a parameter-phase compressor is configured (not "none")."""
@@ -313,6 +338,9 @@ class SyncSpec:
                 COMPRESSORS.create(self.parameter_compression,
                                    **dict(self.parameter_compression_kwargs))
                 for _ in range(world.world_size)]
+            issue = parameter_compressors[0].contraction_problem()
+            if issue:
+                warnings.warn(issue, RuntimeWarning, stacklevel=2)
         return strategy.bind(world, compressors, aggregator, topology=topology,
                              period=self.period, corruption=corruption,
                              parameter_compressors=parameter_compressors)

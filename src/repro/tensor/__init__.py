@@ -13,6 +13,7 @@ gradients have the same statistical structure the A2SGD algorithm exploits.
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, randn
+from repro.tensor.tape import Tape, TapeReplayer, recording
 from repro.tensor import functional
 from repro.tensor import init
 
@@ -26,4 +27,7 @@ __all__ = [
     "is_grad_enabled",
     "functional",
     "init",
+    "Tape",
+    "TapeReplayer",
+    "recording",
 ]

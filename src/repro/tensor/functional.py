@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, _unbroadcast
+from repro.tensor.tensor import Tensor, _unbroadcast, active_tape, invalidate_active_tape
 
 
 # ---------------------------------------------------------------------- #
@@ -153,9 +153,9 @@ def conv2d_batched(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, *,
         cols.reshape(ckk, out_h * out_w, P, n).transpose(2, 0, 1, 3)
     ).reshape(P, ckk, out_h * out_w * n)
     w_mat = weight.data.reshape(P, c_out, ckk)
-    out = np.matmul(w_mat, cols_p)                         # (P, C_out, OH*OW*N)
-    out = (out.reshape(P, c_out, out_h * out_w, n).transpose(0, 3, 1, 2)
-              .reshape(P, n, c_out, out_h, out_w))
+    mm = np.matmul(w_mat, cols_p)                          # (P, C_out, OH*OW*N)
+    out = (mm.reshape(P, c_out, out_h * out_w, n).transpose(0, 3, 1, 2)
+             .reshape(P, n, c_out, out_h, out_w))
     if bias is not None:
         out = out + bias.data.reshape(P, 1, c_out, 1, 1)
 
@@ -177,7 +177,26 @@ def conv2d_batched(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, *,
             dx = _col2im(dcols, (P * n, c_in, h, w), kernel, stride, padding, cache)
             x._accumulate(dx.reshape(P, n, c_in, h, w))
 
-    return Tensor._make(out, parents, "conv2d_batched", backward)
+    if active_tape() is None:
+        return Tensor._make(out, parents, "conv2d_batched", backward)
+    # Replay workspaces: cols_p and mm are refreshed in place (backward reads
+    # cols_p and w_mat), and the final rearranged/bias-added result lands in
+    # the same ``out`` array downstream nodes and closures reference.
+    cols_p4 = cols_p.reshape(P, ckk, out_h * out_w, n)
+    out4 = out.reshape(P, n, c_out, out_h * out_w)
+    w_is_view = np.shares_memory(w_mat, weight.data)
+
+    def replay() -> None:
+        new_cols, _ = _im2col(x.data.reshape(P * n, c_in, h, w), kernel, stride, padding)
+        np.copyto(cols_p4, new_cols.reshape(ckk, out_h * out_w, P, n).transpose(2, 0, 1, 3))
+        if not w_is_view:
+            w_mat[...] = weight.data.reshape(P, c_out, ckk)
+        np.matmul(w_mat, cols_p, out=mm)
+        np.copyto(out4, mm.reshape(P, c_out, out_h * out_w, n).transpose(0, 3, 1, 2))
+        if bias is not None:
+            out += bias.data.reshape(P, 1, c_out, 1, 1)
+
+    return Tensor._make(out, parents, "conv2d_batched", backward, replay)
 
 
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -261,7 +280,21 @@ def max_pool2d_batched(x: Tensor, kernel: int = 2, stride: Optional[int] = None)
             g = grad[:, :, :, :, None, :, None] * mask
             x._accumulate(g.reshape(P, n, c, h, w))
 
-        return Tensor._make(out, (x,), "max_pool2d_batched", backward)
+        if active_tape() is None:
+            return Tensor._make(out, (x,), "max_pool2d_batched", backward)
+
+        def replay() -> None:
+            win = x.data.reshape(P, n, c, out_h, kernel, out_w, kernel)
+            np.max(win, axis=(4, 6), out=out)
+            np.equal(win, out[:, :, :, :, None, :, None], out=argmask)
+            # ``mask`` is a view of ``first``: zero it and re-scatter the
+            # first-max tie-break in place so backward sees fresh winners.
+            new_flat = (argmask.transpose(0, 1, 2, 3, 5, 4, 6)
+                        .reshape(P, n, c, out_h, out_w, kernel * kernel))
+            first[...] = False
+            np.put_along_axis(first, new_flat.argmax(axis=-1)[..., None], 1, axis=-1)
+
+        return Tensor._make(out, (x,), "max_pool2d_batched", backward, replay)
 
     # Strided / non-dividing windows: fold the replica axis into the im2col
     # batch exactly as the unbatched slow path folds (N, C).
@@ -281,7 +314,18 @@ def max_pool2d_batched(x: Tensor, kernel: int = 2, stride: Optional[int] = None)
         dx = _col2im(dcols, (P * n * c, 1, h, w), kernel, stride, 0, cache)
         x._accumulate(dx.reshape(P, n, c, h, w))
 
-    return Tensor._make(out, (x,), "max_pool2d_batched", backward)
+    if active_tape() is None:
+        return Tensor._make(out, (x,), "max_pool2d_batched", backward)
+    col_index = np.arange(cols.shape[1])
+
+    def replay() -> None:
+        new_cols, _ = _im2col(x.data.reshape(P * n * c, 1, h, w), kernel, stride, 0)
+        cols[...] = new_cols.reshape(kernel * kernel, -1)
+        arg[...] = cols.argmax(axis=0)
+        np.copyto(out.reshape(P * n * c, oh * ow),
+                  cols[arg, col_index].reshape(oh * ow, P * n * c).T)
+
+    return Tensor._make(out, (x,), "max_pool2d_batched", backward, replay)
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -321,6 +365,8 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    # The max-shift constant is a detached Tensor the tape cannot refresh.
+    invalidate_active_tape("softmax max-shift constant")
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -328,6 +374,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    invalidate_active_tape("log_softmax max-shift constant")
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
@@ -345,7 +392,12 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         raise ValueError(f"targets length {targets.shape[0]} does not match batch {n}")
 
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    # Deeply negative shifted logits (< ~-87) exponentiate into float32
+    # subnormals, where x86 kernels run 10-100x slower; those terms cannot
+    # move the float32 logsumexp (the max term is 1.0), so flush them.
+    exp_shifted = np.exp(shifted)
+    exp_shifted *= exp_shifted >= np.finfo(exp_shifted.dtype).tiny
+    logsumexp = np.log(exp_shifted.sum(axis=1, keepdims=True))
     log_probs = shifted - logsumexp
     loss_value = -log_probs[np.arange(n), targets].mean()
 
@@ -353,6 +405,9 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         if not logits.requires_grad:
             return
         probs = np.exp(log_probs)
+        # Same flush as the forward: a probability below ~1.2e-38 carries no
+        # gradient signal but poisons every downstream kernel's speed.
+        probs *= probs >= np.finfo(probs.dtype).tiny
         probs[np.arange(n), targets] -= 1.0
         logits._accumulate(grad * probs / n)
 
@@ -368,28 +423,51 @@ def cross_entropy_batched(logits: Tensor, targets: np.ndarray) -> Tensor:
     softmax, same contiguous-axis mean, same ``(softmax - onehot)/N``
     gradient), so the batched loss is bit-identical to the per-replica loop.
     """
-    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    src = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     p, n, c = logits.shape
-    targets = targets.astype(np.int64).reshape(p, -1)
+    targets = src.astype(np.int64).reshape(p, -1)
     if targets.shape[1] != n:
         raise ValueError(f"targets shape {targets.shape} does not match batch ({p}, {n})")
 
     shifted = logits.data - logits.data.max(axis=2, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+    # Mirror :func:`cross_entropy`'s subnormal flush so the batched loss and
+    # its gradient stay bit-identical to the per-replica loop.
+    exp_shifted = np.exp(shifted)
+    exp_shifted *= exp_shifted >= np.finfo(exp_shifted.dtype).tiny
+    logsumexp = np.log(exp_shifted.sum(axis=2, keepdims=True))
     log_probs = shifted - logsumexp
     replica_index = np.arange(p)[:, None]
     batch_index = np.arange(n)[None, :]
-    loss_value = -log_probs[replica_index, batch_index, targets].mean(axis=1)
+    loss_value = np.asarray(-log_probs[replica_index, batch_index, targets].mean(axis=1),
+                            dtype=np.float32)
 
     def backward(grad: np.ndarray) -> None:
         if not logits.requires_grad:
             return
         probs = np.exp(log_probs)
+        probs *= probs >= np.finfo(probs.dtype).tiny
         probs[replica_index, batch_index, targets] -= 1.0
         logits._accumulate(grad.reshape(p, 1, 1) * probs / n)
 
-    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,),
-                        "cross_entropy_batched", backward)
+    if active_tape() is None:
+        return Tensor._make(loss_value, (logits,), "cross_entropy_batched", backward)
+    # Replay refreshes the captured int target buffer from the caller's array
+    # (``src``): taped executors mutate their target buffer in place each
+    # iteration, so the recorded reference stays live.
+    exp_ws = np.empty_like(shifted)
+
+    def replay() -> None:
+        np.copyto(targets, src.reshape(p, -1), casting="unsafe")
+        np.subtract(logits.data, logits.data.max(axis=2, keepdims=True), out=shifted)
+        np.exp(shifted, out=exp_ws)
+        np.multiply(exp_ws, exp_ws >= np.finfo(exp_ws.dtype).tiny, out=exp_ws)
+        exp_ws.sum(axis=2, keepdims=True, out=logsumexp)
+        np.log(logsumexp, out=logsumexp)
+        np.subtract(shifted, logsumexp, out=log_probs)
+        np.mean(log_probs[replica_index, batch_index, targets], axis=1, out=loss_value)
+        np.negative(loss_value, out=loss_value)
+
+    return Tensor._make(loss_value, (logits,), "cross_entropy_batched", backward, replay)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
@@ -416,6 +494,8 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
+    # The mask is freshly sampled every iteration — inherently unreplayable.
+    invalidate_active_tape("dropout")
     mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
     return x * Tensor(mask)
 
@@ -429,9 +509,8 @@ def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if not weight.requires_grad:
             return
-        full = np.zeros_like(weight.data)
-        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[1]))
-        weight._accumulate(full)
+        weight._accumulate_at(indices.reshape(-1),
+                              grad.reshape(-1, weight.shape[1]), False)
 
     return Tensor._make(out, (weight,), "embedding", backward)
 
@@ -444,8 +523,8 @@ def embedding_batched(indices: np.ndarray, weight: Tensor) -> Tensor:
     touches disjoint table slabs per replica in the same visiting order as
     :func:`embedding`, so gradients are bit-identical to the per-replica loop.
     """
-    indices = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    indices = indices.astype(np.int64)
+    src = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    indices = src.astype(np.int64)
     p, _, d = weight.shape
     if indices.shape[0] != p:
         raise ValueError(f"indices lead with {indices.shape[0]} replicas, table has {p}")
@@ -455,14 +534,21 @@ def embedding_batched(indices: np.ndarray, weight: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if not weight.requires_grad:
             return
-        full = np.zeros(weight.shape, dtype=weight.data.dtype)
-        np.add.at(full,
-                  (np.broadcast_to(replica_index, indices.shape).reshape(-1),
-                   indices.reshape(-1)),
-                  grad.reshape(-1, d))
-        weight._accumulate(full)
+        weight._accumulate_at(
+            (np.broadcast_to(replica_index, indices.shape).reshape(-1),
+             indices.reshape(-1)),
+            grad.reshape(-1, d), False)
 
-    return Tensor._make(out, (weight,), "embedding_batched", backward)
+    if active_tape() is None:
+        return Tensor._make(out, (weight,), "embedding_batched", backward)
+
+    def replay() -> None:
+        # Refresh the captured int token buffer from the caller's array, then
+        # regather rows into the recorded output buffer.
+        np.copyto(indices, src, casting="unsafe")
+        out[...] = weight.data[replica_index, indices]
+
+    return Tensor._make(out, (weight,), "embedding_batched", backward, replay)
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:

@@ -9,6 +9,17 @@ closures in reverse order.
 Broadcasting is supported for the elementwise operations; gradients flowing
 into a broadcast operand are reduced (summed) over the broadcast axes so the
 gradient always has the same shape as the operand (``_unbroadcast``).
+
+Tape recording (see :mod:`repro.tensor.tape`): when a tape is installed via
+:func:`set_active_tape`, every op additionally builds a *replay thunk* — a
+closure defined in the same scope as its backward closure, so the two share
+cells.  Re-running the thunk refreshes the op's output array (and any cached
+scratch arrays such as the ReLU mask) **in place**, which keeps every
+reference captured by the backward closures valid.  Ops whose output is a
+NumPy view of a parent record a view marker instead (nothing to do on
+replay); ops with data-dependent control flow that a replay cannot reproduce
+(comparisons, ``where``) invalidate the tape so the executor falls back to
+eager re-execution.
 """
 
 from __future__ import annotations
@@ -21,6 +32,48 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
+
+
+# ---------------------------------------------------------------------- #
+# tape recording plumbing (the Tape class itself lives in repro.tensor.tape)
+# ---------------------------------------------------------------------- #
+#: Sentinel: the op provides no replay rule — recording it invalidates the
+#: tape and the executor keeps re-running the graph eagerly.
+_NO_REPLAY = object()
+#: Sentinel: the op's output is a NumPy view of its parent's data, so
+#: refreshing the parent refreshes the output for free.
+_VIEW_REPLAY = object()
+
+#: The tape currently recording, or ``None``.  A module-level global keeps the
+#: eager fast path at a single load + identity test per op.
+_ACTIVE_TAPE = None
+
+
+def set_active_tape(tape):
+    """Install ``tape`` as the recording target; returns the previous tape."""
+    global _ACTIVE_TAPE
+    previous = _ACTIVE_TAPE
+    _ACTIVE_TAPE = tape
+    return previous
+
+
+def active_tape():
+    """The tape currently recording, or ``None``."""
+    return _ACTIVE_TAPE
+
+
+def invalidate_active_tape(reason: str) -> None:
+    """Mark the recording tape unusable (data-dependent control flow, an op
+    without a replay rule, ...).  No-op when nothing is recording."""
+    if _ACTIVE_TAPE is not None:
+        _ACTIVE_TAPE.invalidate(reason)
+
+
+def record_tape_effect(effect: Callable[[], None]) -> None:
+    """Record a side effect (e.g. BatchNorm running-buffer updates) at the
+    current position of the recording tape.  No-op when nothing records."""
+    if _ACTIVE_TAPE is not None:
+        _ACTIVE_TAPE.record_effect(effect)
 
 
 @contextlib.contextmanager
@@ -54,6 +107,16 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# Floor for the subnormal guards below (sigmoid saturation, LSTM state
+# updates, matmul gradient flush).  One subnormal operand or result makes an
+# x86 kernel run 10-100x slower, and a value flushed merely to the normal
+# minimum (~1.2e-38) times a small weight (~1e-4..1e-2) lands right back in
+# the subnormal range inside the very next GEMM.  1e-30 keeps products of
+# guarded values with any realistic training operand normal, while staying
+# ~20 orders of magnitude below anything that can move a float32 weight.
+_FLUSH_FLOOR = np.float32(1e-30)
+
+
 class Tensor:
     """An n-dimensional array with optional gradient tracking.
 
@@ -68,7 +131,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op",
-                 "_grad_view")
+                 "_grad_view", "_grad_foreign")
     __array_priority__ = 100.0  # make NumPy defer to Tensor's reflected ops
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, *,
@@ -88,6 +151,7 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._grad_view: Optional[np.ndarray] = None
+        self._grad_foreign: bool = False
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
         self.op: str = _op
@@ -161,8 +225,16 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str,
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create an op output, wiring the backward closure when needed."""
+              backward: Callable[[np.ndarray], None],
+              replay=_NO_REPLAY, elementwise: bool = False) -> "Tensor":
+        """Create an op output, wiring the backward closure when needed.
+
+        ``replay`` is the op's tape-replay rule: a thunk that refreshes the
+        output (and any captured scratch arrays) in place, ``_VIEW_REPLAY``
+        when the output aliases a parent, or ``_NO_REPLAY`` (the default) when
+        the op cannot be replayed — recording such an op invalidates the tape.
+        ``elementwise`` tags cheap thunks the tape planner may fuse into runs.
+        """
         requires = False
         if _GRAD_ENABLED:
             for p in parents:
@@ -173,6 +245,8 @@ class Tensor:
                      _op=op)
         if requires:
             out._backward = backward
+        if _ACTIVE_TAPE is not None:
+            _ACTIVE_TAPE.record_node(out, replay, elementwise)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -193,12 +267,49 @@ class Tensor:
             if pinned is not None:
                 pinned[...] = grad
                 self.grad = pinned
+                self._grad_foreign = False
             else:
-                self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+                if grad.base is not None or grad is self.data:
+                    grad = grad.copy()
+                    self._grad_foreign = False
+                else:
+                    # Stored by reference: the array may still be shared with
+                    # another consumer's grad (equal-shape pass-through ops
+                    # hand the same array to every parent), so in-place
+                    # accumulation paths must copy before mutating it.
+                    self._grad_foreign = True
+                self.grad = grad
         elif current is pinned:
             pinned += grad
         else:
             self.grad = current + grad
+            self._grad_foreign = False
+
+    def _accumulate_at(self, index, grad: np.ndarray, basic: bool) -> None:
+        """Scatter-accumulate ``grad`` into ``self.grad`` at ``index``.
+
+        Equivalent to building a dense zeros-like array, scattering into it
+        and calling :meth:`_accumulate`, but without the dense temporary or
+        the full-array add — slice/gather backward passes (LSTM gate slices,
+        embedding lookups) hit this every training iteration.
+        """
+        target = self.grad
+        if target is None:
+            target = self._grad_view
+            if target is not None:
+                target[...] = 0.0
+            else:
+                target = np.zeros_like(self.data)
+            self.grad = target
+            self._grad_foreign = False
+        elif self._grad_foreign:
+            target = target.copy()
+            self.grad = target
+            self._grad_foreign = False
+        if basic:
+            target[index] += grad
+        else:
+            np.add.at(target, index, grad)
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -263,7 +374,14 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), "add", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self, other), "add", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.add(self.data, other.data, out=out_data)
+
+        return Tensor._make(out_data, (self, other), "add", backward, replay, True)
 
     __radd__ = __add__
 
@@ -277,7 +395,14 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), "sub", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self, other), "sub", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.subtract(self.data, other.data, out=out_data)
+
+        return Tensor._make(out_data, (self, other), "sub", backward, replay, True)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor._coerce(other) - self
@@ -292,7 +417,14 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), "mul", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self, other), "mul", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.multiply(self.data, other.data, out=out_data)
+
+        return Tensor._make(out_data, (self, other), "mul", backward, replay, True)
 
     __rmul__ = __mul__
 
@@ -306,7 +438,14 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
 
-        return Tensor._make(out_data, (self, other), "div", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self, other), "div", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.divide(self.data, other.data, out=out_data)
+
+        return Tensor._make(out_data, (self, other), "div", backward, replay, True)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor._coerce(other) / self
@@ -318,7 +457,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(out_data, (self,), "neg", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "neg", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.negative(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "neg", backward, replay, True)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -329,22 +475,35 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * (self.data ** (exponent - 1)))
 
-        return Tensor._make(out_data, (self,), "pow", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "pow", backward)
+        out_data = np.asarray(out_data)
 
-    # comparisons produce detached boolean/float tensors (no gradient).
+        def replay() -> None:
+            np.power(self.data, exponent, out=out_data)
+
+        return Tensor._make(out_data, (self,), "pow", backward, replay, True)
+
+    # Comparisons produce detached boolean/float tensors (no gradient); the
+    # result is data-dependent in a way a tape replay cannot refresh, so they
+    # invalidate any recording in progress.
     def __gt__(self, other: ArrayLike) -> "Tensor":
+        invalidate_active_tape("comparison (gt)")
         other_data = other.data if isinstance(other, Tensor) else other
         return Tensor((self.data > other_data).astype(np.float32))
 
     def __lt__(self, other: ArrayLike) -> "Tensor":
+        invalidate_active_tape("comparison (lt)")
         other_data = other.data if isinstance(other, Tensor) else other
         return Tensor((self.data < other_data).astype(np.float32))
 
     def __ge__(self, other: ArrayLike) -> "Tensor":
+        invalidate_active_tape("comparison (ge)")
         other_data = other.data if isinstance(other, Tensor) else other
         return Tensor((self.data >= other_data).astype(np.float32))
 
     def __le__(self, other: ArrayLike) -> "Tensor":
+        invalidate_active_tape("comparison (le)")
         other_data = other.data if isinstance(other, Tensor) else other
         return Tensor((self.data <= other_data).astype(np.float32))
 
@@ -358,7 +517,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), "exp", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "exp", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.exp(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "exp", backward, replay, True)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -367,7 +533,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), "log", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "log", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.log(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "log", backward, replay, True)
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -376,7 +549,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * 0.5 / out_data)
 
-        return Tensor._make(out_data, (self,), "sqrt", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "sqrt", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.sqrt(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "sqrt", backward, replay, True)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -385,7 +565,14 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), "tanh", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "tanh", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.tanh(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "tanh", backward, replay, True)
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable logistic function: exponentiate only the negative
@@ -393,12 +580,66 @@ class Tensor:
         neg_abs = -np.abs(self.data)
         exp_neg = np.exp(neg_abs)
         out_data = np.where(self.data >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+        # Saturated gates (pre-activation < ~-69) underflow toward float32
+        # subnormals, and every downstream product then runs 10-100x slower
+        # on x86.  A gate below the flush floor is semantically closed:
+        # flush it to 0 (see ``_FLUSH_FLOOR`` for the threshold choice).
+        out_data *= out_data >= _FLUSH_FLOOR
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), "sigmoid", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "sigmoid", backward)
+        out_data = np.asarray(out_data)
+        # Replay workspaces: the closure below runs every iteration on the
+        # training hot path, so it must not allocate.  Same two-branch
+        # arithmetic as the recorded forward, ufunc by ufunc.
+        denom = np.empty_like(exp_neg)
+        positive = np.empty(out_data.shape, dtype=bool)
+
+        def replay() -> None:
+            np.abs(self.data, out=neg_abs)
+            np.negative(neg_abs, out=neg_abs)
+            np.exp(neg_abs, out=exp_neg)
+            np.add(exp_neg, 1.0, out=denom)
+            np.divide(exp_neg, denom, out=out_data)
+            np.divide(1.0, denom, out=denom)
+            np.greater_equal(self.data, 0, out=positive)
+            np.copyto(out_data, denom, where=positive)
+            np.greater_equal(out_data, _FLUSH_FLOOR, out=positive)
+            np.multiply(out_data, positive, out=out_data)
+
+        return Tensor._make(out_data, (self,), "sigmoid", backward, replay, True)
+
+    def flush_subnormals(self) -> "Tensor":
+        """Zero values below ``_FLUSH_FLOOR``; identity for everything else.
+
+        Recurrent chains multiply saturated gates into the float32 subnormal
+        range, and a single subnormal operand or product makes downstream x86
+        kernels run 10-100x slower — for values that carry no training
+        signal.  Applied at the LSTM cell/hidden-state updates so long
+        carried chains keep full kernel throughput; the backward pass treats
+        the op as identity but floors the incoming gradient the same way,
+        breaking subnormal chains in the dc/dh recurrences.  The masks are
+        recomputed from the live buffers, so taped replays stay bit-identical
+        to the eager path.
+        """
+        out_data = self.data * (np.abs(self.data) >= _FLUSH_FLOOR)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (np.abs(grad) >= _FLUSH_FLOOR))
+
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "flush_subnormals", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.multiply(self.data, np.abs(self.data) >= _FLUSH_FLOOR, out=out_data)
+
+        return Tensor._make(out_data, (self,), "flush_subnormals", backward, replay, True)
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -408,7 +649,15 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), "relu", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "relu", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.greater(self.data, 0, out=mask)
+            np.multiply(self.data, mask, out=out_data)
+
+        return Tensor._make(out_data, (self,), "relu", backward, replay, True)
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -418,7 +667,15 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
-        return Tensor._make(out_data, (self,), "abs", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "abs", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.sign(self.data, out=sign)
+            np.abs(self.data, out=out_data)
+
+        return Tensor._make(out_data, (self,), "abs", backward, replay, True)
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
@@ -428,7 +685,16 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), "clip", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "clip", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            np.clip(self.data, low, high, out=out_data)
+            np.greater_equal(self.data, low, out=mask)
+            mask &= self.data <= high
+
+        return Tensor._make(out_data, (self,), "clip", backward, replay, True)
 
     # ------------------------------------------------------------------ #
     # reductions
@@ -447,7 +713,14 @@ class Tensor:
                     g = np.expand_dims(g, ax)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), "sum", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "sum", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            self.data.sum(axis=axis, keepdims=keepdims, out=out_data)
+
+        return Tensor._make(out_data, (self,), "sum", backward, replay)
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
              keepdims: bool = False) -> "Tensor":
@@ -479,7 +752,14 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(g * mask / counts)
 
-        return Tensor._make(out_data, (self,), "max", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "max", backward)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            self.data.max(axis=axis, keepdims=keepdims, out=out_data)
+
+        return Tensor._make(out_data, (self,), "max", backward, replay)
 
     # ------------------------------------------------------------------ #
     # shape manipulation
@@ -494,7 +774,16 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), "reshape", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "reshape", backward)
+        if np.shares_memory(out_data, self.data):
+            return Tensor._make(out_data, (self,), "reshape", backward, _VIEW_REPLAY)
+        resolved = out_data.shape
+
+        def replay() -> None:
+            out_data[...] = self.data.reshape(resolved)
+
+        return Tensor._make(out_data, (self,), "reshape", backward, replay)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         new_shape = self.shape[:start_dim] + (-1,)
@@ -511,7 +800,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.transpose(grad, inverse))
 
-        return Tensor._make(out_data, (self,), "transpose", backward)
+        # np.transpose always returns a view, so replay has nothing to do.
+        return Tensor._make(out_data, (self,), "transpose", backward, _VIEW_REPLAY)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -532,14 +822,19 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                if basic:
-                    full[index] += grad
-                else:
-                    np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate_at(index, grad, basic)
 
-        return Tensor._make(out_data, (self,), "getitem", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "getitem", backward)
+        if basic:
+            # Basic indexing always yields a view of the parent's data.
+            return Tensor._make(out_data, (self,), "getitem", backward, _VIEW_REPLAY)
+        out_data = np.asarray(out_data)
+
+        def replay() -> None:
+            out_data[...] = self.data[index]
+
+        return Tensor._make(out_data, (self,), "getitem", backward, replay)
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
@@ -553,7 +848,15 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad[..., p:-p, p:-p])
 
-        return Tensor._make(out_data, (self,), "pad2d", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self,), "pad2d", backward)
+
+        def replay() -> None:
+            # The zero border written at record time never changes; only the
+            # interior needs refreshing.
+            out_data[..., p:-p, p:-p] = self.data
+
+        return Tensor._make(out_data, (self,), "pad2d", backward, replay)
 
     # ------------------------------------------------------------------ #
     # linear algebra
@@ -563,6 +866,13 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
+            # Deep BPTT chains multiply saturated-gate derivatives into the
+            # float32 subnormal range, and one subnormal operand — or product
+            # with a small weight — makes the matmuls below run 10-100x
+            # slower on x86.  Values under the flush floor carry no training
+            # signal: flush them (in place — the walk clears this node's grad
+            # right after) before the products.
+            grad *= np.abs(grad) >= _FLUSH_FLOOR
             if self.requires_grad:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2
@@ -577,7 +887,37 @@ class Tensor:
                     g = np.swapaxes(self.data, -1, -2) @ grad
                     other._accumulate(_unbroadcast(g, other.shape))
 
-        return Tensor._make(out_data, (self, other), "matmul", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, (self, other), "matmul", backward)
+        out_data = np.asarray(out_data)
+        if (self.data.ndim == other.data.ndim >= 2
+                and self.data.shape[:-2] == other.data.shape[:-2]):
+            # No broadcasting: both gradient GEMMs keep the operand shapes, so
+            # the tape can own persistent workspaces and the recorded backward
+            # (which runs on every replay) stops allocating.  Same arithmetic
+            # as the generic closure above, routed through ``out=``.
+            grad_self = np.empty_like(self.data) if self.requires_grad else None
+            grad_other = np.empty_like(other.data) if other.requires_grad else None
+
+            def backward(grad: np.ndarray) -> None:  # noqa: F811
+                grad *= np.abs(grad) >= _FLUSH_FLOOR
+                if self.requires_grad:
+                    np.matmul(grad, np.swapaxes(other.data, -1, -2), out=grad_self)
+                    self._accumulate(grad_self)
+                if other.requires_grad:
+                    np.matmul(np.swapaxes(self.data, -1, -2), grad, out=grad_other)
+                    other._accumulate(grad_other)
+
+        if self.data.ndim >= 2 and other.data.ndim >= 2:
+
+            def replay() -> None:
+                np.matmul(self.data, other.data, out=out_data)
+        else:
+
+            def replay() -> None:
+                out_data[...] = self.data @ other.data
+
+        return Tensor._make(out_data, (self, other), "matmul", backward, replay)
 
     __matmul__ = matmul
 
@@ -598,7 +938,19 @@ class Tensor:
                     slicer[axis] = slice(start, end)
                     t._accumulate(grad[tuple(slicer)])
 
-        return Tensor._make(out_data, tuple(tensors), "concat", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, tuple(tensors), "concat", backward)
+        slicers = []
+        for start, end in zip(offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * out_data.ndim
+            slicer[axis] = slice(start, end)
+            slicers.append(tuple(slicer))
+
+        def replay() -> None:
+            for t, slicer in zip(tensors, slicers):
+                out_data[slicer] = t.data
+
+        return Tensor._make(out_data, tuple(tensors), "concat", backward, replay)
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -610,10 +962,23 @@ class Tensor:
                 if t.requires_grad:
                     t._accumulate(np.take(grad, i, axis=axis))
 
-        return Tensor._make(out_data, tuple(tensors), "stack", backward)
+        if _ACTIVE_TAPE is None:
+            return Tensor._make(out_data, tuple(tensors), "stack", backward)
+        resolved_axis = axis % out_data.ndim
+        slicers = [(slice(None),) * resolved_axis + (i,) for i in range(len(tensors))]
+
+        def replay() -> None:
+            for t, slicer in zip(tensors, slicers):
+                out_data[slicer] = t.data
+
+        return Tensor._make(out_data, tuple(tensors), "stack", backward, replay)
 
     @staticmethod
     def where(condition: ArrayLike, a: "Tensor", b: "Tensor") -> "Tensor":
+        # The selection mask is data the caller computed outside the graph; a
+        # replay cannot know how to refresh it, so recording ``where``
+        # invalidates the tape (the executor falls back to eager).
+        invalidate_active_tape("where")
         cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
         a = Tensor._coerce(a)
         b = Tensor._coerce(b)

@@ -1,0 +1,95 @@
+"""Flush-to-zero / denormals-are-zero control for x86-64.
+
+Subnormal (denormal) floats are handled by microcode assists on x86: any
+kernel whose operands *or results* touch the subnormal range runs 10-100x
+slower.  Training drives exactly those values — saturated sigmoid gates
+underflow, BPTT chain products decay, softmax tails exponentiate to 1e-40 —
+so a long run gradually poisons its own kernels.  PyTorch enables FTZ+DAZ
+process-wide by default for the same reason; NumPy exposes no control, so
+this module sets the two MXCSR bits directly with a tiny executable stub
+(the same technique the ``daz`` package uses).
+
+The mode is per-thread: enabling it on the training thread covers the
+autograd kernels, while BLAS worker threads keep their own (default) mode.
+The explicit flush ops in :mod:`repro.tensor.tensor` remain the portable
+fallback when FTZ is unavailable (non-x86, hardened mmap) or disabled via
+``REPRO_KEEP_DENORMALS=1``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import mmap
+import os
+import platform
+from typing import Dict, Tuple
+
+#: MXCSR bit 15 (flush-to-zero) | bit 6 (denormals-are-zero).
+FTZ_DAZ_MASK = 0x8040
+
+# stmxcsr/ldmxcsr are the only way to touch MXCSR; neither libc nor NumPy
+# wraps them, so each routine below is a hand-assembled x86-64 stub:
+#   sub rsp, 8 ; stmxcsr [rsp] ; <op> dword [rsp], mask ; ldmxcsr [rsp]
+#   add rsp, 8 ; ret
+_ENABLE_CODE = bytes([
+    0x48, 0x83, 0xEC, 0x08,                    # sub  rsp, 8
+    0x0F, 0xAE, 0x1C, 0x24,                    # stmxcsr [rsp]
+    0x81, 0x0C, 0x24, 0x40, 0x80, 0x00, 0x00,  # or   dword [rsp], 0x8040
+    0x0F, 0xAE, 0x14, 0x24,                    # ldmxcsr [rsp]
+    0x48, 0x83, 0xC4, 0x08,                    # add  rsp, 8
+    0xC3,                                      # ret
+])
+_DISABLE_CODE = bytes([
+    0x48, 0x83, 0xEC, 0x08,                    # sub  rsp, 8
+    0x0F, 0xAE, 0x1C, 0x24,                    # stmxcsr [rsp]
+    0x81, 0x24, 0x24, 0xBF, 0x7F, 0xFF, 0xFF,  # and  dword [rsp], ~0x8040
+    0x0F, 0xAE, 0x14, 0x24,                    # ldmxcsr [rsp]
+    0x48, 0x83, 0xC4, 0x08,                    # add  rsp, 8
+    0xC3,                                      # ret
+])
+
+# Keep the mmap buffers alive for as long as their function pointers exist.
+_stubs: Dict[bytes, Tuple[ctypes.CFUNCTYPE(None), mmap.mmap]] = {}
+
+
+def _stub(code: bytes) -> "ctypes.CFUNCTYPE(None)":
+    entry = _stubs.get(code)
+    if entry is None:
+        buf = mmap.mmap(-1, len(code),
+                        prot=mmap.PROT_READ | mmap.PROT_WRITE | mmap.PROT_EXEC)
+        buf.write(code)
+        address = ctypes.addressof(ctypes.c_char.from_buffer(buf))
+        entry = (ctypes.CFUNCTYPE(None)(address), buf)
+        _stubs[code] = entry
+    return entry[0]
+
+
+def supported() -> bool:
+    """True when this build can (and may) touch MXCSR."""
+    if os.environ.get("REPRO_KEEP_DENORMALS") == "1":
+        return False
+    return platform.machine() in ("x86_64", "AMD64")
+
+
+def enable_flush_to_zero() -> bool:
+    """Set FTZ+DAZ for the calling thread.  Idempotent; True on success."""
+    if not supported():
+        return False
+    try:
+        _stub(_ENABLE_CODE)()
+    except (OSError, ValueError, ctypes.ArgumentError):
+        # Hardened kernels may refuse writable+executable mappings; the
+        # explicit flush ops in the tensor layer still bound the damage.
+        return False
+    return True
+
+
+def disable_flush_to_zero() -> bool:
+    """Clear FTZ+DAZ for the calling thread.  True on success."""
+    if not supported():
+        return False
+    try:
+        _stub(_DISABLE_CODE)()
+    except (OSError, ValueError, ctypes.ArgumentError):
+        return False
+    return True

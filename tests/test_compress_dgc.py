@@ -95,3 +95,56 @@ class TestDGCTraining:
                                compressor_kwargs={"ratio": 0.05})
         metrics = DistributedTrainer(config).train()
         assert metrics.final_metric > 15.0
+
+class TestDGCClipDtype:
+    """clip_dtype="float32" keeps the momentum/residual state single
+    precision (the threshold scalar's dtype propagates through np.clip);
+    the float64 default preserves the historical numerics."""
+
+    def test_default_float64_state(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01)
+        assert compressor.clip_dtype == np.dtype(np.float64)
+        compressor.compress(gradient_vector)
+        assert compressor._velocity.dtype == np.float64
+        assert compressor._residual.dtype == np.float64
+
+    def test_float32_keeps_state_float32(self, gradient_vector):
+        compressor = DGCCompressor(ratio=0.01, clip_dtype="float32")
+        compressor.compress(gradient_vector)
+        assert compressor._velocity.dtype == np.float32
+        assert compressor._residual.dtype == np.float32
+
+    def test_invalid_clip_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            DGCCompressor(clip_dtype="int32")
+        with pytest.raises(ValueError):
+            DGCCompressor(clip_dtype="float16")
+
+    def test_float32_batched_matches_looped(self, rng):
+        P, n = 4, 2048
+        G = rng.standard_normal((P, n)).astype(np.float32)
+        looped = [DGCCompressor(ratio=0.01, clip_dtype="float32") for _ in range(P)]
+        batched = [DGCCompressor(ratio=0.01, clip_dtype="float32") for _ in range(P)]
+        for _ in range(3):
+            expected = [c.compress(G[p]) for p, c in enumerate(looped)]
+            payloads, contexts = DGCCompressor.compress_batch(batched, G)
+            for (exp_payload, exp_ctx), payload, ctx in zip(expected, payloads, contexts):
+                np.testing.assert_array_equal(payload, exp_payload)
+                assert ctx == exp_ctx
+        for lc, bc in zip(looped, batched):
+            np.testing.assert_array_equal(bc._velocity, lc._velocity)
+            np.testing.assert_array_equal(bc._residual, lc._residual)
+            assert bc._velocity.dtype == np.float32
+
+    def test_mixed_clip_dtype_batch_falls_back(self, rng):
+        P, n = 2, 256
+        G = rng.standard_normal((P, n)).astype(np.float32)
+        mixed = [DGCCompressor(ratio=0.01, clip_dtype="float32"),
+                 DGCCompressor(ratio=0.01, clip_dtype="float64")]
+        payloads, contexts = DGCCompressor.compress_batch(mixed, G)
+        singles = [DGCCompressor(ratio=0.01, clip_dtype="float32"),
+                   DGCCompressor(ratio=0.01, clip_dtype="float64")]
+        for p, (payload, ctx) in enumerate(zip(payloads, contexts)):
+            exp_payload, exp_ctx = singles[p].compress(G[p])
+            np.testing.assert_array_equal(payload, exp_payload)
+            assert ctx == exp_ctx

@@ -613,3 +613,73 @@ class TestMidPeriodCheckpointResume:
         resumed = DistributedTrainer(config)
         load_checkpoint(resumed, path)
         assert resumed.sync_strategy._step == 4
+
+
+# --------------------------------------------------------------------- #
+# Non-contractive parameter compression: advisory note + build warning,
+# never a validation failure (the QSGD-default end-to-end runs above must
+# keep passing).
+# --------------------------------------------------------------------- #
+class TestNonContractiveCompressionWarning:
+    def test_qsgd_defaults_are_flagged(self):
+        from repro.compress import QSGDCompressor
+        problem = QSGDCompressor().contraction_problem()
+        assert problem is not None and "not contractive" in problem
+
+    def test_contractive_qsgd_is_clean(self):
+        from repro.compress import QSGDCompressor
+        assert QSGDCompressor(levels=16, bucket_size=64).contraction_problem() is None
+
+    def test_unbucketed_qsgd_is_flagged(self):
+        from repro.compress import QSGDCompressor
+        problem = QSGDCompressor(bucket_size=None).contraction_problem()
+        assert problem is not None and "bucket_size=None" in problem
+
+    def test_sparsifiers_are_contractive_by_construction(self):
+        from repro.compress import TopKCompressor
+        assert TopKCompressor(ratio=0.01).contraction_problem() is None
+        assert get_compressor("dense").contraction_problem() is None
+
+    def test_notes_flag_non_contractive_parameter_compression(self):
+        spec = SyncSpec(strategy="local_sgd", period=2,
+                        parameter_compression="qsgd")
+        notes = spec.notes()
+        assert len(notes) == 1
+        assert notes[0].startswith("parameter_compression:")
+        assert "not contractive" in notes[0]
+
+    def test_notes_empty_for_contractive_configs(self):
+        assert SyncSpec(strategy="local_sgd", period=2).notes() == []
+        contractive = SyncSpec(
+            strategy="local_sgd", period=2, parameter_compression="qsgd",
+            parameter_compression_kwargs={"levels": 16, "bucket_size": 64})
+        assert contractive.notes() == []
+        topk = SyncSpec(strategy="gossip", topology="ring",
+                        parameter_compression="topk",
+                        parameter_compression_kwargs={"ratio": 0.01})
+        assert topk.notes() == []
+
+    def test_validate_still_passes_with_note(self):
+        spec = SyncSpec(strategy="local_sgd", period=2,
+                        parameter_compression="qsgd")
+        assert spec.validate(world_size=4, algorithm="dense") is spec
+
+    def test_build_emits_runtime_warning(self):
+        spec = SyncSpec(strategy="local_sgd", period=2,
+                        parameter_compression="qsgd")
+        world = InProcessWorld(2)
+        compressors = [get_compressor("dense") for _ in range(2)]
+        with pytest.warns(RuntimeWarning, match="not contractive"):
+            spec.build(world, compressors)
+
+    def test_build_silent_for_contractive_config(self):
+        import warnings as _warnings
+        spec = SyncSpec(strategy="local_sgd", period=2,
+                        parameter_compression="qsgd",
+                        parameter_compression_kwargs={"levels": 16,
+                                                      "bucket_size": 64})
+        world = InProcessWorld(2)
+        compressors = [get_compressor("dense") for _ in range(2)]
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            spec.build(world, compressors)
