@@ -5,6 +5,7 @@ from repro.analysis.convergence import (
     assumption3_bound_estimate,
     empirical_gradient_bound_holds,
     reconstruction_preserves_mean,
+    time_to_accuracy,
     variance_ratio,
 )
 from repro.analysis.perf_pipeline import (
@@ -13,7 +14,12 @@ from repro.analysis.perf_pipeline import (
     write_benchmark_json,
 )
 from repro.analysis.scaling import scaling_efficiency_table, speedup_curve
-from repro.analysis.sweeps import convergence_sweep, cost_sweep, synchronization_sweep
+from repro.analysis.sweeps import (
+    convergence_sweep,
+    cost_sweep,
+    synchronization_sweep,
+    time_to_accuracy_sweep,
+)
 from repro.analysis.reporting import (
     format_figure_series,
     format_table,
@@ -31,9 +37,11 @@ __all__ = [
     "reconstruction_preserves_mean",
     "scaling_efficiency_table",
     "speedup_curve",
+    "time_to_accuracy",
     "convergence_sweep",
     "cost_sweep",
     "synchronization_sweep",
+    "time_to_accuracy_sweep",
     "format_benchmark",
     "run_pipeline_benchmark",
     "write_benchmark_json",

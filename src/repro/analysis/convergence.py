@@ -87,6 +87,37 @@ def reconstruction_preserves_mean(gradients: Sequence[np.ndarray]) -> float:
     return float(np.linalg.norm(a2sgd_average - dense_average)) / scale
 
 
+def time_to_accuracy(times: Sequence[float], values: Sequence[float],
+                     target: float, higher_is_better: bool = True) -> float:
+    """First simulated time at which ``values`` crosses ``target``.
+
+    ``times`` is the per-epoch simulated clock (monotone non-decreasing),
+    ``values`` the matching metric curve.  The crossing is linearly
+    interpolated between the bracketing epochs, so two runs evaluated at
+    different cadences compare fairly; returns ``inf`` when the target is
+    never reached.  ``higher_is_better=False`` flips the comparison for
+    loss/perplexity-style metrics.
+    """
+    times = np.asarray(list(times), dtype=np.float64)
+    values = np.asarray(list(values), dtype=np.float64)
+    if times.size == 0 or times.size != values.size:
+        raise ValueError("need equally many (non-zero) times and metric values")
+    reached = values >= target if higher_is_better else values <= target
+    reached &= np.isfinite(values) & np.isfinite(times)
+    if not reached.any():
+        return float("inf")
+    i = int(np.argmax(reached))           # first crossing index
+    if i == 0:
+        return float(times[0])
+    t0, t1 = times[i - 1], times[i]
+    v0, v1 = values[i - 1], values[i]
+    if not (np.isfinite(v0) and np.isfinite(t0)) or v1 == v0:
+        return float(t1)
+    frac = (target - v0) / (v1 - v0)
+    frac = min(max(float(frac), 0.0), 1.0)
+    return float(t0 + frac * (t1 - t0))
+
+
 def track_gradient_bound_samples(weights: Sequence[np.ndarray],
                                  gradients: Sequence[np.ndarray],
                                  optimum: np.ndarray) -> Tuple[List[float], List[float]]:

@@ -120,6 +120,68 @@ def synchronization_sweep(model: str = "fnn3", algorithm: str = "dense",
     return results
 
 
+DEFAULT_TIME_SETUPS = {
+    "allreduce": {"strategy": "allreduce"},
+    "async_ps": {"strategy": "async_ps"},
+    "easgd": {"strategy": "easgd", "period": 4},
+}
+
+
+def time_to_accuracy_sweep(model: str = "fnn3", algorithm: str = "dense",
+                           world_size: int = 4, epochs: int = 3,
+                           compute_model: object = None,
+                           clock_seed: int = 0,
+                           target: Optional[float] = None,
+                           sync_setups: Optional[Dict[str, dict]] = None,
+                           max_iterations_per_epoch: int = 12,
+                           seed: int = 0) -> Dict[str, Dict]:
+    """Compare strategies on the virtual clock: time-to-accuracy, not epochs.
+
+    Every setup trains the same (model, algorithm) cell under the same
+    ``compute_model`` (default: a straggler fabric where the last rank runs
+    8x slower — the regime where asynchrony pays) and the same
+    ``clock_seed``.  Returns ``{label: {"metric": [...],
+    "simulated_time_s": [...], "final": float, "time_to_target": float}}``
+    where ``time_to_target`` is the interpolated first crossing of
+    ``target`` (defaulting to the *worst* setup's final metric, so every
+    setup has a finite number to compare on its own curve).
+    """
+    from repro.analysis.convergence import time_to_accuracy
+
+    setups = sync_setups if sync_setups is not None else DEFAULT_TIME_SETUPS
+    if compute_model is None:
+        compute_model = {"name": "straggler", "slowdown": 8.0, "sigma": 0.3}
+    base = ExperimentSpec(
+        model=model, preset="tiny", algorithm=algorithm, world_size=world_size,
+        epochs=epochs, batch_size=16, max_iterations_per_epoch=max_iterations_per_epoch,
+        num_train=384, num_test=96, seed=seed, seq_len=10,
+        compute_model=compute_model, clock_seed=clock_seed,
+    )
+    results: Dict[str, Dict] = {}
+    for label, sync in setups.items():
+        result = run_experiment(base.replace(sync=dict(sync)))
+        results[label] = {
+            "epochs": list(result.metrics.epochs),
+            "metric": [float(v) for v in result.metrics.metric],
+            "metric_name": result.metric_name,
+            "final": float(result.final_metric),
+            "simulated_time_s": [float(v) for v in result.metrics.simulated_time_s],
+            "total_simulated_s": float(result.sim["simulated_time_s"])
+                if result.sim else float("nan"),
+            "sim": result.sim,
+        }
+    higher_is_better = all(r["metric_name"] == "top1" for r in results.values())
+    if target is None and results:
+        finals = [r["final"] for r in results.values()]
+        target = min(finals) if higher_is_better else max(finals)
+    for row in results.values():
+        row["target"] = float(target)
+        row["time_to_target"] = time_to_accuracy(
+            row["simulated_time_s"], row["metric"], target,
+            higher_is_better=higher_is_better)
+    return results
+
+
 def cost_sweep(models: Sequence[str] = ("fnn3", "vgg16", "resnet20", "lstm_ptb"),
                algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
                world_sizes: Sequence[int] = (2, 4, 8, 16),

@@ -64,6 +64,8 @@ from repro.models.registry import (
     list_models,
 )
 from repro.optim.registry import LR_SCHEDULES, OPTIMIZERS
+from repro.registry import public_registries
+from repro.sim.compute import COMPUTE_MODELS
 from repro.sync import AGGREGATORS, SYNC_STRATEGIES, SyncSpec
 from repro.utils.serialization import save_json
 from repro.utils.timer import median_time
@@ -81,6 +83,8 @@ RUN_FLAG_FIELDS: Dict[str, str] = {
     "eval_every": "eval_every",
     "fused_pipeline": "fused_pipeline",
     "taped": "taped",
+    "compute_model": "compute_model",
+    "seed_clock": "clock_seed",
 }
 
 #: argparse dest -> SyncSpec field, merged into the spec's ``sync`` section.
@@ -96,19 +100,12 @@ SYNC_FLAG_FIELDS: Dict[str, str] = {
 #: remaining fields use the ExperimentSpec defaults).
 CLI_RUN_DEFAULTS: Dict[str, object] = {"max_iterations_per_epoch": 12, "batch_size": 16}
 
-#: Every component registry, as shown by ``repro components``.
-COMPONENT_REGISTRIES = {
-    "models": MODELS,
-    "compressors": COMPRESSORS,
-    "datasets": DATASETS,
-    "optimizers": OPTIMIZERS,
-    "lr-schedules": LR_SCHEDULES,
-    "networks": NETWORKS,
-    "callbacks": CALLBACKS,
-    "sync-strategies": SYNC_STRATEGIES,
-    "aggregators": AGGREGATORS,
-    "topologies": TOPOLOGIES,
-}
+#: Every component registry, as shown by ``repro components`` — the live
+#: label → Registry mapping populated by ``Registry(..., expose=...)``.  The
+#: imports above pull in every registry-defining module, so the mapping is
+#: complete by the time this module is loaded; a newly-exposed registry
+#: appears here with no table to update.
+COMPONENT_REGISTRIES = public_registries()
 
 
 def _registry_name(registry):
@@ -191,6 +188,19 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="compress the parameter-phase payloads of "
                                    "local_sgd/gossip as deltas against the last "
                                    "synchronized reference (default: none)")
+    train_parent.add_argument("--compute-model", dest="compute_model",
+                              default=argparse.SUPPRESS,
+                              type=_registry_name(COMPUTE_MODELS),
+                              metavar=f"{{{','.join(COMPUTE_MODELS.list())}}}",
+                              help="per-rank compute-time model for the simulated "
+                                   "clock (async strategies default to constant; "
+                                   "with a sync strategy this attaches the "
+                                   "lockstep time simulator)")
+    train_parent.add_argument("--seed-clock", dest="seed_clock", type=int,
+                              default=argparse.SUPPRESS, metavar="SEED",
+                              help="seed for the compute-time draws (independent "
+                                   "of --seed; identical seeds reproduce event "
+                                   "timelines exactly)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
@@ -370,6 +380,14 @@ def cmd_run(args: argparse.Namespace):
         title=(f"{spec.model} / {spec.algorithm} / {spec.world_size} workers — "
                f"{result.wire_bits_per_iteration:,.0f} peak bits/worker/iteration, "
                f"{result.wall_time_s:.1f}s wall time{sync_note}"))
+    if result.sim is not None:
+        sim = result.sim
+        line = (f"simulated time: {sim['simulated_time_s']:.4f}s "
+                f"({sim['strategy']} on {sim['compute_model'].get('name', '?')} "
+                f"compute model, clock seed {sim['clock_seed']})")
+        if sim.get("rejected_pushes"):
+            line += f"; rejected pushes: {sim['rejected_pushes']}"
+        text = f"{text}\n{line}"
     print(text)
     if args.output:
         path = save_json(result.as_dict(), args.output)

@@ -173,6 +173,26 @@ class InProcessWorld:
         self._record(trace, logical_bytes)
         return results
 
+    def point_to_point(self, message_bytes: float) -> float:
+        """Price one point-to-point message (no data movement) and record it.
+
+        The asynchronous strategies exchange with a server/center one rank at
+        a time — there is no collective, just a single α–β priced message.
+        The traffic still lands in :class:`WorldStats`, so
+        ``simulated_comm_time`` covers async runs too.
+        """
+        message_bytes = float(message_bytes)
+        if message_bytes < 0:
+            raise ValueError(f"message_bytes must be >= 0, got {message_bytes}")
+        trace = CollectiveTrace(kind="point_to_point",
+                                message_bytes=message_bytes,
+                                bytes_sent_per_rank=message_bytes,
+                                rounds=1, world_size=self.world_size)
+        simulated = self.network.point_to_point(message_bytes)
+        self.stats.record(trace, simulated)
+        self.last_trace = trace
+        return simulated
+
     # ------------------------------------------------------------------ #
     # accounting
     # ------------------------------------------------------------------ #

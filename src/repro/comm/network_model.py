@@ -59,7 +59,7 @@ def ethernet_10gbps() -> NetworkModel:
 # Named fabrics resolvable from an ExperimentSpec's ``"network": "<name>"``.
 from repro.registry import Registry  # noqa: E402  (registry has no comm deps)
 
-NETWORKS = Registry("network")
+NETWORKS = Registry("network", expose="networks")
 NETWORKS.register("infiniband_100gbps", infiniband_100gbps, aliases=("infiniband", "ib100"),
                   description="the paper's 100 Gbps InfiniBand fabric")
 NETWORKS.register("ethernet_10gbps", ethernet_10gbps, aliases=("ethernet",),

@@ -106,7 +106,7 @@ class CommTopology:
 
 
 #: Registry of communication graphs constructible by name (spec/CLI).
-TOPOLOGIES = Registry("topology")
+TOPOLOGIES = Registry("topology", expose="topologies")
 
 
 @TOPOLOGIES.register("ring", description="each rank talks to its two ring neighbours")

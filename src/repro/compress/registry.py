@@ -26,7 +26,7 @@ from repro.compress.terngrad import TernGradCompressor
 from repro.compress.topk import TopKCompressor
 from repro.registry import Registry
 
-COMPRESSORS = Registry("compressor")
+COMPRESSORS = Registry("compressor", expose="compressors")
 COMPRESSORS.register("dense", DenseCompressor, aliases=("dense_sgd",),
                      description="full 32-bit gradients (baseline distributed SGD)")
 COMPRESSORS.register("a2sgd", A2SGDCompressor, aliases=("a2",),

@@ -182,7 +182,7 @@ class CallbackList(Callback):
 
 
 #: Registry of callbacks constructible by name (from specs / the CLI).
-CALLBACKS = Registry("callback")
+CALLBACKS = Registry("callback", expose="callbacks")
 
 
 class TimelineCallback(Callback):
@@ -218,10 +218,16 @@ class MetricsCallback(Callback):
     """Appends one row per epoch to the trainer's :class:`TrainingMetrics`."""
 
     def on_epoch_end(self, state: TrainState) -> None:
+        trainer = state.trainer
+        # NaN (not the measured-model total) when no virtual clock is
+        # attached, so time-to-accuracy plots never mix the two time bases.
+        sim_time = trainer.simulated_time_s \
+            if trainer.sim_report is not None else math.nan
         state.metrics.record_epoch(
             state.epoch, state.epoch_loss, state.metric_value,
-            comm_time=state.trainer.world.simulated_comm_time,
-            compute_time=state.timeline.compute_s)
+            comm_time=trainer.world.simulated_comm_time,
+            compute_time=state.timeline.compute_s,
+            simulated_time=sim_time)
 
 
 @CALLBACKS.register("progress", description="log loss/metric once per epoch")

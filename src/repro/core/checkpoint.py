@@ -44,11 +44,33 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
         for key, value in codec.state_arrays().items():
             arrays[f"sync_param_{key}"] = value
 
+    # Virtual-clock state: the event clock + compute-model RNG positions of
+    # the async engine, or the lockstep simulator's accumulated clock.
+    sim = trainer.sim_engine if trainer.sim_engine is not None else trainer.lockstep_sim
+    if sim is not None:
+        for key, value in sim.state_arrays().items():
+            arrays[f"sim_{key}"] = value
+    # Async strategy server/center state (server params + velocity, staleness
+    # bookkeeping, EASGD center + local-step phases).
+    if trainer.is_async:
+        for key, value in trainer.sync_strategy.state_arrays().items():
+            arrays[f"sync_async_{key}"] = value
+        # The per-rank worker rows: after train() the replicas hold the
+        # finalized consensus, but resuming needs each rank's live vector
+        # (its last pull / local state).  Mid-run saves read the live
+        # matrix; post-train saves read the pre-finalize snapshot.
+        if trainer.flat_world is not None:
+            rows = trainer._async_worker_rows
+            arrays["async_worker_rows"] = (
+                trainer.flat_world.param_matrix.copy() if rows is None else rows)
+
     arrays["progress"] = np.array([trainer._global_iteration, len(trainer.metrics.epochs)],
                                   dtype=np.int64)
     arrays["metric_history"] = np.array(trainer.metrics.metric, dtype=np.float64)
     arrays["loss_history"] = np.array(trainer.metrics.train_loss, dtype=np.float64)
     arrays["epoch_history"] = np.array(trainer.metrics.epochs, dtype=np.int64)
+    arrays["metrics_sim_time"] = np.array(trainer.metrics.simulated_time_s,
+                                          dtype=np.float64)
     np.savez_compressed(path, **arrays)
     return path
 
@@ -92,6 +114,21 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
         codec.load_state_arrays({name[len(prefix):]: data[name]
                                  for name in data.files if name.startswith(prefix)})
 
+    sim = trainer.sim_engine if trainer.sim_engine is not None else trainer.lockstep_sim
+    sim_state = {name[len("sim_"):]: data[name]
+                 for name in data.files if name.startswith("sim_")}
+    if sim is not None and "clock_now" in sim_state:
+        sim.load_state_arrays(sim_state)
+    if trainer.is_async:
+        async_state = {name[len("sync_async_"):]: data[name]
+                       for name in data.files if name.startswith("sync_async_")}
+        if async_state:
+            trainer.sync_strategy.load_state_arrays(async_state)
+        if "async_worker_rows" in data and trainer.flat_world is not None:
+            # Overwrite the finalized consensus written by the params_{rank}
+            # restore above with each rank's live working vector.
+            trainer.flat_world.param_matrix[:] = data["async_worker_rows"]
+
     progress = data["progress"]
     trainer._global_iteration = int(progress[0])
     # Keep the sync strategy's period phase (local-SGD's every-H schedule)
@@ -100,4 +137,6 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
     trainer.metrics.epochs = [int(v) for v in data["epoch_history"]]
     trainer.metrics.metric = [float(v) for v in data["metric_history"]]
     trainer.metrics.train_loss = [float(v) for v in data["loss_history"]]
+    if "metrics_sim_time" in data:
+        trainer.metrics.simulated_time_s = [float(v) for v in data["metrics_sim_time"]]
     return trainer

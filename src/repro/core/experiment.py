@@ -47,6 +47,9 @@ class ExperimentResult:
     num_parameters: int
     wire_bits_per_iteration: float
     wall_time_s: float
+    #: Virtual-clock summary (``SimReport.as_dict()`` minus the raw event
+    #: log) when the run tracked simulated time; None otherwise.
+    sim: Optional[Dict[str, object]] = None
 
     @property
     def final_metric(self) -> float:
@@ -64,6 +67,7 @@ class ExperimentResult:
             "num_parameters": self.num_parameters,
             "wire_bits_per_iteration": self.wire_bits_per_iteration,
             "wall_time_s": self.wall_time_s,
+            "sim": self.sim,
         })
 
 
@@ -79,6 +83,10 @@ def run_experiment(config: ExperimentSpec,
     trainer = DistributedTrainer(config.to_trainer_config(), callbacks=all_callbacks)
     metrics = trainer.train()
     wall = time.perf_counter() - start
+    sim = None
+    if trainer.sim_report is not None:
+        sim = trainer.sim_report.as_dict()
+        sim.pop("events", None)  # the raw event log is checkpoint-scale data
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -86,6 +94,7 @@ def run_experiment(config: ExperimentSpec,
         num_parameters=trainer.num_parameters,
         wire_bits_per_iteration=trainer.wire_bits_per_iteration,
         wall_time_s=wall,
+        sim=sim,
     )
 
 

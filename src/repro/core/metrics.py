@@ -81,14 +81,19 @@ class TrainingMetrics:
     metric: List[float] = field(default_factory=list)
     simulated_comm_time_s: List[float] = field(default_factory=list)
     wall_compute_time_s: List[float] = field(default_factory=list)
+    #: Virtual-clock time at the end of each epoch (NaN when the run has no
+    #: compute-time model attached) — the x-axis of time-to-accuracy plots.
+    simulated_time_s: List[float] = field(default_factory=list)
 
     def record_epoch(self, epoch: int, train_loss: float, metric_value: float,
-                     comm_time: float, compute_time: float) -> None:
+                     comm_time: float, compute_time: float,
+                     simulated_time: float = float("nan")) -> None:
         self.epochs.append(int(epoch))
         self.train_loss.append(float(train_loss))
         self.metric.append(float(metric_value))
         self.simulated_comm_time_s.append(float(comm_time))
         self.wall_compute_time_s.append(float(compute_time))
+        self.simulated_time_s.append(float(simulated_time))
 
     @property
     def final_metric(self) -> float:
@@ -110,6 +115,7 @@ class TrainingMetrics:
             "metric": list(self.metric),
             "simulated_comm_time_s": list(self.simulated_comm_time_s),
             "wall_compute_time_s": list(self.wall_compute_time_s),
+            "simulated_time_s": list(self.simulated_time_s),
         }
 
 

@@ -45,6 +45,7 @@ from repro.core.callbacks import CALLBACKS, Callback
 from repro.core.trainer import TrainerConfig
 from repro.models.registry import MODELS, list_models, list_presets
 from repro.registry import RegistryKeyError, unknown_field_problems
+from repro.sim.compute import compute_model_problems
 from repro.sync import SyncSpec
 from repro.utils.serialization import to_jsonable
 
@@ -93,6 +94,13 @@ class ExperimentSpec:
     #: Synchronization section: None (allreduce + mean, the paper's
     #: Algorithm 1), a SyncSpec, or its dict form.
     sync: Union[None, dict, SyncSpec] = None
+    #: Compute-time model for the simulated clock: None, a registered name
+    #: ("constant", "lognormal", "straggler", "intermittent_dropout") or a
+    #: {"name": ..., **kwargs} dict.  Async sync strategies default to
+    #: "constant" when None.
+    compute_model: Union[None, str, dict] = None
+    #: Seed for the per-rank compute-time draws (independent of ``seed``).
+    clock_seed: int = 0
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -130,6 +138,7 @@ class ExperimentSpec:
         # Deep-copied so one trainer run cannot leak sync state into the spec
         # (or a sibling run produced by replace()).
         kwargs["sync"] = copy.deepcopy(self.resolved_sync())
+        kwargs["compute_model"] = copy.deepcopy(self.compute_model)
         return TrainerConfig(**kwargs)
 
     def replace(self, **overrides) -> "ExperimentSpec":
@@ -254,6 +263,10 @@ class ExperimentSpec:
         else:
             problems.append(f"sync must be None, a dict or a SyncSpec, "
                             f"got {type(self.sync).__name__}")
+
+        problems.extend(compute_model_problems(self.compute_model))
+        if not isinstance(self.clock_seed, int) or isinstance(self.clock_seed, bool):
+            problems.append(f"clock_seed must be an integer, got {self.clock_seed!r}")
 
         for entry in self.callbacks:
             if isinstance(entry, Callback):

@@ -19,6 +19,12 @@ class SyncReport:
     wire_bits_per_worker: float = 0.0
     #: Collective kind that was executed ("allreduce" / "allgather").
     exchange: str = "allreduce"
+    #: Modeled off-wire aggregation time (robust aggregators' gather +
+    #: combine work, e.g. Weiszfeld iterations — see
+    #: :meth:`repro.sync.aggregators.Aggregator.combine_time_s`).  The
+    #: on-wire mean allreduce costs nothing here; its time is in
+    #: ``comm_time_s``.
+    aggregation_time_s: float = 0.0
 
 
 @dataclass
@@ -27,14 +33,16 @@ class IterationTimeline:
 
     ``compute`` is the measured forward/backward time of the simulated
     workers (max across workers per iteration), ``compression`` the measured
-    compressor time, and ``communication`` the simulated collective time.
-    Fed one record per iteration by
+    compressor time, ``communication`` the simulated collective time, and
+    ``aggregation`` the modeled robust-aggregator combine time.  Fed one
+    record per iteration by
     :class:`repro.core.callbacks.TimelineCallback` at ``on_iteration_end``.
     """
 
     compute_s: float = 0.0
     compression_s: float = 0.0
     communication_s: float = 0.0
+    aggregation_s: float = 0.0
     iterations: int = 0
     per_iteration: List[Dict[str, float]] = field(default_factory=list)
 
@@ -42,16 +50,19 @@ class IterationTimeline:
         self.compute_s += compute_s
         self.compression_s += report.compression_time_s
         self.communication_s += report.comm_time_s
+        self.aggregation_s += report.aggregation_time_s
         self.iterations += 1
         self.per_iteration.append({
             "compute_s": compute_s,
             "compression_s": report.compression_time_s,
             "communication_s": report.comm_time_s,
+            "aggregation_s": report.aggregation_time_s,
         })
 
     @property
     def total_s(self) -> float:
-        return self.compute_s + self.compression_s + self.communication_s
+        return (self.compute_s + self.compression_s + self.communication_s
+                + self.aggregation_s)
 
     def mean_iteration_time(self) -> float:
         return self.total_s / self.iterations if self.iterations else 0.0
@@ -61,6 +72,7 @@ class IterationTimeline:
             "compute_s": self.compute_s,
             "compression_s": self.compression_s,
             "communication_s": self.communication_s,
+            "aggregation_s": self.aggregation_s,
             "total_s": self.total_s,
             "iterations": float(self.iterations),
         }

@@ -75,6 +75,8 @@ from repro.optim.lars import LARS, lars_flat_update
 from repro.optim.lr_schedule import build_lr_policy
 from repro.optim.registry import OPTIMIZERS
 from repro.optim.sgd import SGD, sgd_flat_update
+from repro.sim.compute import resolve_compute_model
+from repro.sim.engine import LockstepSimulator, SimulationEngine
 from repro.sync import SyncSpec, merge_reports
 from repro.tensor import Tensor, functional as F
 from repro.utils.rng import SeedSequenceFactory
@@ -126,6 +128,18 @@ class TrainerConfig:
     #: (``{"strategy": "gossip", "topology": "ring",
     #: "parameter_compression": "topk", ...}``).
     sync: Optional[object] = None
+    #: Compute-time model for the simulated clock: None, a registered name
+    #: ("constant", "lognormal", "straggler", "intermittent_dropout"), a
+    #: ``{"name": ..., **kwargs}`` dict, or a
+    #: :class:`repro.sim.compute.ComputeTimeModel` instance.  Async
+    #: strategies always run on the virtual clock (defaulting to
+    #: "constant"); with a synchronous strategy a non-None model attaches a
+    #: :class:`repro.sim.engine.LockstepSimulator` that prices each
+    #: iteration without touching the numerics.
+    compute_model: Optional[object] = None
+    #: Seed for the per-rank compute-time draws (independent of ``seed`` so
+    #: timing noise never perturbs the training numerics).
+    clock_seed: int = 0
 
 
 class DistributedTrainer:
@@ -159,6 +173,8 @@ class DistributedTrainer:
         # paper's Algorithm 1 and reproduces the seed trainer bit for bit.
         self.sync_spec = SyncSpec.resolve(config.sync)
         self.sync_strategy = self.sync_spec.build(self.world, self.compressors)
+        #: Whether the bound strategy trains on the virtual-clock event loop.
+        self.is_async = bool(getattr(self.sync_strategy, "is_async", False))
         # Deprecated alias kept for callbacks/benchmarks written against the
         # pre-strategy API; delegates to an allreduce+mean strategy.
         self.synchronizer = GradientSynchronizer(self.world, self.compressors)
@@ -179,16 +195,22 @@ class DistributedTrainer:
         # flatten/unflatten copies and one batched kernel call per stage.
         self.flat_world: Optional[WorldFlatBuffers] = None
         self.executor = None
-        if config.fused_pipeline:
+        if config.fused_pipeline or self.is_async:
+            # Async strategies operate directly on the flat (P, n) rows (one
+            # rank's gradient/update per event), so they require the flat
+            # world even when the lockstep fused pipeline is off.
             self.flat_world = WorldFlatBuffers(self.replicas)
             self._velocity_matrix = np.zeros_like(self.flat_world.param_matrix)
             self._step_scratch = np.empty_like(self.flat_world.param_matrix)
             for rank, optimizer in enumerate(self.optimizers):
                 optimizer.bind_flat(self.flat_world.replica_buffers[rank],
                                     velocity_store=self._velocity_matrix[rank])
-            self.executor = build_replica_executor(self.replicas, self.flat_world,
-                                                   self.spec.task,
-                                                   taped=config.taped)
+            if not self.is_async:
+                # The batched executor stacks all ranks into one graph — the
+                # event loop computes one rank at a time, eagerly.
+                self.executor = build_replica_executor(self.replicas, self.flat_world,
+                                                       self.spec.task,
+                                                       taped=config.taped)
 
         self._setup_data()
         # The stacked LM executor needs every rank to contribute equally-shaped
@@ -199,6 +221,26 @@ class DistributedTrainer:
         self.metrics = TrainingMetrics(metric_name=self.spec.metric)
         self.timeline = IterationTimeline()
         self._global_iteration = 0
+        #: Live worker rows snapshotted just before finalize() collapsed them
+        #: (async runs only) — lets checkpoints resume per-rank trajectories.
+        self._async_worker_rows: Optional[np.ndarray] = None
+
+        # Simulated time.  Async strategies always train on the virtual-clock
+        # event engine (constant compute model unless configured otherwise);
+        # synchronous strategies keep their lockstep numerics and optionally
+        # attach a LockstepSimulator that prices each iteration.
+        self.sim_engine: Optional[SimulationEngine] = None
+        self.lockstep_sim: Optional[LockstepSimulator] = None
+        compute_model = resolve_compute_model(config.compute_model)
+        if self.is_async:
+            if compute_model is None:
+                compute_model = resolve_compute_model("constant")
+            self.sim_engine = SimulationEngine(self, compute_model,
+                                               config.clock_seed)
+        elif compute_model is not None:
+            self.lockstep_sim = LockstepSimulator(config.world_size,
+                                                  compute_model,
+                                                  config.clock_seed)
 
         # Lifecycle plugins.  The built-ins reproduce the seed trainer's
         # behaviour (timeline first so metrics sees fresh compute totals,
@@ -388,11 +430,20 @@ class DistributedTrainer:
     def train(self) -> TrainingMetrics:
         """Run the full training schedule and return the per-epoch metrics."""
         state = self.state
+        self._async_worker_rows = None
         self.callbacks.on_train_start(state)
-        if self.spec.task == "classification":
+        if self.sim_engine is not None:
+            self.sim_engine.run(state)
+        elif self.spec.task == "classification":
             self._train_classification(state)
         else:
             self._train_language_model(state)
+        if self.is_async and self.flat_world is not None:
+            # finalize() collapses every worker row onto the consensus
+            # (server/center) for the final model; keep the live rows so a
+            # checkpoint written after train() can resume the per-rank
+            # trajectories bit for bit.
+            self._async_worker_rows = self.flat_world.param_matrix.copy()
         # Algorithm 1 lines 9-10: final dense consolidation of the replicas,
         # combined by the strategy's aggregator (mean reproduces the seed).
         averaged = self.sync_strategy.finalize(
@@ -417,11 +468,17 @@ class DistributedTrainer:
         state.lr = lr
         state.compute_time_s = compute_time
         state.report = report
+        if self.lockstep_sim is not None and report is not None:
+            # Price the lockstep iteration before callbacks run so metrics
+            # rows see the advanced simulated clock.
+            self.lockstep_sim.record_iteration(report)
         self.callbacks.on_iteration_end(state)
 
     def _end_epoch(self, state: TrainState, epoch: int, epoch_losses: List[float]) -> None:
         state.epoch = epoch
         state.epoch_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+        if self.lockstep_sim is not None:
+            self.lockstep_sim.record_epoch_mark()
         self.callbacks.on_epoch_end(state)
 
     def _train_classification(self, state: TrainState) -> None:
@@ -492,9 +549,17 @@ class DistributedTrainer:
     # evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self) -> float:
-        """Evaluate the consensus model (parameter average across replicas)."""
-        snapshot = [flatten_parameters(m) for m in self.replicas]
-        consensus = np.mean(np.stack(snapshot), axis=0)
+        """Evaluate the consensus model.
+
+        The strategy may provide its own consensus vector (async_ps's server
+        parameters, EASGD's center); otherwise the consensus is the mean of
+        the replicas, as in the seed trainer.
+        """
+        consensus_fn = getattr(self.sync_strategy, "consensus_vector", None)
+        consensus = consensus_fn() if consensus_fn is not None else None
+        if consensus is None:
+            snapshot = [flatten_parameters(m) for m in self.replicas]
+            consensus = np.mean(np.stack(snapshot), axis=0)
         probe = self.replicas[0]
         original = flatten_parameters(probe)
         unflatten_into_parameters(probe, consensus)
@@ -524,6 +589,34 @@ class DistributedTrainer:
         """
         return self.sync_strategy.wire_bits_per_iteration(
             self.num_parameters, self.config.world_size)
+
+    @property
+    def sim_report(self):
+        """The run's :class:`~repro.sim.report.SimReport`, or None.
+
+        Present whenever simulated time is being tracked: always for async
+        strategies, and for synchronous strategies configured with a
+        ``compute_model``.
+        """
+        if self.sim_engine is not None:
+            return self.sim_engine.report
+        if self.lockstep_sim is not None:
+            return self.lockstep_sim.report
+        return None
+
+    @property
+    def simulated_time_s(self) -> float:
+        """Simulated wall-clock of the run so far (seconds).
+
+        The virtual clock when one is attached; otherwise the measured-model
+        timeline total (compute + compression + communication +
+        aggregation), which is what the seed trainer always reported.
+        """
+        if self.sim_engine is not None:
+            return self.sim_engine.clock.now
+        if self.lockstep_sim is not None:
+            return self.lockstep_sim.now
+        return self.timeline.total_s
 
     def mean_iteration_time(self) -> float:
         return self.timeline.mean_iteration_time()

@@ -14,7 +14,7 @@ from repro.data.synthetic_images import make_synthetic_cifar10, make_synthetic_m
 from repro.data.synthetic_text import SyntheticTextConfig, make_synthetic_ptb
 from repro.registry import Registry
 
-DATASETS = Registry("dataset")
+DATASETS = Registry("dataset", expose="datasets")
 
 
 @DATASETS.register("mnist", aliases=("mnist_synthetic",),

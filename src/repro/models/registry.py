@@ -137,7 +137,7 @@ MODEL_REGISTRY: Dict[Tuple[str, str], ModelSpec] = {
 # composite key "name/preset" so lookups share the framework's normalization
 # and did-you-mean errors.  ``MODEL_REGISTRY`` (the tuple-keyed dict above)
 # remains the authoritative store for code that iterates presets.
-MODELS = Registry("model")
+MODELS = Registry("model", expose="models")
 for (_name, _preset), _model_spec in MODEL_REGISTRY.items():
     MODELS.register(f"{_name}/{_preset}", _model_spec,
                     description=f"{_name} ({_preset} preset) on {_model_spec.dataset}")

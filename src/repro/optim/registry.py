@@ -19,12 +19,12 @@ from repro.optim.lr_schedule import (
 from repro.optim.sgd import SGD
 from repro.registry import Registry
 
-OPTIMIZERS = Registry("optimizer")
+OPTIMIZERS = Registry("optimizer", expose="optimizers")
 OPTIMIZERS.register("sgd", SGD, description="momentum SGD (optionally Nesterov)")
 OPTIMIZERS.register("lars", LARS,
                     description="layer-wise adaptive rate scaling on top of momentum SGD")
 
-LR_SCHEDULES = Registry("lr-schedule")
+LR_SCHEDULES = Registry("lr-schedule", expose="lr-schedules")
 LR_SCHEDULES.register("constant", ConstantLR, description="always the base learning rate")
 LR_SCHEDULES.register("ls", LinearScaling, aliases=("linear_scaling",),
                       description="scale base LR with the worker count (Goyal et al.)")

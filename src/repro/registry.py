@@ -57,6 +57,18 @@ def unknown_field_problems(keys: Sequence[str], known: Sequence[str],
     return problems
 
 
+#: Registries that opted into CLI/introspection listing (``expose=...``),
+#: keyed by their public label (e.g. ``"compressors"``).  ``repro components``
+#: derives its listing from this mapping, so a new registry shows up there the
+#: moment its module is imported — no hand-maintained table to forget.
+PUBLIC_REGISTRIES: Dict[str, "Registry"] = {}
+
+
+def public_registries() -> Dict[str, "Registry"]:
+    """The live label → :class:`Registry` mapping of exposed registries."""
+    return PUBLIC_REGISTRIES
+
+
 class RegistryKeyError(KeyError):
     """Unknown-name lookup error carrying the available options."""
 
@@ -78,12 +90,19 @@ class RegistryKeyError(KeyError):
 class Registry:
     """A named mapping from component names to factories/objects."""
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str, *, expose: Optional[str] = None):
         #: Human-readable singular kind ("compressor", "model", ...) used in errors.
         self.kind = kind
         self._entries: Dict[str, Any] = {}          # canonical name -> object
         self._descriptions: Dict[str, str] = {}     # canonical name -> description
         self._index: Dict[str, str] = {}            # normalized name/alias -> canonical
+        #: Public label under which this registry is listed (None = internal).
+        self.expose = expose
+        if expose is not None:
+            existing = PUBLIC_REGISTRIES.get(expose)
+            if existing is not None and existing is not self:
+                raise ValueError(f"a registry is already exposed as {expose!r}")
+            PUBLIC_REGISTRIES[expose] = self
 
     # ------------------------------------------------------------------ #
     # registration

@@ -1,0 +1,71 @@
+"""Deterministic event-driven virtual clock for simulated asynchronous training.
+
+The clock is a priority queue of ``(time, rank)`` completion events.  Each
+rank has **exactly one** event in flight at any moment (its next gradient
+becoming ready), so the pair ``(time, rank)`` is a total order: ties in time
+break by rank, deterministically, independent of insertion history.  That
+property is what makes checkpoint/resume bit-identical — the queue can be
+reconstructed from the per-rank pending times alone, with no hidden sequence
+counters.
+
+Simulated time only moves forward: popping an event advances ``now`` to the
+event's timestamp.  All times are float seconds on the same axis as the
+α–β :mod:`repro.comm.network_model` costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+
+class VirtualClock:
+    """Priority-queue event loop over ``(time, rank)`` completion events."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, rank: int) -> None:
+        """Schedule rank's next completion at absolute time ``when``."""
+        when = float(when)
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={when} before now={self._now}")
+        heapq.heappush(self._heap, (when, int(rank)))
+
+    def pop(self) -> Tuple[float, int]:
+        """Pop the earliest event and advance ``now`` to its timestamp."""
+        if not self._heap:
+            raise IndexError("pop from an empty VirtualClock")
+        when, rank = heapq.heappop(self._heap)
+        self._now = max(self._now, when)
+        return when, rank
+
+    def peek(self) -> Tuple[float, int]:
+        if not self._heap:
+            raise IndexError("peek into an empty VirtualClock")
+        return self._heap[0]
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def pending(self) -> Dict[int, float]:
+        """``{rank: completion_time}`` for every in-flight event."""
+        return {rank: when for when, rank in self._heap}
+
+    def restore(self, now: float, pending: Dict[int, float]) -> None:
+        """Rebuild the queue from a checkpointed ``(now, pending)`` snapshot."""
+        self._now = float(now)
+        self._heap = []
+        for rank, when in pending.items():
+            heapq.heappush(self._heap, (float(when), int(rank)))

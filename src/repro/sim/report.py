@@ -1,0 +1,113 @@
+"""Per-run record of what happened on the virtual clock.
+
+A :class:`SimReport` accumulates the facts sweeps and analysis need to plot
+*time*-to-accuracy instead of *iterations*-to-accuracy: the simulated
+wall-clock, per-rank step counts and busy/stall/comm seconds, the staleness
+histogram of an async parameter server, and the simulated time at each epoch
+boundary (which lines up 1:1 with the ``TrainingMetrics`` epoch rows).
+
+The event log — the ``(time, rank)`` sequence in pop order — is kept for the
+determinism guarantees: two runs with the same ``clock_seed`` must produce
+identical logs.  It is capped (``max_events``) so long simulations do not
+accumulate unbounded history; the cap only truncates the log, never the
+aggregate counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SimReport:
+    """Aggregated outcome of a simulated (virtual-clock) training run."""
+
+    compute_model: Dict[str, object]
+    clock_seed: int
+    world_size: int
+    strategy: str = ""
+    simulated_time_s: float = 0.0
+    #: Completed worker steps per rank.
+    steps_per_rank: List[int] = field(default_factory=list)
+    #: Productive compute seconds per rank (scheduled, including in-flight).
+    busy_s_per_rank: List[float] = field(default_factory=list)
+    #: Dead time per rank (dropout downtime etc.).
+    stall_s_per_rank: List[float] = field(default_factory=list)
+    #: Simulated communication seconds per rank.
+    comm_s_per_rank: List[float] = field(default_factory=list)
+    #: Simulated time at each epoch boundary (parallel to the metrics rows).
+    epoch_time_s: List[float] = field(default_factory=list)
+    #: staleness value -> number of pushes that arrived with it (async PS).
+    staleness_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Pushes dropped for exceeding the staleness bound (async PS).
+    rejected_pushes: int = 0
+    #: ``(time, rank)`` event log in pop order, truncated at ``max_events``.
+    events: List[Tuple[float, int]] = field(default_factory=list)
+    max_events: int = 100_000
+
+    def __post_init__(self):
+        if not self.steps_per_rank:
+            self.steps_per_rank = [0] * self.world_size
+        if not self.busy_s_per_rank:
+            self.busy_s_per_rank = [0.0] * self.world_size
+        if not self.stall_s_per_rank:
+            self.stall_s_per_rank = [0.0] * self.world_size
+        if not self.comm_s_per_rank:
+            self.comm_s_per_rank = [0.0] * self.world_size
+
+    # ------------------------------------------------------------------ #
+    def record_event(self, when: float, rank: int) -> None:
+        self.simulated_time_s = max(self.simulated_time_s, float(when))
+        if len(self.events) < self.max_events:
+            self.events.append((float(when), int(rank)))
+
+    def record_step(self, rank: int, comm_s: float,
+                    staleness: Optional[int] = None,
+                    rejected: bool = False) -> None:
+        self.steps_per_rank[rank] += 1
+        self.comm_s_per_rank[rank] += float(comm_s)
+        if staleness is not None:
+            key = int(staleness)
+            self.staleness_histogram[key] = self.staleness_histogram.get(key, 0) + 1
+        if rejected:
+            self.rejected_pushes += 1
+
+    def record_schedule(self, rank: int, compute_s: float, stall_s: float) -> None:
+        self.busy_s_per_rank[rank] += float(compute_s)
+        self.stall_s_per_rank[rank] += float(stall_s)
+
+    def record_epoch_mark(self, when: float) -> None:
+        self.epoch_time_s.append(float(when))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_steps(self) -> int:
+        return sum(self.steps_per_rank)
+
+    def mean_staleness(self) -> float:
+        total = sum(self.staleness_histogram.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(staleness * count
+                       for staleness, count in self.staleness_histogram.items())
+        return weighted / total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "compute_model": dict(self.compute_model),
+            "clock_seed": self.clock_seed,
+            "world_size": self.world_size,
+            "strategy": self.strategy,
+            "simulated_time_s": self.simulated_time_s,
+            "total_steps": self.total_steps,
+            "steps_per_rank": list(self.steps_per_rank),
+            "busy_s_per_rank": list(self.busy_s_per_rank),
+            "stall_s_per_rank": list(self.stall_s_per_rank),
+            "comm_s_per_rank": list(self.comm_s_per_rank),
+            "epoch_time_s": list(self.epoch_time_s),
+            "staleness_histogram": {str(k): v for k, v
+                                    in sorted(self.staleness_histogram.items())},
+            "mean_staleness": self.mean_staleness(),
+            "rejected_pushes": self.rejected_pushes,
+        }

@@ -39,6 +39,12 @@ from repro.sync.base import (
     validate_compressors,
 )
 from repro.sync.strategies import AllreduceStrategy, GossipStrategy, LocalSGDStrategy
+from repro.sync.async_strategies import (
+    AsyncParameterServerStrategy,
+    AsyncStepReport,
+    AsyncStrategy,
+    ElasticAveragingStrategy,
+)
 from repro.sync.config import SyncSpec
 
 __all__ = [
@@ -54,6 +60,10 @@ __all__ = [
     "AllreduceStrategy",
     "LocalSGDStrategy",
     "GossipStrategy",
+    "AsyncStrategy",
+    "AsyncStepReport",
+    "AsyncParameterServerStrategy",
+    "ElasticAveragingStrategy",
     "GradientCorruption",
     "CORRUPTION_KINDS",
     "SyncSpec",

@@ -34,7 +34,7 @@ from repro.comm.backend import CollectiveOp
 from repro.registry import Registry
 
 #: Registry of aggregators constructible by name (spec / CLI).
-AGGREGATORS = Registry("aggregator")
+AGGREGATORS = Registry("aggregator", expose="aggregators")
 
 
 class Aggregator:
@@ -46,10 +46,26 @@ class Aggregator:
     #: The elementwise reduction this aggregator is equivalent to, or None
     #: when it needs the full set of rows (forces an allgather exchange).
     collective_op: Optional[CollectiveOp] = None
+    #: Modeled throughput of the off-wire combine work (elements/second),
+    #: the compute-side analogue of the α–β network constants.  Shared by
+    #: every aggregator so priced times differ only by algorithmic cost.
+    AGGREGATION_ELEMENTS_PER_SECOND: float = 2.5e9
 
     def combine(self, X: np.ndarray) -> np.ndarray:
         """Reduce a ``(P, m)`` stack of per-rank vectors to one ``(m,)`` vector."""
         raise NotImplementedError
+
+    def combine_time_s(self, world_size: int, m: float,
+                       iterations: Optional[int] = None) -> float:
+        """Modeled seconds for one off-wire :meth:`combine` of ``(P, m)``.
+
+        The base cost is the one-pass reduction ``P·m / rate``; robust
+        aggregators override with their sort/iteration terms.  Strategies
+        charge this only when the combine actually runs off-wire — an
+        elementwise aggregator riding a true allreduce is priced by the α–β
+        collective model instead.
+        """
+        return world_size * float(m) / self.AGGREGATION_ELEMENTS_PER_SECOND
 
     @staticmethod
     def _as_matrix(X: np.ndarray) -> np.ndarray:
@@ -107,6 +123,13 @@ class TrimmedMeanAggregator(Aggregator):
         ordered = np.sort(X, axis=0)
         return ordered[k:P - k].mean(axis=0)
 
+    def combine_time_s(self, world_size: int, m: float,
+                       iterations: Optional[int] = None) -> float:
+        """Gather pass plus the per-coordinate sort: ``P·m·(1 + log₂P) / rate``."""
+        sort_factor = math.log2(max(world_size, 2))
+        return (world_size * float(m) * (1.0 + sort_factor)
+                / self.AGGREGATION_ELEMENTS_PER_SECOND)
+
     def trim_count(self, P: int) -> int:
         """``floor(trim_ratio * P)`` computed robustly.
 
@@ -133,6 +156,13 @@ class CoordinateMedianAggregator(Aggregator):
         X = self._as_matrix(X)
         return np.median(X, axis=0).astype(X.dtype, copy=False)
 
+    def combine_time_s(self, world_size: int, m: float,
+                       iterations: Optional[int] = None) -> float:
+        """Selection per coordinate, priced like the sort: ``P·m·(1 + log₂P) / rate``."""
+        sort_factor = math.log2(max(world_size, 2))
+        return (world_size * float(m) * (1.0 + sort_factor)
+                / self.AGGREGATION_ELEMENTS_PER_SECOND)
+
 
 @AGGREGATORS.register("geometric_median", aliases=("geomed",),
                       description="Weiszfeld geometric median of the rank vectors")
@@ -157,6 +187,9 @@ class GeometricMedianAggregator(Aggregator):
         self.max_iterations = int(max_iterations)
         self.tol = float(tol)
         self.eps = float(eps)
+        #: Weiszfeld iterations executed by the most recent :meth:`combine`
+        #: (None before the first call) — feeds the priced combine time.
+        self.last_iterations: Optional[int] = None
 
     def combine(self, X: np.ndarray) -> np.ndarray:
         X = self._as_matrix(X)
@@ -164,9 +197,11 @@ class GeometricMedianAggregator(Aggregator):
         points = X.astype(np.float64, copy=False)
         P = points.shape[0]
         if P == 1:
+            self.last_iterations = 0
             return X[0].copy()
         y = points.mean(axis=0)
         scale = float(np.linalg.norm(y)) or 1.0
+        executed = 0
         for _ in range(self.max_iterations):
             distances = np.linalg.norm(points - y, axis=1)
             # A point we currently sit on would produce an infinite weight;
@@ -175,9 +210,26 @@ class GeometricMedianAggregator(Aggregator):
             updated = (weights[:, None] * points).sum(axis=0) / weights.sum()
             shift = float(np.linalg.norm(updated - y))
             y = updated
+            executed += 1
             if shift <= self.tol * max(scale, float(np.linalg.norm(y)), 1e-30):
                 break
+        self.last_iterations = executed
         return y.astype(dtype, copy=False)
+
+    def combine_time_s(self, world_size: int, m: float,
+                       iterations: Optional[int] = None) -> float:
+        """Gather plus Weiszfeld: ``(P·m + iterations·2·P·m) / rate``.
+
+        Each Weiszfeld iteration touches all ``P·m`` elements twice (the
+        distance pass and the weighted recombination).  ``iterations``
+        defaults to the count the last :meth:`combine` actually executed,
+        or ``max_iterations`` before any combine has run.
+        """
+        if iterations is None:
+            iterations = self.last_iterations \
+                if self.last_iterations is not None else self.max_iterations
+        total = world_size * float(m) * (1.0 + 2.0 * int(iterations))
+        return total / self.AGGREGATION_ELEMENTS_PER_SECOND
 
 
 def get_aggregator(name: str, **kwargs) -> Aggregator:

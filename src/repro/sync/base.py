@@ -44,7 +44,7 @@ from repro.registry import Registry
 from repro.sync.aggregators import Aggregator
 
 #: Registry of synchronization strategies constructible by name (spec / CLI).
-SYNC_STRATEGIES = Registry("sync strategy")
+SYNC_STRATEGIES = Registry("sync strategy", expose="sync-strategies")
 
 #: Corruption kinds understood by :class:`GradientCorruption`.
 CORRUPTION_KINDS = ("sign_flip", "scale")
@@ -104,6 +104,16 @@ class GradientCorruption:
             np.multiply(G[rank], factor, out=G[rank])
         return G
 
+    def apply_vector(self, rank: int, vector: np.ndarray) -> np.ndarray:
+        """Corrupt one rank's vector in place (no-op for honest ranks).
+
+        Event-driven strategies process one rank per event, so they corrupt
+        per-vector instead of per-stacked-matrix.
+        """
+        if rank in self.ranks:
+            np.multiply(vector, vector.dtype.type(self._factor()), out=vector)
+        return vector
+
     def apply_list(self, gradients: Sequence[np.ndarray]) -> Sequence[np.ndarray]:
         """Corrupt the selected per-rank vectors in place."""
         for rank in self.ranks:
@@ -139,6 +149,7 @@ def merge_reports(gradient: SyncReport, parameter: Optional[SyncReport]) -> Sync
         comm_time_s=gradient.comm_time_s + parameter.comm_time_s,
         wire_bits_per_worker=gradient.wire_bits_per_worker + parameter.wire_bits_per_worker,
         exchange=f"{gradient.exchange}+{parameter.exchange}",
+        aggregation_time_s=gradient.aggregation_time_s + parameter.aggregation_time_s,
     )
 
 
@@ -158,6 +169,11 @@ class SyncStrategy:
     needs_topology: bool = False
     #: Whether the strategy reads the local-SGD ``period`` knob.
     uses_period: bool = False
+    #: Whether the strategy is event-driven: the trainer then routes training
+    #: through the virtual-clock :class:`repro.sim.engine.SimulationEngine`
+    #: (which calls ``worker_step`` per completion event) instead of the
+    #: lockstep ``exchange`` loops.  See :mod:`repro.sync.async_strategies`.
+    is_async: bool = False
 
     @classmethod
     def exchanges_gradients(cls, period: int = 1) -> bool:
@@ -322,6 +338,18 @@ class SyncStrategy:
         return self._aggregate_global(list(parameter_vectors))[0]
 
     # ------------------------------------------------------------------ #
+    # evaluation support
+    # ------------------------------------------------------------------ #
+    def consensus_vector(self) -> Optional[np.ndarray]:
+        """The strategy's own notion of the consensus model, if it has one.
+
+        ``None`` (the default) means "average the replicas" — the seed
+        semantics.  A parameter server returns its server parameters, EASGD
+        its center variable; the trainer consults this before evaluating.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
     # resume support
     # ------------------------------------------------------------------ #
     def restore(self, global_iteration: int) -> None:
@@ -410,11 +438,14 @@ class SyncStrategy:
         for row in param_rows:
             row[...] = combined
         kernel_time += time.perf_counter() - start
+        aggregation_time = self.aggregator.combine_time_s(
+            estimates.shape[0], estimates.shape[1])
         return SyncReport(
             compression_time_s=float(kernel_time) / self.world.world_size,
             comm_time_s=float(comm_time),
             wire_bits_per_worker=float(wire_bits),
-            exchange="compressed_parameter_allgather")
+            exchange="compressed_parameter_allgather",
+            aggregation_time_s=float(aggregation_time))
 
     def _aggregate_global(self, vectors: List[np.ndarray]
                           ) -> Tuple[List[np.ndarray], SyncReport]:
@@ -426,19 +457,24 @@ class SyncStrategy:
         """
         nbytes = float(np.asarray(vectors[0]).nbytes)
         comm_before = self.world.simulated_comm_time
+        aggregation_time = 0.0
         op = self.aggregator.collective_op
         if op is not None:
             results = self.world.allreduce(vectors, op, logical_bytes=nbytes)
             wire_exchange = "parameter_allreduce"
         else:
             gathered = self.world.allgather(vectors, logical_bytes=nbytes)
-            combined = self.aggregator.combine(np.stack(gathered[0]))
+            stacked = np.stack(gathered[0])
+            combined = self.aggregator.combine(stacked)
+            aggregation_time = self.aggregator.combine_time_s(
+                stacked.shape[0], stacked.shape[1])
             results = [combined.copy() for _ in range(self.world.world_size)]
             wire_exchange = "parameter_allgather"
         comm_time = self.world.simulated_comm_time - comm_before
         report = SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),
                             wire_bits_per_worker=8.0 * nbytes,
-                            exchange=wire_exchange)
+                            exchange=wire_exchange,
+                            aggregation_time_s=float(aggregation_time))
         return results, report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

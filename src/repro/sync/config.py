@@ -34,8 +34,11 @@ from repro.sync.base import CORRUPTION_KINDS, SYNC_STRATEGIES, GradientCorruptio
 class SyncSpec:
     """One fully-described synchronization setup (JSON round-trippable)."""
 
-    #: Registered strategy name: allreduce, local_sgd, gossip.
+    #: Registered strategy name: allreduce, local_sgd, gossip, async_ps, easgd.
     strategy: str = "allreduce"
+    #: Extra kwargs for the strategy constructor (e.g. staleness_bound for
+    #: async_ps, moving_rate for easgd).
+    strategy_kwargs: Dict[str, object] = field(default_factory=dict)
     #: Registered aggregator name: mean, trimmed_mean, coordinate_median,
     #: geometric_median.
     aggregator: str = "mean"
@@ -112,6 +115,7 @@ class SyncSpec:
         if "strategy" in overrides \
                 and canonical(SYNC_STRATEGIES, overrides["strategy"]) \
                 != canonical(SYNC_STRATEGIES, merged["strategy"]):
+            merged["strategy_kwargs"] = dict(defaults.strategy_kwargs)
             merged["period"] = defaults.period
             merged["topology"] = defaults.topology
             # Parameter compression belongs to the parameter-phase strategy
@@ -166,6 +170,15 @@ class SyncSpec:
                 problems.append(f"topology={self.topology!r} is only used by "
                                 f"graph-based strategies (gossip); strategy "
                                 f"{self.strategy!r} does not exchange over a graph")
+        if not isinstance(self.strategy_kwargs, dict):
+            problems.append(f"strategy_kwargs must be a dict, "
+                            f"got {type(self.strategy_kwargs).__name__}")
+        elif self.strategy in SYNC_STRATEGIES:
+            try:
+                SYNC_STRATEGIES.create(self.strategy, **self.strategy_kwargs)
+            except Exception as error:
+                problems.append(f"sync strategy {self.strategy!r} cannot be "
+                                f"constructed with {self.strategy_kwargs!r}: {error}")
         if not isinstance(self.aggregator_kwargs, dict):
             problems.append(f"aggregator_kwargs must be a dict, "
                             f"got {type(self.aggregator_kwargs).__name__}")
@@ -217,6 +230,34 @@ class SyncSpec:
                     f"aggregators support allreduce-kind compressors only "
                     f"(dense, a2sgd) — or use strategy local_sgd with period > 1 / "
                     f"gossip, which aggregate parameters instead")
+
+        # Async strategies apply one rank's update at a time on the simulated
+        # event loop, so robust aggregators (which combine a lockstep stack of
+        # per-rank rows) do not apply, and allgather-kind compressors (whose
+        # reconstruction assumes every rank's payload) cannot decode a single
+        # push.
+        if strategy_cls is not None and getattr(strategy_cls, "is_async", False):
+            if self.aggregator in AGGREGATORS \
+                    and AGGREGATORS.get(self.aggregator).collective_op is None:
+                problems.append(
+                    f"async strategy {self.strategy!r} applies one rank's update "
+                    f"at a time and cannot run a robust aggregator "
+                    f"({self.aggregator!r}); use the 'mean' aggregator")
+            if algorithm is not None \
+                    and strategy_cls.exchanges_gradients(
+                        self.period if isinstance(self.period, int) else 1):
+                try:
+                    compressor_cls = COMPRESSORS.get(algorithm)
+                except RegistryKeyError:
+                    compressor_cls = None  # reported by the algorithm check
+                if compressor_cls is not None \
+                        and compressor_cls.exchange is not ExchangeKind.ALLREDUCE:
+                    problems.append(
+                        f"async strategy {self.strategy!r} pushes single-rank "
+                        f"payloads, but compressor {algorithm!r} uses an "
+                        f"allgather exchange that cannot be decompressed "
+                        f"rank-locally; use an allreduce-kind compressor "
+                        f"(dense, a2sgd)")
         return problems
 
     def _parameter_compression_problems(self, strategy_cls: Optional[type]
@@ -324,7 +365,8 @@ class SyncSpec:
               compressors: Sequence[Compressor]) -> SyncStrategy:
         """Instantiate and bind the described strategy to a world."""
         aggregator = AGGREGATORS.create(self.aggregator, **dict(self.aggregator_kwargs))
-        strategy: SyncStrategy = SYNC_STRATEGIES.create(self.strategy)
+        strategy: SyncStrategy = SYNC_STRATEGIES.create(
+            self.strategy, **dict(self.strategy_kwargs))
         topology = TOPOLOGIES.create(self.topology) if strategy.needs_topology else None
         corruption = None
         if self.corrupt_ranks:
@@ -348,6 +390,8 @@ class SyncSpec:
     def describe(self) -> str:
         """One-line human-readable summary (used by the CLI)."""
         parts = [f"strategy={self.strategy}", f"aggregator={self.aggregator}"]
+        if self.strategy_kwargs:
+            parts.append(f"strategy_kwargs={dict(self.strategy_kwargs)}")
         strategy_cls = self._strategy_class()
         if strategy_cls is not None and strategy_cls.uses_period:
             parts.append(f"period={self.period}")

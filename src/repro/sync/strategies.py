@@ -107,7 +107,7 @@ class AllreduceStrategy(SyncStrategy):
             contexts.append(ctx)
 
         # ---- global exchange + aggregation (line 5) ---------------------- #
-        exchanged, comm_time, wire_exchange = self._combine(
+        exchanged, comm_time, wire_exchange, aggregation_time = self._combine(
             payloads, exchange_kind, logical_bytes)
 
         # ---- reconstruction (line 6) ------------------------------------- #
@@ -126,6 +126,7 @@ class AllreduceStrategy(SyncStrategy):
             comm_time_s=float(comm_time),
             wire_bits_per_worker=float(wire_bits),
             exchange=wire_exchange,
+            aggregation_time_s=float(aggregation_time),
         )
         return new_gradients, report
 
@@ -155,7 +156,7 @@ class AllreduceStrategy(SyncStrategy):
         payloads, contexts = batch.compress_batch(self.compressors, G)
         kernel_time = time.perf_counter() - start
 
-        exchanged, comm_time, wire_exchange = self._combine(
+        exchanged, comm_time, wire_exchange, aggregation_time = self._combine(
             payloads, exchange_kind, logical_bytes)
 
         start = time.perf_counter()
@@ -167,19 +168,23 @@ class AllreduceStrategy(SyncStrategy):
             comm_time_s=float(comm_time),
             wire_bits_per_worker=float(wire_bits),
             exchange=wire_exchange,
+            aggregation_time_s=float(aggregation_time),
         )
         return new_matrix, report
 
     def _combine(self, payloads: List[np.ndarray], exchange_kind: ExchangeKind,
-                 logical_bytes: float) -> Tuple[Sequence, float, str]:
+                 logical_bytes: float) -> Tuple[Sequence, float, str, float]:
         """Exchange + aggregate the payloads; returns per-rank results.
 
         The aggregator decides the wire pattern: an elementwise-reduction
         aggregator runs the compressor's native collective (bitwise the
         seed behaviour for ``mean``); a robust aggregator allgathers the
-        payloads and combines them once off-wire.
+        payloads and combines them once off-wire — that combine's modeled
+        cost (the O(P·m) gather pass, sort/Weiszfeld work) is returned as
+        the fourth element so the iteration report prices it.
         """
         comm_before = self.world.simulated_comm_time
+        aggregation_time = 0.0
         op = self.aggregator.collective_op
         if exchange_kind is ExchangeKind.ALLREDUCE:
             if op is not None:
@@ -189,14 +194,17 @@ class AllreduceStrategy(SyncStrategy):
             else:
                 gathered = self.world.allgather(payloads, logical_bytes=logical_bytes)
                 # The combine is rank-invariant: compute once, share the result.
-                combined = self.aggregator.combine(np.stack(gathered[0]))
+                stacked = np.stack(gathered[0])
+                combined = self.aggregator.combine(stacked)
+                aggregation_time = self.aggregator.combine_time_s(
+                    stacked.shape[0], stacked.shape[1])
                 exchanged = [combined] * self.world.world_size
                 wire_exchange = ExchangeKind.ALLGATHER.value
         else:
             exchanged = self.world.allgather(payloads, logical_bytes=logical_bytes)
             wire_exchange = exchange_kind.value
         comm_time = self.world.simulated_comm_time - comm_before
-        return exchanged, comm_time, wire_exchange
+        return exchanged, comm_time, wire_exchange, aggregation_time
 
 @SYNC_STRATEGIES.register("local_sgd", aliases=("localsgd", "periodic"),
                           description="apply local gradients; aggregate "
@@ -340,11 +348,16 @@ class GossipStrategy(SyncStrategy):
         comm_time = world.simulated_comm_time - comm_before
         # All neighbourhood payloads are staged read-only copies, so the
         # in-place writes below cannot corrupt a neighbour's input.
+        n = int(np.asarray(param_rows[0]).size)
         for rank, neighborhood in enumerate(gathered):
             param_rows[rank][...] = self.aggregator.combine(np.stack(neighborhood))
+        # Per-rank combines run in parallel in the modeled deployment; the
+        # busiest rank (max closed neighbourhood) gates the step.
+        aggregation_time = self.aggregator.combine_time_s(max_degree + 1, n)
         return SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),
                           wire_bits_per_worker=max_degree * 8.0 * nbytes,
-                          exchange="neighbor_exchange")
+                          exchange="neighbor_exchange",
+                          aggregation_time_s=float(aggregation_time))
 
     def _gossip_compressed(self, param_rows: Sequence[np.ndarray],
                            max_degree: int) -> SyncReport:
@@ -376,8 +389,11 @@ class GossipStrategy(SyncStrategy):
             param_rows[rank][...] = self.aggregator.combine(estimates[neighborhood])
         codec.advance(estimates)
         kernel_time += time.perf_counter() - start
+        n = int(np.asarray(param_rows[0]).size)
+        aggregation_time = self.aggregator.combine_time_s(max_degree + 1, n)
         return SyncReport(
             compression_time_s=float(kernel_time) / world.world_size,
             comm_time_s=float(comm_time),
             wire_bits_per_worker=max_degree * float(wire_bits),
-            exchange="compressed_neighbor_exchange")
+            exchange="compressed_neighbor_exchange",
+            aggregation_time_s=float(aggregation_time))

@@ -283,3 +283,69 @@ class TestSyncFlags:
         with pytest.raises(SystemExit):
             main(["run", "--model", "fnn3", "--sync", "gosip"])
         assert "available" in capsys.readouterr().err
+
+
+class TestSimulatedTimeFlags:
+    def test_components_list_is_derived_from_the_registry_module(self):
+        """The CLI's registry table is the live public_registries() mapping,
+        not a hand-maintained copy — new registries appear automatically."""
+        from repro.cli import COMPONENT_REGISTRIES
+        from repro.registry import PUBLIC_REGISTRIES, public_registries
+
+        assert COMPONENT_REGISTRIES is public_registries()
+        assert COMPONENT_REGISTRIES is PUBLIC_REGISTRIES
+        assert "compute-models" in COMPONENT_REGISTRIES
+
+    def test_components_lists_compute_models(self, capsys):
+        assert main(["components", "--registry", "compute-models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("constant", "lognormal", "straggler",
+                     "intermittent_dropout"):
+            assert name in out
+
+    def test_components_lists_async_strategies(self, capsys):
+        assert main(["components", "--registry", "sync-strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "async_ps" in out and "easgd" in out
+
+    def test_run_async_ps_prints_simulated_time(self, capsys):
+        assert main(["run", "--model", "fnn3", "--algorithm", "dense",
+                     "--workers", "2", "--epochs", "1", "--iterations", "2",
+                     "--batch-size", "8", "--sync", "async_ps",
+                     "--compute-model", "lognormal", "--seed-clock", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated time:" in out
+        assert "async_ps" in out and "lognormal" in out and "clock seed 5" in out
+
+    def test_validate_rejects_invalid_staleness_bound(self, capsys, tmp_path):
+        path = tmp_path / "bad_staleness.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2,
+            "epochs": 1, "max_iterations_per_epoch": 2, "batch_size": 8,
+            "num_train": 128, "num_test": 32,
+            "sync": {"strategy": "async_ps",
+                     "strategy_kwargs": {"staleness_bound": -1}}}))
+        assert main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+        assert "staleness_bound must be an integer >= 0" in err
+
+    def test_validate_accepts_compute_model_spec(self, capsys, tmp_path):
+        path = tmp_path / "sim.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2,
+            "epochs": 1, "max_iterations_per_epoch": 2, "batch_size": 8,
+            "num_train": 128, "num_test": 32, "clock_seed": 3,
+            "compute_model": {"name": "straggler", "slowdown": 4.0},
+            "sync": {"strategy": "easgd", "period": 2}}))
+        assert main(["validate", str(path)]) == 0
+
+    def test_validate_rejects_unknown_compute_model(self, capsys, tmp_path):
+        path = tmp_path / "warp.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 2,
+            "epochs": 1, "max_iterations_per_epoch": 2, "batch_size": 8,
+            "num_train": 128, "num_test": 32,
+            "compute_model": "warp_speed"}))
+        assert main(["validate", str(path)]) == 1
+        assert "compute_model" in capsys.readouterr().err

@@ -1,0 +1,77 @@
+"""VirtualClock unit tests: ordering, determinism, pending/restore."""
+
+import pytest
+
+from repro.sim import VirtualClock
+
+
+class TestScheduling:
+    def test_pop_returns_earliest_event(self):
+        clock = VirtualClock()
+        clock.schedule(0.5, 0)
+        clock.schedule(0.2, 1)
+        clock.schedule(0.9, 2)
+        assert clock.pop() == (0.2, 1)
+        assert clock.pop() == (0.5, 0)
+        assert clock.pop() == (0.9, 2)
+
+    def test_pop_advances_now(self):
+        clock = VirtualClock()
+        clock.schedule(1.5, 0)
+        assert clock.now == 0.0
+        clock.pop()
+        assert clock.now == 1.5
+
+    def test_ties_break_by_rank(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, 3)
+        clock.schedule(1.0, 1)
+        clock.schedule(1.0, 2)
+        assert [clock.pop()[1] for _ in range(3)] == [1, 2, 3]
+
+    def test_len_and_peek(self):
+        clock = VirtualClock()
+        assert len(clock) == 0
+        clock.schedule(0.3, 0)
+        clock.schedule(0.1, 1)
+        assert len(clock) == 2
+        assert clock.peek() == (0.1, 1)
+        assert len(clock) == 2          # peek does not consume
+
+    def test_scheduling_in_the_past_raises(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, 0)
+        clock.pop()
+        with pytest.raises(ValueError):
+            clock.schedule(0.5, 0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            VirtualClock().pop()
+
+
+class TestPendingRestore:
+    def test_pending_maps_rank_to_time(self):
+        clock = VirtualClock()
+        clock.schedule(0.4, 0)
+        clock.schedule(0.7, 1)
+        assert clock.pending() == {0: 0.4, 1: 0.7}
+
+    def test_restore_reproduces_event_order(self):
+        clock = VirtualClock()
+        for when, rank in [(0.3, 0), (0.1, 1), (0.2, 2)]:
+            clock.schedule(when, rank)
+        clock.pop()                      # consume (0.1, 1)
+        snapshot_now, snapshot_pending = clock.now, clock.pending()
+
+        fresh = VirtualClock()
+        fresh.restore(snapshot_now, snapshot_pending)
+        assert fresh.now == snapshot_now
+        remaining = [fresh.pop() for _ in range(len(fresh))]
+        assert remaining == [(0.2, 2), (0.3, 0)]
+
+    def test_restore_empty_pending(self):
+        fresh = VirtualClock()
+        fresh.restore(5.0, {})
+        assert fresh.now == 5.0
+        assert len(fresh) == 0

@@ -198,3 +198,76 @@ class TestTrimmedMeanValidation:
             assert 2 * k < P
             result = aggregator.combine(np.ones((P, 2)))
             np.testing.assert_array_equal(result, np.ones(2))
+
+
+class TestCombineTimeModel:
+    """Pin the priced combine-time formulas (satellite: O(P·m) gather +
+    Weiszfeld iteration cost in the α–β/compute time model)."""
+
+    RATE = 2.5e9
+
+    def test_shared_rate_constant(self):
+        for name in ALL_NAMES:
+            agg = get_aggregator(name)
+            assert agg.AGGREGATION_ELEMENTS_PER_SECOND == self.RATE
+
+    @pytest.mark.parametrize("P,m", [(2, 1000), (8, 4522), (16, 1.0e6)])
+    def test_mean_is_one_pass(self, P, m):
+        assert get_aggregator("mean").combine_time_s(P, m) == \
+            pytest.approx(P * m / self.RATE)
+
+    @pytest.mark.parametrize("name", ["trimmed_mean", "coordinate_median"])
+    @pytest.mark.parametrize("P,m", [(2, 1000), (8, 4522)])
+    def test_sorting_aggregators_add_log_factor(self, name, P, m):
+        expected = P * m * (1.0 + np.log2(max(P, 2))) / self.RATE
+        assert get_aggregator(name).combine_time_s(P, m) == \
+            pytest.approx(expected)
+
+    def test_geometric_median_charges_weiszfeld_iterations(self):
+        agg = get_aggregator("geometric_median")
+        # Explicit iteration count: gather P·m plus 2·P·m per iteration.
+        assert agg.combine_time_s(4, 1000, iterations=3) == \
+            pytest.approx(4 * 1000 * (1.0 + 2.0 * 3) / self.RATE)
+        # Before any combine ran, the bound defaults to max_iterations.
+        assert agg.combine_time_s(4, 1000) == \
+            pytest.approx(4 * 1000 * (1.0 + 2.0 * agg.max_iterations) / self.RATE)
+
+    def test_geometric_median_defaults_to_measured_iterations(self):
+        agg = get_aggregator("geometric_median")
+        rng = np.random.default_rng(0)
+        agg.combine(rng.normal(size=(4, 64)))
+        executed = agg.last_iterations
+        assert executed is not None and 1 <= executed <= agg.max_iterations
+        assert agg.combine_time_s(4, 64) == \
+            pytest.approx(4 * 64 * (1.0 + 2.0 * executed) / self.RATE)
+
+    def test_exchange_report_charges_the_formula(self):
+        """An allreduce exchange with a robust aggregator charges exactly
+        combine_time_s for the off-wire (P, n) combine."""
+        from repro.comm.inprocess import InProcessWorld
+        from repro.compress.registry import COMPRESSORS
+        from repro.sync import SyncSpec
+
+        P = 4
+        world = InProcessWorld(P)
+        compressors = [COMPRESSORS.create("dense") for _ in range(P)]
+        strategy = SyncSpec(strategy="allreduce",
+                            aggregator="trimmed_mean").build(world, compressors)
+        n = 256
+        G = np.random.default_rng(1).normal(size=(P, n)).astype(np.float32)
+        _, report = strategy.exchange_batched(G)
+        assert report.aggregation_time_s == pytest.approx(
+            strategy.aggregator.combine_time_s(P, n))
+
+    def test_mean_on_allreduce_charges_no_offwire_combine(self):
+        from repro.comm.inprocess import InProcessWorld
+        from repro.compress.registry import COMPRESSORS
+        from repro.sync import SyncSpec
+
+        P = 4
+        world = InProcessWorld(P)
+        compressors = [COMPRESSORS.create("dense") for _ in range(P)]
+        strategy = SyncSpec(strategy="allreduce").build(world, compressors)
+        G = np.ones((P, 64), dtype=np.float32)
+        _, report = strategy.exchange_batched(G)
+        assert report.aggregation_time_s == 0.0
