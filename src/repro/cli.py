@@ -64,6 +64,7 @@ from repro.models.registry import (
     list_models,
 )
 from repro.optim.registry import LR_SCHEDULES, OPTIMIZERS
+from repro.faults import FAULT_MODELS, FaultSpec
 from repro.registry import public_registries
 from repro.sim.compute import COMPUTE_MODELS
 from repro.sync import AGGREGATORS, SYNC_STRATEGIES, SyncSpec
@@ -85,6 +86,7 @@ RUN_FLAG_FIELDS: Dict[str, str] = {
     "taped": "taped",
     "compute_model": "compute_model",
     "seed_clock": "clock_seed",
+    "seed_faults": "fault_seed",
 }
 
 #: argparse dest -> SyncSpec field, merged into the spec's ``sync`` section.
@@ -117,6 +119,16 @@ def _registry_name(registry):
             raise argparse.ArgumentTypeError(str(error)) from None
     parse.__name__ = registry.kind.replace(" ", "_")    # shown in error text
     return parse
+
+
+def _fault_model_name(value: str) -> str:
+    """argparse ``type=`` for ``--fault-model``: "none" or a fault model."""
+    if value.strip().lower() in ("none", "off"):
+        return "none"
+    try:
+        return FAULT_MODELS.canonical(value)
+    except KeyError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _param_compression_name(value: str) -> str:
@@ -201,6 +213,19 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="seed for the compute-time draws (independent "
                                    "of --seed; identical seeds reproduce event "
                                    "timelines exactly)")
+    train_parent.add_argument("--fault-model", dest="fault_model",
+                              default=argparse.SUPPRESS,
+                              type=_fault_model_name,
+                              metavar=f"{{none,{','.join(FAULT_MODELS.list())}}}",
+                              help="inject faults from a registered schedule "
+                                   "(default: none — bit-identical to the "
+                                   "fault-free paths); parameters go in the "
+                                   "spec's \"faults\" section")
+    train_parent.add_argument("--seed-faults", dest="seed_faults", type=int,
+                              default=argparse.SUPPRESS, metavar="SEED",
+                              help="seed for the fault timeline (independent of "
+                                   "--seed/--seed-clock; identical seeds "
+                                   "reproduce outages and message loss exactly)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
@@ -222,6 +247,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--callback", action="append", default=None, metavar="NAME",
                      help=f"add a registered callback (repeatable); "
                           f"one of {CALLBACKS.list()}")
+    run.add_argument("--metrics-csv", dest="metrics_csv", default=None,
+                     metavar="PATH",
+                     help="write the per-epoch metrics (loss, metric, simulated "
+                          "time, rejected pushes, mean staleness) as CSV")
     run.set_defaults(handler=cmd_run)
 
     validate = sub.add_parser("validate",
@@ -354,6 +383,14 @@ def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
             overrides["sync"] = SyncSpec.resolve(spec.sync).merged_with(sync_overrides)
         except ValueError as error:
             raise SpecError(str(error).splitlines()) from None
+    if hasattr(args, "fault_model"):
+        try:
+            # Same policy as sync: the flag merges into the spec's faults
+            # section (model_kwargs reset when the model actually switches).
+            overrides["faults"] = FaultSpec.resolve(spec.faults).merged_with(
+                {"model": args.fault_model})
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
     if args.callback:
         overrides["callbacks"] = [*spec.callbacks, *args.callback]
     return spec.replace(**overrides) if overrides else spec
@@ -388,10 +425,24 @@ def cmd_run(args: argparse.Namespace):
         if sim.get("rejected_pushes"):
             line += f"; rejected pushes: {sim['rejected_pushes']}"
         text = f"{text}\n{line}"
+        fault = sim.get("fault")
+        if fault:
+            fault_line = (f"faults ({fault['model']}, seed {fault['seed']}): "
+                          f"downtime {fault['total_downtime_s']:.4f}s over "
+                          f"{sum(fault['down_transitions_per_rank'])} outage(s), "
+                          f"{sum(fault['rejoins_per_rank'])} rejoin(s), "
+                          f"{fault['dropped_messages']} dropped message(s), "
+                          f"{fault['retries']} retrie(s), "
+                          f"re-sync {fault['resync_bytes']:,.0f} B over "
+                          f"{fault['resyncs']} catch-up(s)")
+            text = f"{text}\n{fault_line}"
     print(text)
     if args.output:
         path = save_json(result.as_dict(), args.output)
         print(f"results written to {path}")
+    if getattr(args, "metrics_csv", None):
+        path = result.metrics.to_csv(args.metrics_csv)
+        print(f"metrics written to {path}")
     return text
 
 
@@ -413,6 +464,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
     print(f"sync: {sync.describe()}")
     for note in sync.notes():
         print(f"note: {note}")
+    faults = spec.resolved_faults()
+    print(f"faults: {faults.describe()}")
     return 0
 
 

@@ -16,7 +16,7 @@ Two kinds of topology live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.comm.network_model import NetworkModel, infiniband_100gbps
 from repro.registry import Registry
@@ -101,6 +101,45 @@ class CommTopology:
             raise ValueError("world size must be at least 1")
         return self
 
+    # ------------------------------------------------------------------ #
+    # live-membership re-routing
+    # ------------------------------------------------------------------ #
+    def alive_neighbors(self, rank: int, world_size: int,
+                        alive: Sequence[bool]) -> Tuple[int, ...]:
+        """Neighbours of ``rank`` once dead ranks are routed around.
+
+        The default simply drops dead neighbours from the static graph;
+        subclasses with exploitable structure (ring, star) reconnect the
+        graph instead so a single failure does not partition it.
+        """
+        return tuple(n for n in self.neighbors(rank, world_size) if alive[n])
+
+    def alive_closed_neighborhood(self, rank: int, world_size: int,
+                                  alive: Sequence[bool]) -> Tuple[int, ...]:
+        """``rank`` plus its re-routed neighbours (the degraded gossip set)."""
+        self.validate(world_size)
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        if all(alive):
+            return self.closed_neighborhood(rank, world_size)
+        return tuple(sorted({rank, *self.alive_neighbors(rank, world_size, alive)}))
+
+    def alive_degree(self, rank: int, world_size: int,
+                     alive: Sequence[bool]) -> int:
+        return len(self.alive_neighbors(rank, world_size, alive))
+
+    def alive_max_degree(self, world_size: int, alive: Sequence[bool]) -> int:
+        """Max degree over surviving ranks — the degraded wire critical path."""
+        return max((self.alive_degree(r, world_size, alive)
+                    for r in range(world_size) if alive[r]), default=0)
+
+    def alive_mean_degree(self, world_size: int, alive: Sequence[bool]) -> float:
+        survivors = [r for r in range(world_size) if alive[r]]
+        if not survivors:
+            return 0.0
+        return sum(self.alive_degree(r, world_size, alive)
+                   for r in survivors) / len(survivors)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}()"
 
@@ -120,6 +159,21 @@ class RingTopology(CommTopology):
             return ()
         return tuple(sorted({(rank - 1) % world_size, (rank + 1) % world_size}))
 
+    def alive_neighbors(self, rank: int, world_size: int,
+                        alive: Sequence[bool]) -> Tuple[int, ...]:
+        """Walk the ring past dead ranks: each survivor connects to the
+        nearest alive rank in each direction, keeping the ring closed."""
+        if world_size <= 1 or not alive[rank]:
+            return ()
+        found = set()
+        for step in (-1, 1):
+            node = (rank + step) % world_size
+            while node != rank and not alive[node]:
+                node = (node + step) % world_size
+            if node != rank:
+                found.add(node)
+        return tuple(sorted(found))
+
 
 @TOPOLOGIES.register("star", description="every rank talks to hub rank 0")
 class StarTopology(CommTopology):
@@ -133,6 +187,20 @@ class StarTopology(CommTopology):
         if rank == 0:
             return tuple(range(1, world_size))
         return (0,)
+
+    def alive_neighbors(self, rank: int, world_size: int,
+                        alive: Sequence[bool]) -> Tuple[int, ...]:
+        """When the hub dies, the lowest surviving rank acts as hub so the
+        leaves are never stranded."""
+        if world_size <= 1 or not alive[rank]:
+            return ()
+        survivors = [r for r in range(world_size) if alive[r]]
+        if len(survivors) <= 1:
+            return ()
+        hub = survivors[0]
+        if rank == hub:
+            return tuple(r for r in survivors if r != hub)
+        return (hub,)
 
 
 @TOPOLOGIES.register("fully_connected", aliases=("full", "complete"),

@@ -98,17 +98,24 @@ class ParameterDeltaCodec:
         return self._references is not None
 
     # ------------------------------------------------------------------ #
-    def encode(self, rows: Sequence[np.ndarray]
+    def encode(self, rows: Sequence[np.ndarray],
+               ranks: Sequence[int] | None = None
                ) -> Tuple[List[np.ndarray], np.ndarray, float]:
-        """Compress every rank's parameter vector as a delta.
+        """Compress every participating rank's parameter vector as a delta.
 
-        Returns ``(payloads, estimates, payload_bits)`` where ``payloads[p]``
-        is what rank ``p`` puts on the wire, ``estimates[p] = ref_p +
-        decompress(payloads[p])`` is the reconstruction every receiver of
-        that payload obtains, and ``payload_bits`` is the analytic wire size
-        of one payload.  Compression runs through the compressor's batched
-        kernels (``compress_batch``), bit-identical to the per-rank loop;
+        Returns ``(payloads, estimates, payload_bits)`` where ``payloads[i]``
+        is what the ``i``-th participating rank puts on the wire,
+        ``estimates[i] = ref + decompress(payloads[i])`` is the
+        reconstruction every receiver of that payload obtains, and
+        ``payload_bits`` is the analytic wire size of one payload.
+        Compression runs through the compressor's batched kernels
+        (``compress_batch``), bit-identical to the per-rank loop;
         error-feedback residuals update on the per-rank instances as usual.
+
+        ``ranks`` restricts the exchange to a subset of ranks (a degraded
+        membership): ``rows`` then holds one row per listed rank, only those
+        ranks' compressors and references participate, and dead ranks'
+        residuals/references stay frozen — a down worker does nothing.
 
         The very first exchange has no references to delta against, so it
         ships the **dense** parameter vectors (``payload_bits = 32 n``) and
@@ -118,27 +125,35 @@ class ParameterDeltaCodec:
         """
         X = np.stack([np.asarray(row, dtype=np.float32) for row in rows])
         P, n = X.shape
-        if P != len(self.compressors):
-            raise ValueError(f"expected {len(self.compressors)} parameter rows, got {P}")
+        participants = list(range(len(self.compressors))) if ranks is None \
+            else [int(r) for r in ranks]
+        if P != len(participants):
+            raise ValueError(f"expected {len(participants)} parameter rows, got {P}")
         if self._references is None:
             return list(X), X, 32.0 * n
-        deltas = X - self._references
-        batch = type(self.compressors[0])
-        payloads, contexts = batch.compress_batch(self.compressors, deltas)
-        estimates = self._references + self.decode_deltas(payloads, contexts)
+        references = self._references[participants]
+        compressors = [self.compressors[r] for r in participants]
+        deltas = X - references
+        batch = type(compressors[0])
+        payloads, contexts = batch.compress_batch(compressors, deltas)
+        estimates = references + self.decode_deltas(payloads, contexts,
+                                                    ranks=participants)
         return payloads, estimates, self.wire_bits(n)
 
     def decode_deltas(self, payloads: Sequence[np.ndarray],
-                      contexts: Sequence[Dict]) -> np.ndarray:
-        """Reconstruct every rank's transmitted delta from its own payload.
+                      contexts: Sequence[Dict],
+                      ranks: Sequence[int] | None = None) -> np.ndarray:
+        """Reconstruct every participating rank's delta from its payload.
 
         One payload decodes exactly one rank's delta: allreduce-kind
         compressors decode their payload directly, allgather-kind ones go
         through ``decompress_gathered`` with a singleton list (the mean of
         one payload is the payload's own reconstruction).
         """
+        compressors = self.compressors if ranks is None \
+            else [self.compressors[r] for r in ranks]
         rows: List[np.ndarray] = []
-        for compressor, payload, ctx in zip(self.compressors, payloads, contexts):
+        for compressor, payload, ctx in zip(compressors, payloads, contexts):
             if compressor.exchange is ExchangeKind.ALLREDUCE:
                 row = compressor.decompress(payload, ctx)
             else:
@@ -146,13 +161,40 @@ class ParameterDeltaCodec:
             rows.append(np.asarray(row, dtype=np.float32))
         return np.stack(rows)
 
-    def advance(self, estimates: np.ndarray) -> None:
-        """Advance every reference to the estimate just reconstructed.
+    def advance(self, estimates: np.ndarray,
+                ranks: Sequence[int] | None = None) -> None:
+        """Advance participating references to the estimates reconstructed.
 
         Estimates are a deterministic function of the previous references
         and the public payloads, so senders and receivers stay in lockstep.
+        With ``ranks``, only those rows move; a degraded world's first
+        (bootstrap) exchange allocates the full matrix with zero rows for
+        the absent ranks — they receive a dense re-sync at rejoin
+        (:meth:`resync_rank`) before ever delta-coding again.
         """
-        self._references = np.array(estimates, dtype=np.float32, copy=True)
+        if ranks is None:
+            self._references = np.array(estimates, dtype=np.float32, copy=True)
+            return
+        estimates = np.asarray(estimates, dtype=np.float32)
+        if self._references is None:
+            self._references = np.zeros(
+                (len(self.compressors), estimates.shape[1]), dtype=np.float32)
+        for i, rank in enumerate(ranks):
+            self._references[int(rank)] = estimates[i]
+
+    def resync_rank(self, rank: int, row: np.ndarray) -> None:
+        """Dense re-sync of one rank's codec state (rejoin catch-up).
+
+        The rejoining rank's parameters were just replaced wholesale, so its
+        old reference and any error-feedback residual describe a vector that
+        no longer exists: the reference snaps to the freshly served row (the
+        dense payload is public, so receivers advance identically) and the
+        rank's compressor state is cleared.
+        """
+        row = np.asarray(row, dtype=np.float32).reshape(-1)
+        if self._references is not None:
+            self._references[int(rank)] = row
+        self.compressors[int(rank)].reset_state()
 
     # ------------------------------------------------------------------ #
     # checkpointing

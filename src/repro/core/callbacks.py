@@ -223,11 +223,18 @@ class MetricsCallback(Callback):
         # attached, so time-to-accuracy plots never mix the two time bases.
         sim_time = trainer.simulated_time_s \
             if trainer.sim_report is not None else math.nan
+        sim_report = trainer.sim_report
+        # Cumulative (not per-epoch deltas): the row reproduces identically
+        # whether a run was interrupted and resumed or ran straight through.
+        rejected = sim_report.rejected_pushes if sim_report is not None else 0
+        staleness = sim_report.mean_staleness() if sim_report is not None else 0.0
         state.metrics.record_epoch(
             state.epoch, state.epoch_loss, state.metric_value,
             comm_time=trainer.world.simulated_comm_time,
             compute_time=state.timeline.compute_s,
-            simulated_time=sim_time)
+            simulated_time=sim_time,
+            rejected_pushes=rejected,
+            mean_staleness=staleness)
 
 
 @CALLBACKS.register("progress", description="log loss/metric once per epoch")

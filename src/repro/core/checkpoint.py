@@ -64,6 +64,13 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
             arrays["async_worker_rows"] = (
                 trainer.flat_world.param_matrix.copy() if rows is None else rows)
 
+    # Fault-injection state: membership mask, fault-report counters and the
+    # per-rank draw counters, so a run interrupted mid-blackout resumes with
+    # the same ranks down and the same fault timeline ahead of it.
+    if trainer.fault_injector is not None:
+        for key, value in trainer.fault_injector.state_arrays().items():
+            arrays[f"fault_{key}"] = value
+
     arrays["progress"] = np.array([trainer._global_iteration, len(trainer.metrics.epochs)],
                                   dtype=np.int64)
     arrays["metric_history"] = np.array(trainer.metrics.metric, dtype=np.float64)
@@ -71,6 +78,10 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
     arrays["epoch_history"] = np.array(trainer.metrics.epochs, dtype=np.int64)
     arrays["metrics_sim_time"] = np.array(trainer.metrics.simulated_time_s,
                                           dtype=np.float64)
+    arrays["metrics_rejected"] = np.array(trainer.metrics.rejected_pushes,
+                                          dtype=np.int64)
+    arrays["metrics_staleness"] = np.array(trainer.metrics.mean_staleness,
+                                           dtype=np.float64)
     np.savez_compressed(path, **arrays)
     return path
 
@@ -129,6 +140,11 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
             # restore above with each rank's live working vector.
             trainer.flat_world.param_matrix[:] = data["async_worker_rows"]
 
+    fault_state = {name[len("fault_"):]: data[name]
+                   for name in data.files if name.startswith("fault_")}
+    if fault_state and trainer.fault_injector is not None:
+        trainer.fault_injector.load_state_arrays(fault_state)
+
     progress = data["progress"]
     trainer._global_iteration = int(progress[0])
     # Keep the sync strategy's period phase (local-SGD's every-H schedule)
@@ -139,4 +155,7 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
     trainer.metrics.train_loss = [float(v) for v in data["loss_history"]]
     if "metrics_sim_time" in data:
         trainer.metrics.simulated_time_s = [float(v) for v in data["metrics_sim_time"]]
+    if "metrics_rejected" in data:
+        trainer.metrics.rejected_pushes = [int(v) for v in data["metrics_rejected"]]
+        trainer.metrics.mean_staleness = [float(v) for v in data["metrics_staleness"]]
     return trainer

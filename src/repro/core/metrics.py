@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -84,16 +85,26 @@ class TrainingMetrics:
     #: Virtual-clock time at the end of each epoch (NaN when the run has no
     #: compute-time model attached) — the x-axis of time-to-accuracy plots.
     simulated_time_s: List[float] = field(default_factory=list)
+    #: Async-PS health per epoch row: cumulative pushes rejected for
+    #: staleness, and the running mean of the staleness histogram (0 for
+    #: synchronous/healthy runs) — so a degraded async run is diagnosable
+    #: from the CSV alone instead of being trapped in the SimReport.
+    rejected_pushes: List[int] = field(default_factory=list)
+    mean_staleness: List[float] = field(default_factory=list)
 
     def record_epoch(self, epoch: int, train_loss: float, metric_value: float,
                      comm_time: float, compute_time: float,
-                     simulated_time: float = float("nan")) -> None:
+                     simulated_time: float = float("nan"),
+                     rejected_pushes: int = 0,
+                     mean_staleness: float = 0.0) -> None:
         self.epochs.append(int(epoch))
         self.train_loss.append(float(train_loss))
         self.metric.append(float(metric_value))
         self.simulated_comm_time_s.append(float(comm_time))
         self.wall_compute_time_s.append(float(compute_time))
         self.simulated_time_s.append(float(simulated_time))
+        self.rejected_pushes.append(int(rejected_pushes))
+        self.mean_staleness.append(float(mean_staleness))
 
     @property
     def final_metric(self) -> float:
@@ -116,7 +127,35 @@ class TrainingMetrics:
             "simulated_comm_time_s": list(self.simulated_comm_time_s),
             "wall_compute_time_s": list(self.wall_compute_time_s),
             "simulated_time_s": list(self.simulated_time_s),
+            "rejected_pushes": list(self.rejected_pushes),
+            "mean_staleness": list(self.mean_staleness),
         }
+
+    #: Column header -> row-attribute name, in CSV column order.
+    CSV_COLUMNS = (
+        ("epoch", "epochs"),
+        ("train_loss", "train_loss"),
+        ("metric", "metric"),
+        ("simulated_comm_time_s", "simulated_comm_time_s"),
+        ("wall_compute_time_s", "wall_compute_time_s"),
+        ("simulated_time_s", "simulated_time_s"),
+        ("rejected_pushes", "rejected_pushes"),
+        ("mean_staleness", "mean_staleness"),
+    )
+
+    def to_csv(self, path) -> Path:
+        """Write one row per recorded epoch (``repro run --metrics-csv``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [",".join(header for header, _ in self.CSV_COLUMNS)]
+        for row in range(len(self.epochs)):
+            values = []
+            for _, attr in self.CSV_COLUMNS:
+                column = getattr(self, attr)
+                values.append(repr(column[row]) if row < len(column) else "")
+            lines.append(",".join(values))
+        path.write_text("\n".join(lines) + "\n")
+        return path
 
 
 def throughput_examples_per_second(examples: int, elapsed_s: float) -> float:

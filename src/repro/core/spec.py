@@ -43,6 +43,7 @@ from repro.comm.network_model import NETWORKS, NetworkModel
 from repro.compress.registry import COMPRESSORS
 from repro.core.callbacks import CALLBACKS, Callback
 from repro.core.trainer import TrainerConfig
+from repro.faults import FaultSpec
 from repro.models.registry import MODELS, list_models, list_presets
 from repro.registry import RegistryKeyError, unknown_field_problems
 from repro.sim.compute import compute_model_problems
@@ -101,6 +102,16 @@ class ExperimentSpec:
     compute_model: Union[None, str, dict] = None
     #: Seed for the per-rank compute-time draws (independent of ``seed``).
     clock_seed: int = 0
+    #: Fault-injection section: None or ``{"model": "none"}`` (the default —
+    #: bit-identical to the pre-fault code paths), a registered fault-model
+    #: name ("crash_stop", "transient_blackout", "message_loss",
+    #: "slow_node"), a :class:`repro.faults.FaultSpec`, or its dict form
+    #: (``{"model": ..., "model_kwargs": {...}, "barrier_timeout_s": ...}``).
+    faults: Union[None, str, dict, "FaultSpec"] = None
+    #: Seed for the fault timeline draws (independent of ``seed`` and
+    #: ``clock_seed`` so injected faults never perturb training numerics
+    #: or healthy-run timing).
+    fault_seed: int = 0
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -139,7 +150,16 @@ class ExperimentSpec:
         # (or a sibling run produced by replace()).
         kwargs["sync"] = copy.deepcopy(self.resolved_sync())
         kwargs["compute_model"] = copy.deepcopy(self.compute_model)
+        kwargs["faults"] = copy.deepcopy(self.resolved_faults())
         return TrainerConfig(**kwargs)
+
+    def resolved_faults(self) -> FaultSpec:
+        """The spec's faults section as a :class:`FaultSpec` (defaults when
+        None)."""
+        try:
+            return FaultSpec.resolve(self.faults)
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
 
     def replace(self, **overrides) -> "ExperimentSpec":
         """A copy with ``overrides`` applied and mutable fields deep-copied.
@@ -267,6 +287,20 @@ class ExperimentSpec:
         problems.extend(compute_model_problems(self.compute_model))
         if not isinstance(self.clock_seed, int) or isinstance(self.clock_seed, bool):
             problems.append(f"clock_seed must be an integer, got {self.clock_seed!r}")
+
+        if isinstance(self.faults, (str, dict, FaultSpec)) or self.faults is None:
+            try:
+                faults = FaultSpec.resolve(self.faults)
+            except ValueError as error:
+                problems.extend(str(error).splitlines())
+            else:
+                world_size = self.world_size if isinstance(self.world_size, int) else None
+                problems.extend(faults.problems(world_size=world_size))
+        else:
+            problems.append(f"faults must be None, a model name, a dict or a "
+                            f"FaultSpec, got {type(self.faults).__name__}")
+        if not isinstance(self.fault_seed, int) or isinstance(self.fault_seed, bool):
+            problems.append(f"fault_seed must be an integer, got {self.fault_seed!r}")
 
         for entry in self.callbacks:
             if isinstance(entry, Callback):

@@ -32,6 +32,7 @@ same hooks.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
@@ -68,6 +69,7 @@ from repro.core.synchronizer import GradientSynchronizer
 from repro.core.timeline import IterationTimeline
 from repro.data.dataloader import DataLoader, shard_dataset
 from repro.data.registry import get_dataset
+from repro.faults import FaultSpec
 from repro.data.synthetic_text import LanguageModelBatcher
 from repro.models.registry import ModelSpec, get_model_spec
 from repro.nn.module import Module
@@ -140,6 +142,16 @@ class TrainerConfig:
     #: Seed for the per-rank compute-time draws (independent of ``seed`` so
     #: timing noise never perturbs the training numerics).
     clock_seed: int = 0
+    #: Fault-injection setup: None (the default — no faults, bit-identical
+    #: to the pre-fault code paths), a registered fault-model name
+    #: ("crash_stop", "transient_blackout", "message_loss", "slow_node"),
+    #: a :class:`repro.faults.FaultSpec`, or its dict form (the experiment
+    #: spec's ``faults`` section).
+    faults: Optional[object] = None
+    #: Seed for the fault schedule draws (``--seed-faults``); independent of
+    #: ``seed`` and ``clock_seed`` so the same fault timeline can replay
+    #: against different training/timing randomness.
+    fault_seed: int = 0
 
 
 class DistributedTrainer:
@@ -231,16 +243,45 @@ class DistributedTrainer:
         # attach a LockstepSimulator that prices each iteration.
         self.sim_engine: Optional[SimulationEngine] = None
         self.lockstep_sim: Optional[LockstepSimulator] = None
+        self.fault_spec = FaultSpec.resolve(config.faults)
         compute_model = resolve_compute_model(config.compute_model)
         if self.is_async:
             if compute_model is None:
                 compute_model = resolve_compute_model("constant")
             self.sim_engine = SimulationEngine(self, compute_model,
                                                config.clock_seed)
-        elif compute_model is not None:
-            self.lockstep_sim = LockstepSimulator(config.world_size,
-                                                  compute_model,
-                                                  config.clock_seed)
+        else:
+            if compute_model is None and self.fault_spec.active:
+                # Fault schedules and recovery penalties live on the
+                # simulated clock; injecting faults implies pricing time.
+                compute_model = resolve_compute_model("constant")
+            if compute_model is not None:
+                self.lockstep_sim = LockstepSimulator(config.world_size,
+                                                      compute_model,
+                                                      config.clock_seed)
+
+        # Fault layer: membership mask + injector.  ``intermittent_dropout``
+        # compute stalls are bridged to membership absences on the lockstep
+        # paths (a dropped rank is *absent*, not slow; the timing-only
+        # behaviour lives on as the ``slow_node`` fault model).
+        bridge = (self.lockstep_sim is not None
+                  and compute_model is not None
+                  and compute_model.name == "intermittent_dropout")
+        self.fault_injector = self.fault_spec.build(
+            config.world_size, seed=config.fault_seed,
+            bridge_compute_stalls=bridge)
+        self._last_losses: Optional[np.ndarray] = None
+        if self.fault_injector is not None:
+            self.world.membership = self.fault_injector.membership
+            if self.sim_engine is not None:
+                self.sim_engine.injector = self.fault_injector
+                self.sim_engine.report.fault = self.fault_injector.report
+            elif self.lockstep_sim is not None:
+                self.lockstep_sim.report.fault = self.fault_injector.report
+                # Fault schedules are queried by simulated time: measured
+                # kernel wall time must not leak into the clock or the
+                # fault timeline would not be reproducible.
+                self.lockstep_sim.deterministic = True
 
         # Lifecycle plugins.  The built-ins reproduce the seed trainer's
         # behaviour (timeline first so metrics sees fresh compute totals,
@@ -303,6 +344,7 @@ class DistributedTrainer:
             loss.backward()
             gradients.append(flatten_gradients(replica))
             losses.append(loss.item())
+        self._last_losses = np.asarray(losses, dtype=np.float64)
         return gradients, float(np.mean(losses))
 
     def _language_model_gradients(self, batches: Sequence, states: List
@@ -318,11 +360,16 @@ class DistributedTrainer:
             gradients.append(flatten_gradients(replica))
             losses.append(loss.item())
             new_states.append(replica.detach_state(state))
+        self._last_losses = np.asarray(losses, dtype=np.float64)
         return gradients, float(np.mean(losses)), new_states
 
     def _apply_gradients(self, gradients: Sequence[np.ndarray], epoch_progress: float) -> float:
         lr = self.lr_policy.lr_at(epoch_progress, self.base_lr)
-        for replica, optimizer, gradient in zip(self.replicas, self.optimizers, gradients):
+        dead = self._dead_ranks()
+        for rank, (replica, optimizer, gradient) in enumerate(
+                zip(self.replicas, self.optimizers, gradients)):
+            if dead is not None and rank in dead:
+                continue  # a down rank takes no optimizer step
             unflatten_into_gradients(replica, gradient)
             optimizer.set_lr(max(lr, 1e-12))
             optimizer.step()
@@ -340,6 +387,8 @@ class DistributedTrainer:
             inputs = np.stack([batch[0] for batch in batches])
             targets = np.stack([batch[1] for batch in batches])
             losses = self.executor.forward_backward(inputs, targets)
+            self._last_losses = np.asarray(losses, dtype=np.float64)
+            return world.grad_matrix, float(np.mean(losses))
         else:
             world.zero_grads()
             losses = []
@@ -348,6 +397,7 @@ class DistributedTrainer:
                 loss = F.cross_entropy(logits, targets)
                 loss.backward()                       # accumulates into the matrix
                 losses.append(loss.item())
+        self._last_losses = np.asarray(losses, dtype=np.float64)
         return world.grad_matrix, float(np.mean(losses))
 
     def _language_model_gradients_fused(self, batches: Sequence, states
@@ -358,6 +408,7 @@ class DistributedTrainer:
             tokens = np.stack([batch[0] for batch in batches])
             targets = np.stack([batch[1] for batch in batches])
             losses, new_state = self.executor.forward_backward(tokens, targets, states)
+            self._last_losses = np.asarray(losses, dtype=np.float64)
             return world.grad_matrix, float(np.mean(losses)), new_state
         world.zero_grads()
         losses: List[float] = []
@@ -368,6 +419,7 @@ class DistributedTrainer:
             loss.backward()
             losses.append(loss.item())
             new_states.append(replica.detach_state(state))
+        self._last_losses = np.asarray(losses, dtype=np.float64)
         return world.grad_matrix, float(np.mean(losses)), new_states
 
     def _apply_gradients_fused(self, new_matrix: np.ndarray, epoch_progress: float) -> float:
@@ -383,6 +435,12 @@ class DistributedTrainer:
             optimizer.set_lr(lr)
         reference = self.optimizers[0]
         world = self.flat_world
+        # The fused kernel updates every row; a down rank must not advance,
+        # so its parameter/velocity rows are snapshotted and put back.
+        dead = self._dead_ranks()
+        if dead:
+            saved_params = world.param_matrix[dead].copy()
+            saved_velocity = self._velocity_matrix[dead].copy()
         if isinstance(reference, LARS):
             lars_flat_update(world.param_matrix, new_matrix,
                              world.layout.offsets[:-1], world.layout.sizes, lr,
@@ -394,6 +452,9 @@ class DistributedTrainer:
                             reference.momentum, reference.weight_decay,
                             reference.nesterov,
                             velocity=self._velocity_matrix, scratch=self._step_scratch)
+        if dead:
+            world.param_matrix[dead] = saved_params
+            self._velocity_matrix[dead] = saved_velocity
         return lr
 
     # ------------------------------------------------------------------ #
@@ -423,6 +484,141 @@ class DistributedTrainer:
                 for replica, vector in zip(self.replicas, vectors):
                     unflatten_into_parameters(replica, vector)
         return merge_reports(report, param_report)
+
+    # ------------------------------------------------------------------ #
+    # fault layer (lockstep paths; the async engine has its own gate)
+    # ------------------------------------------------------------------ #
+    def _dead_ranks(self) -> Optional[List[int]]:
+        """Ranks currently out of membership, or ``None`` for a healthy world
+        (the fast path — zero overhead without a fault layer)."""
+        injector = self.fault_injector
+        if injector is None or injector.membership.all_alive:
+            return None
+        return injector.membership.dead_ranks()
+
+    def _fault_phase(self, state: TrainState) -> tuple:
+        """Advance the fault layer at a lockstep iteration boundary.
+
+        Rejoins run first (a rank whose outage ended catches up through a
+        priced dense re-sync before the iteration), then new outages flip
+        membership — model-driven schedules plus ``intermittent_dropout``
+        compute stalls bridged to absences — each charging the barrier's
+        timeout + bounded-backoff discovery penalty.  Message-loss models
+        price reliable retransmission of the survivors' lockstep sends.
+
+        Returns ``(alive_ranks_or_None, extra_simulated_seconds)``; with no
+        injector this is ``(None, 0.0)`` and nothing else runs.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return None, 0.0
+        membership = injector.membership
+        now = self.lockstep_sim.now
+        extra_s = 0.0
+        world_size = self.config.world_size
+        for rank in range(world_size):
+            if membership.is_alive(rank):
+                continue
+            if injector.down_interval(rank, now) is not None:
+                continue  # still inside its outage (or crashed for good)
+            extra_s += self._rejoin_rank(rank)
+        bridged = set()
+        if injector.bridge_compute_stalls:
+            draws = self.lockstep_sim.draw_iteration()
+            bridged = {rank for rank, (_, stall) in enumerate(draws)
+                       if stall > 0.0}
+        for rank in range(world_size):
+            if not membership.is_alive(rank):
+                injector.report.lost_steps += 1
+                continue
+            if injector.down_interval(rank, now) is not None or rank in bridged:
+                membership.set_alive(rank, False)
+                injector.report.record_down(rank)
+                injector.report.lost_steps += 1
+                extra_s += injector.discovery_penalty_s()
+        if membership.num_alive == 0:
+            # The whole world is down at once.  Bridged compute dropouts
+            # last a single iteration, so those ranks return immediately;
+            # otherwise the world idles until the first scheduled outage
+            # ends, and only a permanent all-crash (no finite end anywhere)
+            # stops the run instead of deadlocking a collective over zero
+            # participants.
+            if all(injector.down_interval(rank, now) is not None
+                   for rank in range(world_size)):
+                ends = []
+                for rank in range(world_size):
+                    interval = injector.down_interval(rank, now)
+                    if math.isfinite(interval[1]):
+                        ends.append(interval[1])
+                if not ends:
+                    state.stop_requested = True
+                    return [], extra_s
+                horizon = min(ends)
+                extra_s += horizon - now
+                now = horizon
+            for rank in range(world_size):
+                if injector.down_interval(rank, now) is None:
+                    extra_s += self._rejoin_rank(rank)
+        if injector.affects_timing:
+            # slow_node keeps the legacy timing-only reading: per-rank
+            # stalls run in parallel and the slowest gates the barrier.
+            stalls = [injector.extra_stall(rank)
+                      for rank in membership.alive_ranks()]
+            extra_s += max(stalls, default=0.0)
+        if injector.affects_messages:
+            # Per-rank retransmit ladders run in parallel; the unluckiest
+            # survivor's backoff gates the barrier.
+            penalties = [injector.retransmit_penalty_s(rank)
+                         for rank in membership.alive_ranks()]
+            extra_s += max(penalties, default=0.0)
+        alive = None if membership.all_alive else membership.alive_ranks()
+        return alive, extra_s
+
+    def _rejoin_rank(self, rank: int) -> float:
+        """Serve one rejoining rank its catch-up; returns the simulated cost.
+
+        The rank adopts the strategy's consensus (or the survivors' mean),
+        zeroes its momentum, resets its compressor/codec state, and the
+        dense re-sync is charged through the α–β model and the FaultReport.
+        """
+        injector = self.fault_injector
+        membership = injector.membership
+        strategy = self.sync_strategy
+        n = self.num_parameters
+        row = strategy.catch_up(rank)
+        if row is None:
+            alive = membership.alive_ranks()
+            if self.flat_world is not None:
+                source = self.flat_world.param_matrix[alive] if alive \
+                    else self.flat_world.param_matrix[rank:rank + 1]
+                row = source.mean(axis=0)
+            else:
+                vectors = [flatten_parameters(self.replicas[r])
+                           for r in (alive or [rank])]
+                row = np.mean(np.stack(vectors), axis=0)
+        row = np.asarray(row, dtype=np.float32).reshape(-1)
+        if self.flat_world is not None:
+            self.flat_world.param_matrix[rank, :] = row
+            self._velocity_matrix[rank, :] = 0.0
+        else:
+            unflatten_into_parameters(self.replicas[rank], row)
+            for buffer in getattr(self.optimizers[rank], "_velocity", {}).values():
+                buffer.fill(0.0)
+        if strategy.compressors:
+            strategy.compressors[rank].reset_state()
+        if strategy.parameter_codec is not None:
+            strategy.parameter_codec.resync_rank(rank, row)
+        resync_time = self.world.point_to_point(4.0 * n)
+        injector.report.record_resync(4.0 * n)
+        injector.report.record_rejoin(rank)
+        membership.set_alive(rank, True)
+        return resync_time
+
+    def _degraded_loss(self, loss: float, alive: Optional[List[int]]) -> float:
+        """Mean training loss over the surviving ranks only."""
+        if alive is None or self._last_losses is None:
+            return loss
+        return float(np.mean(self._last_losses[alive]))
 
     # ------------------------------------------------------------------ #
     # training loops
@@ -461,7 +657,9 @@ class DistributedTrainer:
         return state.epoch_progress
 
     def _end_iteration(self, state: TrainState, loss: float, lr: float,
-                       compute_time: float, report) -> None:
+                       compute_time: float, report,
+                       alive: Optional[List[int]] = None,
+                       extra_s: float = 0.0) -> None:
         self._global_iteration += 1
         state.global_iteration = self._global_iteration
         state.loss = loss
@@ -471,7 +669,11 @@ class DistributedTrainer:
         if self.lockstep_sim is not None and report is not None:
             # Price the lockstep iteration before callbacks run so metrics
             # rows see the advanced simulated clock.
-            self.lockstep_sim.record_iteration(report)
+            duration = self.lockstep_sim.record_iteration(report, alive=alive,
+                                                          extra_s=extra_s)
+            if alive is not None and self.fault_injector is not None:
+                for rank in self.fault_injector.membership.dead_ranks():
+                    self.fault_injector.report.record_downtime(rank, duration)
         self.callbacks.on_iteration_end(state)
 
     def _end_epoch(self, state: TrainState, epoch: int, epoch_losses: List[float]) -> None:
@@ -481,15 +683,40 @@ class DistributedTrainer:
             self.lockstep_sim.record_epoch_mark()
         self.callbacks.on_epoch_end(state)
 
+    def _resume_epoch(self) -> int:
+        """Completed epochs of a checkpoint-restored run (0 when fresh).
+
+        The loaders reshuffle from a stateful RNG each epoch, so the skipped
+        epochs' permutations are replayed to line the shuffle stream up with
+        the uninterrupted run's.
+        """
+        if not self._global_iteration or not self.iterations_per_epoch:
+            return 0
+        completed = self._global_iteration // self.iterations_per_epoch
+        if completed >= self.config.epochs:
+            # A finished run: train() runs the whole schedule again (the
+            # long-standing retrain semantics); only an *interrupted* run
+            # continues where it stopped.
+            return 0
+        for _ in range(completed):
+            for loader in getattr(self, "loaders", []):
+                if loader.shuffle:
+                    loader.rng.permutation(len(loader.dataset))
+                loader._epoch += 1
+        return completed
+
     def _train_classification(self, state: TrainState) -> None:
         fused = self.flat_world is not None
-        for epoch in range(self.config.epochs):
+        for epoch in range(self._resume_epoch(), self.config.epochs):
             state.epoch = epoch
             self.callbacks.on_epoch_start(state)
             iterators = [iter(loader) for loader in self.loaders]
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 progress = self._begin_iteration(state, epoch, iteration)
+                alive, extra_s = self._fault_phase(state)
+                if state.stop_requested:
+                    break
                 batches = [next(it) for it in iterators]
                 start = time.perf_counter()
                 if fused:
@@ -503,8 +730,10 @@ class DistributedTrainer:
                     new_gradients, report = self.sync_strategy.exchange(gradients)
                     lr = self._apply_gradients(new_gradients, progress)
                 report = self._parameter_phase(report, fused)
+                loss = self._degraded_loss(loss, alive)
                 epoch_losses.append(loss)
-                self._end_iteration(state, loss, lr, compute_time, report)
+                self._end_iteration(state, loss, lr, compute_time, report,
+                                    alive=alive, extra_s=extra_s)
                 if state.stop_requested:
                     break
             self._end_epoch(state, epoch, epoch_losses)
@@ -513,7 +742,7 @@ class DistributedTrainer:
 
     def _train_language_model(self, state: TrainState) -> None:
         fused = self.flat_world is not None
-        for epoch in range(self.config.epochs):
+        for epoch in range(self._resume_epoch(), self.config.epochs):
             state.epoch = epoch
             self.callbacks.on_epoch_start(state)
             iterators = [shard.batches() for shard in self.lm_shards]
@@ -524,6 +753,9 @@ class DistributedTrainer:
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 progress = self._begin_iteration(state, epoch, iteration)
+                alive, extra_s = self._fault_phase(state)
+                if state.stop_requested:
+                    break
                 batches = [next(it) for it in iterators]
                 start = time.perf_counter()
                 if fused:
@@ -537,8 +769,10 @@ class DistributedTrainer:
                     new_gradients, report = self.sync_strategy.exchange(gradients)
                     lr = self._apply_gradients(new_gradients, progress)
                 report = self._parameter_phase(report, fused)
+                loss = self._degraded_loss(loss, alive)
                 epoch_losses.append(loss)
-                self._end_iteration(state, loss, lr, compute_time, report)
+                self._end_iteration(state, loss, lr, compute_time, report,
+                                    alive=alive, extra_s=extra_s)
                 if state.stop_requested:
                     break
             self._end_epoch(state, epoch, epoch_losses)
@@ -559,6 +793,11 @@ class DistributedTrainer:
         consensus = consensus_fn() if consensus_fn is not None else None
         if consensus is None:
             snapshot = [flatten_parameters(m) for m in self.replicas]
+            dead = self._dead_ranks()
+            if dead:
+                # A down rank's stale replica must not pull the consensus.
+                survivors = [v for r, v in enumerate(snapshot) if r not in dead]
+                snapshot = survivors or snapshot
             consensus = np.mean(np.stack(snapshot), axis=0)
         probe = self.replicas[0]
         original = flatten_parameters(probe)

@@ -1,0 +1,30 @@
+"""Fault injection and graceful degradation.
+
+Seeded, registry-backed fault schedules (:mod:`repro.faults.models`)
+drive a live :class:`~repro.faults.membership.Membership` mask over the
+flat ``(P, n)`` world buffers.  Comm collectives and every
+``SyncStrategy`` consult the mask — aggregation renormalizes over
+survivors, gossip re-routes around dead neighbours, async PS drops lost
+pushes and serves rejoining workers a fresh pull — while the
+:class:`~repro.faults.injector.FaultInjector` prices timeouts, retries
+and catch-up re-syncs into simulated time and accounts everything in a
+:class:`~repro.faults.report.FaultReport`.
+"""
+
+from repro.faults.config import FaultSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.membership import Membership
+from repro.faults.models import (FAULT_MODELS, FaultModel,
+                                 fault_model_problems, resolve_fault_model)
+from repro.faults.report import FaultReport
+
+__all__ = [
+    "FAULT_MODELS",
+    "FaultInjector",
+    "FaultModel",
+    "FaultReport",
+    "FaultSpec",
+    "Membership",
+    "fault_model_problems",
+    "resolve_fault_model",
+]

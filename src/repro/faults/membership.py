@@ -1,0 +1,74 @@
+"""Live membership over the flat ``(P, n)`` world buffers.
+
+A :class:`Membership` is a boolean alive-mask over the ``P`` ranks of a
+world.  It is the single source of truth for "who is participating right
+now": the fault injector flips ranks down/up, comm collectives subset
+their participant lists through it, and every ``SyncStrategy`` consults
+it so aggregation renormalizes over survivors instead of deadlocking on
+(or averaging in) dead ranks.
+
+The mask is deliberately dumb — no timers, no schedules.  *When* a rank
+is down is the fault model's business (:mod:`repro.faults.models`); the
+membership only records the current state so that every layer observes
+one consistent view within an iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+
+class Membership:
+    """Boolean alive-mask over ``world_size`` ranks (all alive initially)."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = int(world_size)
+        self.alive = np.ones(self.world_size, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def is_alive(self, rank: int) -> bool:
+        return bool(self.alive[rank])
+
+    def alive_ranks(self) -> List[int]:
+        return [int(r) for r in np.flatnonzero(self.alive)]
+
+    def dead_ranks(self) -> List[int]:
+        return [int(r) for r in np.flatnonzero(~self.alive)]
+
+    @property
+    def num_alive(self) -> int:
+        return int(self.alive.sum())
+
+    @property
+    def all_alive(self) -> bool:
+        return bool(self.alive.all())
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+    def set_alive(self, rank: int, alive: bool) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world_size "
+                             f"{self.world_size}")
+        self.alive[rank] = bool(alive)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"alive": self.alive.astype(np.uint8)}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        alive = np.asarray(arrays["alive"]).astype(bool)
+        if alive.shape != (self.world_size,):
+            raise ValueError("membership state does not match world_size")
+        self.alive = alive.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Membership(alive={self.alive.astype(int).tolist()})"

@@ -1,0 +1,135 @@
+"""Fault accounting: what actually went wrong during a (simulated) run.
+
+:class:`FaultReport` is the fault-side companion of
+:class:`repro.sim.report.SimReport` — per-rank downtime and transition
+counts, dropped messages, barrier timeouts/retries and catch-up re-sync
+traffic.  It is attached to the ``SimReport`` (surfacing in ``as_dict``,
+``repro run`` output and the metrics CSV) and round-trips through
+checkpoints so an interrupted faulty run resumes with identical
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class FaultReport:
+    """Counters for injected faults and the recovery work they caused."""
+
+    world_size: int
+    model: str = "none"
+    seed: int = 0
+    #: Simulated seconds each rank spent out of membership.
+    downtime_s_per_rank: List[float] = field(default_factory=list)
+    #: Number of alive→down transitions per rank.
+    down_transitions_per_rank: List[int] = field(default_factory=list)
+    #: Number of down→alive rejoins per rank.
+    rejoins_per_rank: List[int] = field(default_factory=list)
+    #: Gradient steps whose work was lost because the rank was down.
+    lost_steps: int = 0
+    #: Messages lost on the wire (dropped pushes, lost transmissions).
+    dropped_messages: int = 0
+    #: Lockstep barriers that timed out discovering a newly-dead rank.
+    barrier_timeouts: int = 0
+    #: Bounded-backoff retry attempts charged to simulated time.
+    retries: int = 0
+    #: Dense catch-up re-sync traffic (bytes) charged through the α–β model.
+    resync_bytes: float = 0.0
+    #: Number of dense catch-up re-syncs served to rejoining ranks.
+    resyncs: int = 0
+
+    def __post_init__(self):
+        if not self.downtime_s_per_rank:
+            self.downtime_s_per_rank = [0.0] * self.world_size
+        if not self.down_transitions_per_rank:
+            self.down_transitions_per_rank = [0] * self.world_size
+        if not self.rejoins_per_rank:
+            self.rejoins_per_rank = [0] * self.world_size
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_down(self, rank: int) -> None:
+        self.down_transitions_per_rank[rank] += 1
+
+    def record_rejoin(self, rank: int) -> None:
+        self.rejoins_per_rank[rank] += 1
+
+    def record_downtime(self, rank: int, seconds: float) -> None:
+        self.downtime_s_per_rank[rank] += float(seconds)
+
+    def record_resync(self, num_bytes: float) -> None:
+        self.resyncs += 1
+        self.resync_bytes += float(num_bytes)
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_downtime_s(self) -> float:
+        return float(sum(self.downtime_s_per_rank))
+
+    @property
+    def empty(self) -> bool:
+        """True when no fault was ever observed (healthy run)."""
+        return (self.total_downtime_s == 0.0
+                and not any(self.down_transitions_per_rank)
+                and self.lost_steps == 0 and self.dropped_messages == 0
+                and self.barrier_timeouts == 0 and self.retries == 0
+                and self.resyncs == 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "seed": self.seed,
+            "world_size": self.world_size,
+            "downtime_s_per_rank": list(self.downtime_s_per_rank),
+            "down_transitions_per_rank": list(self.down_transitions_per_rank),
+            "rejoins_per_rank": list(self.rejoins_per_rank),
+            "total_downtime_s": self.total_downtime_s,
+            "lost_steps": self.lost_steps,
+            "dropped_messages": self.dropped_messages,
+            "barrier_timeouts": self.barrier_timeouts,
+            "retries": self.retries,
+            "resync_bytes": self.resync_bytes,
+            "resyncs": self.resyncs,
+        }
+
+    def summary_line(self) -> str:
+        """One-line digest for ``repro run`` output."""
+        return (f"downtime {self.total_downtime_s:.4f}s over "
+                f"{sum(self.down_transitions_per_rank)} outage(s), "
+                f"{sum(self.rejoins_per_rank)} rejoin(s), "
+                f"{self.dropped_messages} dropped message(s), "
+                f"{self.retries} retrie(s), "
+                f"resync {self.resync_bytes:.0f} B over {self.resyncs} catch-up(s)")
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "downtime_s": np.asarray(self.downtime_s_per_rank, dtype=np.float64),
+            "down_transitions": np.asarray(self.down_transitions_per_rank,
+                                           dtype=np.int64),
+            "rejoins": np.asarray(self.rejoins_per_rank, dtype=np.int64),
+            "scalars": np.asarray([self.lost_steps, self.dropped_messages,
+                                   self.barrier_timeouts, self.retries,
+                                   self.resyncs], dtype=np.int64),
+            "resync_bytes": np.asarray([self.resync_bytes], dtype=np.float64),
+        }
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.downtime_s_per_rank = [float(v) for v in arrays["downtime_s"]]
+        self.down_transitions_per_rank = [int(v) for v in
+                                          arrays["down_transitions"]]
+        self.rejoins_per_rank = [int(v) for v in arrays["rejoins"]]
+        scalars = [int(v) for v in arrays["scalars"]]
+        (self.lost_steps, self.dropped_messages, self.barrier_timeouts,
+         self.retries, self.resyncs) = scalars
+        self.resync_bytes = float(arrays["resync_bytes"][0])

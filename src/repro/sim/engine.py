@@ -28,6 +28,7 @@ the clock, the in-flight events and the compute-model RNG positions
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -64,6 +65,9 @@ class SimulationEngine:
         self._iterators = None
         self._lm_states: Optional[List] = None
         self._primed = False
+        #: Optional :class:`repro.faults.injector.FaultInjector`, installed
+        #: by the trainer.  ``None`` keeps the event loop fault-free.
+        self.injector = None
 
     # ------------------------------------------------------------------ #
     # engine protocol consumed by AsyncStrategy implementations
@@ -112,6 +116,17 @@ class SimulationEngine:
                          world.grad_matrix[rank:rank + 1], lr,
                          velocity=trainer._velocity_matrix[rank:rank + 1],
                          scratch=trainer._step_scratch[rank:rank + 1])
+
+    def push_dropped(self, rank: int) -> bool:
+        """Whether ``rank``'s next upstream message is lost on the wire.
+
+        Consulted by the async strategies before applying a push/elastic
+        exchange; consumes one deterministic per-rank message draw.
+        """
+        injector = self.injector
+        if injector is None or not injector.affects_messages:
+            return False
+        return injector.message_dropped(rank)
 
     # ------------------------------------------------------------------ #
     # data feeding (per-rank continuous streams)
@@ -173,8 +188,69 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _schedule_next(self, rank: int, start: float) -> None:
         compute_s, stall_s = self.compute_model.step_time(rank)
+        if self.injector is not None and self.injector.affects_timing:
+            stall_s += self.injector.extra_stall(rank)
         self.report.record_schedule(rank, compute_s, stall_s)
         self.clock.schedule(start + stall_s + compute_s, rank)
+
+    # ------------------------------------------------------------------ #
+    # fault layer (event dispositions; strategies never see the injector)
+    # ------------------------------------------------------------------ #
+    def _fault_gate(self, when: float, rank: int) -> bool:
+        """Handle the fault-layer disposition of a popped event.
+
+        Returns True when the fault layer consumed the event — a lost step
+        (the rank is down) or a rejoin catch-up — so no gradient step runs.
+        """
+        injector = self.injector
+        if injector is None:
+            return False
+        if injector.needs_catchup[rank]:
+            self._rejoin(rank, when)
+            return True
+        interval = injector.down_interval(rank, when)
+        if interval is None:
+            return False
+        _, end = interval
+        membership = injector.membership
+        if membership.is_alive(rank):
+            membership.set_alive(rank, False)
+            injector.report.record_down(rank)
+        injector.report.lost_steps += 1
+        if end != math.inf:
+            injector.report.record_downtime(rank, end - when)
+            injector.needs_catchup[rank] = True
+            self.clock.schedule(max(end, self.clock.now), rank)
+        # A crash-stop rank never reschedules: its silence is permanent.
+        return True
+
+    def _rejoin(self, rank: int, when: float) -> None:
+        """Serve a rejoining rank its catch-up: a dense parameter re-sync
+        priced through the α–β model, fresh optimizer/compressor state, and
+        membership restored before its next scheduled compute."""
+        injector = self.injector
+        trainer = self.trainer
+        strategy = trainer.sync_strategy
+        n = self.num_parameters
+        row = strategy.catch_up(rank)
+        if row is None:
+            alive = injector.membership.alive_ranks()
+            source = self.param_matrix[alive] if alive \
+                else self.param_matrix[rank:rank + 1]
+            row = source.mean(axis=0).astype(np.float32)
+        self.param_matrix[rank, :] = np.asarray(row, dtype=np.float32).reshape(-1)
+        trainer._velocity_matrix[rank, :] = 0.0
+        if strategy.compressors:
+            strategy.compressors[rank].reset_state()
+        if strategy.parameter_codec is not None:
+            strategy.parameter_codec.resync_rank(rank, self.param_matrix[rank])
+        resync_time = self.world.point_to_point(4.0 * n)
+        injector.report.record_resync(4.0 * n)
+        injector.report.record_rejoin(rank)
+        injector.membership.set_alive(rank, True)
+        injector.needs_catchup[rank] = False
+        self.report.comm_s_per_rank[rank] += resync_time
+        self._schedule_next(rank, when + resync_time)
 
     def run(self, state) -> None:
         trainer = self.trainer
@@ -194,8 +270,15 @@ class SimulationEngine:
             epoch_losses: List[float] = []
             epoch_target = (epoch + 1) * steps_per_epoch
             while self.total_steps < epoch_target:
+                if len(self.clock) == 0:
+                    # Every rank crashed with no rejoin scheduled; end the
+                    # run gracefully instead of popping an empty heap.
+                    state.stop_requested = True
+                    break
                 when, rank = self.clock.pop()
                 self.report.record_event(when, rank)
+                if self._fault_gate(when, rank):
+                    continue
                 step_in_epoch = self.total_steps - epoch * steps_per_epoch
                 state.epoch = epoch
                 state.iteration = step_in_epoch
@@ -222,6 +305,10 @@ class SimulationEngine:
             trainer._end_epoch(state, epoch, epoch_losses)
             if state.stop_requested:
                 break
+        if self.injector is not None:
+            # Finite outages charge their downtime when discovered; an
+            # infinite one (crash_stop) only ends with the run.
+            self.injector.settle_permanent_downtime(self.clock.now)
 
     # ------------------------------------------------------------------ #
     # checkpoint support
@@ -231,9 +318,14 @@ class SimulationEngine:
         world_size = self.report.world_size
         next_times = np.array([pending.get(rank, self.clock.now)
                                for rank in range(world_size)], dtype=np.float64)
+        # Which ranks actually have an in-flight event: a crashed rank has
+        # none, and restoring must not resurrect it with a fabricated one.
+        event_mask = np.array([1 if rank in pending else 0
+                               for rank in range(world_size)], dtype=np.int64)
         return {
             "clock_now": np.array([self.clock.now], dtype=np.float64),
             "next_time": next_times,
+            "event_mask": event_mask,
             "primed": np.array([int(self._primed)], dtype=np.int64),
             "total_steps": np.array([self.total_steps], dtype=np.int64),
             "steps_per_rank": np.array(self.report.steps_per_rank, dtype=np.int64),
@@ -256,10 +348,15 @@ class SimulationEngine:
         world_size = self.report.world_size
         now = float(arrays["clock_now"][0])
         next_times = np.asarray(arrays["next_time"], dtype=np.float64)
+        if "event_mask" in arrays:
+            mask = [bool(int(v)) for v in arrays["event_mask"]]
+        else:  # pre-fault checkpoints: every rank always had an event
+            mask = [True] * world_size
         self._primed = bool(int(arrays["primed"][0]))
         if self._primed:
             self.clock.restore(now, {rank: float(next_times[rank])
-                                     for rank in range(world_size)})
+                                     for rank in range(world_size)
+                                     if mask[rank]})
         else:
             self.clock.restore(now, {})
         self.total_steps = int(arrays["total_steps"][0])
@@ -297,23 +394,64 @@ class LockstepSimulator:
         compute_model.bind(self.world_size, self.clock_seed)
         self.now = 0.0
         self.iterations = 0
+        #: When True, measured kernel wall time (compression_time_s) is
+        #: excluded from the clock so the timeline is a pure function of
+        #: the seeds.  The fault layer requires this: fault models are
+        #: queried by simulated time, so micro-second perf_counter noise
+        #: would otherwise make the fault schedule non-reproducible.
+        self.deterministic = False
         self.report = SimReport(compute_model=compute_model.to_dict(),
                                 clock_seed=self.clock_seed,
                                 world_size=self.world_size,
                                 strategy="lockstep")
+        self._pending_draws: Optional[List] = None
 
-    def record_iteration(self, sync_report) -> None:
-        draws = [self.compute_model.step_time(rank)
-                 for rank in range(self.world_size)]
-        barrier = max(compute + stall for compute, stall in draws)
-        overhead = (sync_report.compression_time_s + sync_report.comm_time_s
+    def draw_iteration(self) -> List:
+        """Pre-draw every rank's ``(compute_s, stall_s)`` for the coming
+        iteration without advancing the clock.
+
+        The trainer's fault phase needs the draws *before* the iteration
+        runs (a stall can mean "absent this iteration" under the
+        ``intermittent_dropout`` bridge); :meth:`record_iteration` then
+        consumes the cached draws instead of drawing again, so timing is
+        identical whether or not the fault layer peeked.
+        """
+        if self._pending_draws is None:
+            self._pending_draws = [self.compute_model.step_time(rank)
+                                   for rank in range(self.world_size)]
+        return self._pending_draws
+
+    def record_iteration(self, sync_report, alive: Optional[List[int]] = None,
+                         extra_s: float = 0.0) -> float:
+        if self._pending_draws is not None:
+            draws = self._pending_draws
+            self._pending_draws = None
+        else:
+            draws = [self.compute_model.step_time(rank)
+                     for rank in range(self.world_size)]
+        if alive is None:
+            barrier = max(compute + stall for compute, stall in draws)
+        else:
+            # Dead ranks are absent from the barrier: the slowest *survivor*
+            # gates the collective (their draw is still consumed, keeping
+            # the compute-model streams aligned with a healthy run).
+            barrier = max((draws[r][0] + draws[r][1] for r in alive),
+                          default=0.0)
+        overhead = (sync_report.comm_time_s
                     + getattr(sync_report, "aggregation_time_s", 0.0))
-        self.now += barrier + overhead
+        if not self.deterministic:
+            overhead += sync_report.compression_time_s
+        duration = barrier + overhead + float(extra_s)
+        self.now += duration
         self.iterations += 1
+        alive_set = None if alive is None else set(alive)
         for rank, (compute, stall) in enumerate(draws):
+            if alive_set is not None and rank not in alive_set:
+                continue
             self.report.record_schedule(rank, compute, stall)
             self.report.record_step(rank, overhead)
         self.report.record_event(self.now, -1)
+        return duration
 
     def record_epoch_mark(self) -> None:
         self.report.record_epoch_mark(self.now)

@@ -45,6 +45,9 @@ class SimReport:
     #: ``(time, rank)`` event log in pop order, truncated at ``max_events``.
     events: List[Tuple[float, int]] = field(default_factory=list)
     max_events: int = 100_000
+    #: Optional :class:`repro.faults.report.FaultReport` attached by the
+    #: trainer when a fault model (or the dropout bridge) is active.
+    fault: Optional[object] = None
 
     def __post_init__(self):
         if not self.steps_per_rank:
@@ -94,7 +97,7 @@ class SimReport:
         return weighted / total
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "compute_model": dict(self.compute_model),
             "clock_seed": self.clock_seed,
             "world_size": self.world_size,
@@ -111,3 +114,6 @@ class SimReport:
             "mean_staleness": self.mean_staleness(),
             "rejected_pushes": self.rejected_pushes,
         }
+        if self.fault is not None:
+            payload["fault"] = self.fault.as_dict()
+        return payload

@@ -195,6 +195,19 @@ class AsyncParameterServerStrategy(AsyncStrategy):
         kernel_time = time.perf_counter() - start
         push_bits = compressor.wire_bits(n)
 
+        # A push lost in transit (message-loss fault) never reaches the
+        # server: no staleness bookkeeping, no version bump — the gradient
+        # is simply gone.  The worker still pulls fresh parameters below.
+        push_dropped = getattr(engine, "push_dropped", None)
+        if push_dropped is not None and push_dropped(rank):
+            engine.param_matrix[rank, :] = self.server_params
+            self.pull_versions[rank] = self.version
+            comm_time = self._p2p(push_bits / 8.0) + self._p2p(4.0 * n)
+            return AsyncStepReport(comm_time_s=comm_time,
+                                   compression_time_s=kernel_time,
+                                   wire_bits=push_bits + 32.0 * n,
+                                   exchange="ps_push_lost")
+
         staleness = int(self.version - int(self.pull_versions[rank]))
         self.staleness_histogram[staleness] = \
             self.staleness_histogram.get(staleness, 0) + 1
@@ -227,6 +240,15 @@ class AsyncParameterServerStrategy(AsyncStrategy):
     # ------------------------------------------------------------------ #
     def consensus_vector(self) -> Optional[np.ndarray]:
         return None if self.server_params is None else self.server_params
+
+    def catch_up(self, rank: int) -> Optional[np.ndarray]:
+        """A rejoining worker gets a fresh pull: the authoritative server
+        parameters, with its pull version advanced so the first push after
+        rejoin carries zero staleness."""
+        if self.server_params is None:
+            return super().catch_up(rank)
+        self.pull_versions[rank] = self.version
+        return self.server_params.copy()
 
     def finalize(self, parameter_vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
         if self.server_params is None:
@@ -309,9 +331,18 @@ class ElasticAveragingStrategy(AsyncStrategy):
         if self.local_steps[rank] % self.period != 0:
             return AsyncStepReport(exchange="local")
 
+        # An elastic exchange whose upload is lost (message-loss fault)
+        # leaves both the worker and the center untouched: the round trip
+        # never completed.  The attempted upload is still priced.
+        n = self.center.size
+        push_dropped = getattr(engine, "push_dropped", None)
+        if push_dropped is not None and push_dropped(rank):
+            return AsyncStepReport(comm_time_s=self._p2p(4.0 * n),
+                                   wire_bits=32.0 * n,
+                                   exchange="elastic_lost")
+
         # Elastic exchange with the center.  A Byzantine rank lies to the
         # center (staged corrupted copy) but keeps its own row honest.
-        n = self.center.size
         x = engine.param_matrix[rank]
         staged = x
         if self.corruption is not None and rank in self.corruption.ranks:
@@ -329,6 +360,14 @@ class ElasticAveragingStrategy(AsyncStrategy):
     # ------------------------------------------------------------------ #
     def consensus_vector(self) -> Optional[np.ndarray]:
         return None if self.center is None else self.center
+
+    def catch_up(self, rank: int) -> Optional[np.ndarray]:
+        """A rejoining worker adopts the center and restarts its local-step
+        phase, exactly like a worker that just joined the run."""
+        if self.center is None:
+            return super().catch_up(rank)
+        self.local_steps[rank] = 0
+        return self.center.copy()
 
     def finalize(self, parameter_vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
         if self.center is None:

@@ -350,6 +350,34 @@ class SyncStrategy:
         return None
 
     # ------------------------------------------------------------------ #
+    # fault tolerance
+    # ------------------------------------------------------------------ #
+    def _active_membership(self):
+        """The world's live membership when degraded, else ``None``.
+
+        ``None`` — no mask installed, or every rank alive — keeps the
+        strategy on the exact pre-fault code path (bit-compat guarantee).
+        Strategies only ever *consult* membership; the fault injector owns
+        the transitions.
+        """
+        world = self.world
+        membership = getattr(world, "membership", None) if world is not None else None
+        if membership is None or membership.all_alive:
+            return None
+        return membership
+
+    def catch_up(self, rank: int) -> Optional[np.ndarray]:
+        """Dense state to serve a rejoining rank (rejoin catch-up).
+
+        ``None`` (the default, via :meth:`consensus_vector`) tells the
+        caller to fall back to the survivors' mean.  Strategies with their
+        own consensus state override this to also refresh the rank's
+        protocol state — a parameter server serves a fresh pull, EASGD
+        re-centers the worker.
+        """
+        return self.consensus_vector()
+
+    # ------------------------------------------------------------------ #
     # resume support
     # ------------------------------------------------------------------ #
     def restore(self, global_iteration: int) -> None:
@@ -425,18 +453,36 @@ class SyncStrategy:
         estimates, keeping senders and receivers in lockstep.
         """
         codec = self.parameter_codec
+        membership = self._active_membership()
         staged = self._staged_parameter_payloads(param_rows)
         start = time.perf_counter()
-        payloads, estimates, wire_bits = codec.encode(staged)
+        if membership is None:
+            payloads, estimates, wire_bits = codec.encode(staged)
+            alive = None
+        else:
+            # Only survivors compress/transmit: dead ranks' compressor
+            # residuals and references stay frozen until their rejoin
+            # re-sync resets them (codec.resync_rank).
+            alive = membership.alive_ranks()
+            sub_payloads, estimates, wire_bits = codec.encode(
+                [staged[r] for r in alive], ranks=alive)
+            payloads = [None] * len(staged)
+            for i, r in enumerate(alive):
+                payloads[r] = sub_payloads[i]
         kernel_time = time.perf_counter() - start
         comm_before = self.world.simulated_comm_time
         self.world.allgather(payloads, logical_bytes=wire_bits / 8.0)
         comm_time = self.world.simulated_comm_time - comm_before
         start = time.perf_counter()
         combined = self.aggregator.combine(estimates)
-        codec.advance(estimates)
-        for row in param_rows:
-            row[...] = combined
+        if alive is None:
+            codec.advance(estimates)
+            for row in param_rows:
+                row[...] = combined
+        else:
+            codec.advance(estimates, ranks=alive)
+            for r in alive:
+                param_rows[r][...] = combined
         kernel_time += time.perf_counter() - start
         aggregation_time = self.aggregator.combine_time_s(
             estimates.shape[0], estimates.shape[1])
@@ -453,8 +499,17 @@ class SyncStrategy:
 
         Elementwise aggregators run as a true collective (for ``mean`` this
         is bitwise the seed's dense model average); robust aggregators
-        allgather the vectors and combine them once.
+        allgather the vectors and combine them once.  Under a degraded
+        membership the collectives subset to the survivors, so the mean —
+        and a trimmed mean's ``floor(trim_ratio · P)`` — renormalize over
+        the alive count; dead ranks get their own vector back.
         """
+        membership = self._active_membership()
+        if membership is not None and membership.num_alive == 0:
+            # Permanent all-crash: the run ended with no survivors, so the
+            # final consolidation has no participants — every rank keeps
+            # its own parameters instead of deadlocking a collective.
+            return list(vectors), self._passthrough_report()
         nbytes = float(np.asarray(vectors[0]).nbytes)
         comm_before = self.world.simulated_comm_time
         aggregation_time = 0.0
@@ -464,11 +519,17 @@ class SyncStrategy:
             wire_exchange = "parameter_allreduce"
         else:
             gathered = self.world.allgather(vectors, logical_bytes=nbytes)
-            stacked = np.stack(gathered[0])
+            source = gathered[0] if membership is None \
+                else gathered[membership.alive_ranks()[0]]
+            stacked = np.stack(source)
             combined = self.aggregator.combine(stacked)
             aggregation_time = self.aggregator.combine_time_s(
                 stacked.shape[0], stacked.shape[1])
-            results = [combined.copy() for _ in range(self.world.world_size)]
+            if membership is None:
+                results = [combined.copy() for _ in range(self.world.world_size)]
+            else:
+                results = [combined.copy() if membership.is_alive(r) else vectors[r]
+                           for r in range(self.world.world_size)]
             wire_exchange = "parameter_allgather"
         comm_time = self.world.simulated_comm_time - comm_before
         report = SyncReport(compression_time_s=0.0, comm_time_s=float(comm_time),

@@ -89,6 +89,9 @@ class AllreduceStrategy(SyncStrategy):
         self._step += 1
         if self.corruption is not None:
             self.corruption.apply_list(gradients)
+        membership = self._active_membership()
+        if membership is not None:
+            return self._exchange_degraded(gradients, n, membership)
 
         reference = self.compressors[0]
         exchange_kind = reference.exchange
@@ -130,6 +133,56 @@ class AllreduceStrategy(SyncStrategy):
         )
         return new_gradients, report
 
+    def _exchange_degraded(self, gradients: Sequence[np.ndarray], n: int,
+                           membership) -> Tuple[List[np.ndarray], SyncReport]:
+        """Per-rank gradient exchange over the surviving ranks only.
+
+        Dead ranks contribute nothing — their compressors (and error-feedback
+        residuals) stay frozen, and their gradient rows pass through
+        untouched (the trainer never applies them).  The wire collective runs
+        over the alive subset, so a MEAN reduction renormalizes over the
+        survivors automatically.
+        """
+        alive = membership.alive_ranks()
+        reference = self.compressors[0]
+        exchange_kind = reference.exchange
+        wire_bits = reference.wire_bits(n, len(alive))
+        logical_bytes = wire_bits / 8.0
+
+        payloads: List[Optional[np.ndarray]] = [None] * self.world.world_size
+        contexts: Dict[int, Dict] = {}
+        compression_times: List[float] = []
+        for rank in alive:
+            start = time.perf_counter()
+            payload, ctx = self.compressors[rank].compress(
+                np.asarray(gradients[rank], dtype=np.float32))
+            compression_times.append(time.perf_counter() - start)
+            payloads[rank] = payload
+            contexts[rank] = ctx
+
+        exchanged, comm_time, wire_exchange, aggregation_time = self._combine(
+            payloads, exchange_kind, logical_bytes)
+
+        new_gradients = [np.asarray(g, dtype=np.float32) for g in gradients]
+        for i, rank in enumerate(alive):
+            compressor = self.compressors[rank]
+            start = time.perf_counter()
+            if exchange_kind is ExchangeKind.ALLREDUCE:
+                rebuilt = compressor.decompress(exchanged[rank], contexts[rank])
+            else:
+                rebuilt = compressor.decompress_gathered(exchanged[rank], contexts[rank])
+            compression_times[i] += time.perf_counter() - start
+            new_gradients[rank] = np.asarray(rebuilt, dtype=np.float32)
+
+        report = SyncReport(
+            compression_time_s=float(max(compression_times)),
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange=wire_exchange,
+            aggregation_time_s=float(aggregation_time),
+        )
+        return new_gradients, report
+
     def exchange_batched(self, G: np.ndarray) -> Tuple[np.ndarray, SyncReport]:
         """Synchronize one iteration from the stacked ``(P, n)`` matrix.
 
@@ -145,6 +198,9 @@ class AllreduceStrategy(SyncStrategy):
         self._step += 1
         if self.corruption is not None:
             self.corruption.apply_rows(G)
+        membership = self._active_membership()
+        if membership is not None:
+            return self._exchange_batched_degraded(G, membership)
         n = G.shape[1]
         reference = self.compressors[0]
         exchange_kind = reference.exchange
@@ -165,6 +221,46 @@ class AllreduceStrategy(SyncStrategy):
 
         report = SyncReport(
             compression_time_s=float(kernel_time) / self.world.world_size,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=float(wire_bits),
+            exchange=wire_exchange,
+            aggregation_time_s=float(aggregation_time),
+        )
+        return new_matrix, report
+
+    def _exchange_batched_degraded(self, G: np.ndarray, membership
+                                   ) -> Tuple[np.ndarray, SyncReport]:
+        """Batched twin of :meth:`_exchange_degraded` (alive subset only)."""
+        alive = membership.alive_ranks()
+        n = G.shape[1]
+        reference = self.compressors[0]
+        exchange_kind = reference.exchange
+        wire_bits = reference.wire_bits(n, len(alive))
+        logical_bytes = wire_bits / 8.0
+        batch = type(reference)
+        sub_compressors = [self.compressors[r] for r in alive]
+
+        start = time.perf_counter()
+        sub_payloads, sub_contexts = batch.compress_batch(sub_compressors, G[alive])
+        kernel_time = time.perf_counter() - start
+
+        payloads: List[Optional[np.ndarray]] = [None] * self.world.world_size
+        for i, rank in enumerate(alive):
+            payloads[rank] = sub_payloads[i]
+
+        exchanged, comm_time, wire_exchange, aggregation_time = self._combine(
+            payloads, exchange_kind, logical_bytes)
+
+        start = time.perf_counter()
+        sub_exchanged = [exchanged[r] for r in alive]
+        new_sub = batch.decompress_batch(sub_compressors, sub_exchanged, sub_contexts)
+        kernel_time += time.perf_counter() - start
+
+        new_matrix = G.copy()
+        new_matrix[alive] = np.asarray(new_sub, dtype=np.float32)
+
+        report = SyncReport(
+            compression_time_s=float(kernel_time) / len(alive),
             comm_time_s=float(comm_time),
             wire_bits_per_worker=float(wire_bits),
             exchange=wire_exchange,
@@ -193,8 +289,11 @@ class AllreduceStrategy(SyncStrategy):
                 wire_exchange = exchange_kind.value
             else:
                 gathered = self.world.allgather(payloads, logical_bytes=logical_bytes)
-                # The combine is rank-invariant: compute once, share the result.
-                stacked = np.stack(gathered[0])
+                # The combine is rank-invariant: compute once, share the
+                # result.  Under a degraded membership a dead rank gathers
+                # nothing — read from the first rank that received payloads.
+                source = next(g for g in gathered if g)
+                stacked = np.stack(source)
                 combined = self.aggregator.combine(stacked)
                 aggregation_time = self.aggregator.combine_time_s(
                     stacked.shape[0], stacked.shape[1])
@@ -277,7 +376,13 @@ class LocalSGDStrategy(AllreduceStrategy):
             return self._exchange_parameters_compressed(param_rows)
         vectors = self._staged_parameter_payloads(param_rows)
         results, report = self._aggregate_global(vectors)
-        for row, result in zip(param_rows, results):
+        membership = self._active_membership()
+        for rank, (row, result) in enumerate(zip(param_rows, results)):
+            # Dead ranks keep their stale parameters (their "result" is just
+            # their own — possibly corruption-poisoned — staged copy anyway);
+            # they catch up through a dense re-sync at rejoin.
+            if membership is not None and not membership.is_alive(rank):
+                continue
             row[...] = result
         return report
 
@@ -338,7 +443,13 @@ class GossipStrategy(SyncStrategy):
 
     def post_step(self, param_rows: Sequence[np.ndarray]) -> Optional[SyncReport]:
         world, topology = self.world, self.topology
-        max_degree = topology.max_degree(world.world_size)
+        membership = self._active_membership()
+        if membership is None:
+            max_degree = topology.max_degree(world.world_size)
+        else:
+            # The re-routed graph's busiest survivor gates the degraded step.
+            max_degree = topology.alive_max_degree(world.world_size,
+                                                   membership.alive)
         if self.parameter_codec is not None:
             return self._gossip_compressed(param_rows, max_degree)
         staged_rows = self._staged_parameter_payloads(param_rows)
@@ -350,6 +461,8 @@ class GossipStrategy(SyncStrategy):
         # in-place writes below cannot corrupt a neighbour's input.
         n = int(np.asarray(param_rows[0]).size)
         for rank, neighborhood in enumerate(gathered):
+            if not neighborhood:  # dead rank: excluded from the exchange
+                continue
             param_rows[rank][...] = self.aggregator.combine(np.stack(neighborhood))
         # Per-rank combines run in parallel in the modeled deployment; the
         # busiest rank (max closed neighbourhood) gates the step.
@@ -373,10 +486,25 @@ class GossipStrategy(SyncStrategy):
         """
         world, topology = self.world, self.topology
         codec = self.parameter_codec
+        membership = self._active_membership()
         staged_rows = self._staged_parameter_payloads(param_rows)
-        start = time.perf_counter()
-        payloads, estimates, wire_bits = codec.encode(staged_rows)
-        kernel_time = time.perf_counter() - start
+        if membership is None:
+            alive = list(range(world.world_size))
+            start = time.perf_counter()
+            payloads, estimates, wire_bits = codec.encode(staged_rows)
+            kernel_time = time.perf_counter() - start
+        else:
+            # Only survivors encode: dead ranks' compressor residuals and
+            # references stay frozen, and their (stale) parameter rows never
+            # enter a neighbourhood — the re-routed graph excludes them.
+            alive = membership.alive_ranks()
+            start = time.perf_counter()
+            sub_payloads, estimates, wire_bits = codec.encode(
+                [staged_rows[r] for r in alive], ranks=alive)
+            kernel_time = time.perf_counter() - start
+            payloads = [None] * world.world_size
+            for i, rank in enumerate(alive):
+                payloads[rank] = sub_payloads[i]
         # The exchange moves the compressed payloads (the estimates are
         # recomputed locally by every receiver); the α–β model prices the
         # compressed payload size, not the dense vectors it stands for.
@@ -384,15 +512,21 @@ class GossipStrategy(SyncStrategy):
         world.neighbor_exchange(payloads, topology, logical_bytes=wire_bits / 8.0)
         comm_time = world.simulated_comm_time - comm_before
         start = time.perf_counter()
-        for rank in range(world.world_size):
-            neighborhood = list(topology.closed_neighborhood(rank, world.world_size))
+        position = {rank: i for i, rank in enumerate(alive)}
+        for rank in alive:
+            if membership is None:
+                neighborhood = list(topology.closed_neighborhood(
+                    rank, world.world_size))
+            else:
+                neighborhood = [position[q] for q in topology.alive_closed_neighborhood(
+                    rank, world.world_size, membership.alive)]
             param_rows[rank][...] = self.aggregator.combine(estimates[neighborhood])
-        codec.advance(estimates)
+        codec.advance(estimates, ranks=None if membership is None else alive)
         kernel_time += time.perf_counter() - start
         n = int(np.asarray(param_rows[0]).size)
         aggregation_time = self.aggregator.combine_time_s(max_degree + 1, n)
         return SyncReport(
-            compression_time_s=float(kernel_time) / world.world_size,
+            compression_time_s=float(kernel_time) / len(alive),
             comm_time_s=float(comm_time),
             wire_bits_per_worker=max_degree * float(wire_bits),
             exchange="compressed_neighbor_exchange",

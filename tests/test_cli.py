@@ -349,3 +349,89 @@ class TestSimulatedTimeFlags:
             "compute_model": "warp_speed"}))
         assert main(["validate", str(path)]) == 1
         assert "compute_model" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    BASE = ["run", "--model", "fnn3", "--algorithm", "dense", "--workers", "4",
+            "--epochs", "1", "--iterations", "4", "--batch-size", "8"]
+
+    def test_run_with_fault_model_prints_fault_summary(self, capsys):
+        assert main(self.BASE + ["--fault-model", "crash_stop",
+                                 "--seed-faults", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "faults (crash_stop, seed 3)" in out
+        assert "outage(s)" in out and "rejoin(s)" in out
+
+    def test_healthy_run_prints_no_fault_line(self, capsys):
+        assert main(self.BASE) == 0
+        assert "faults (" not in capsys.readouterr().out
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--fault-model", "warp"])
+
+    def test_fault_flags_merge_over_config(self, capsys, tmp_path):
+        # Switching the model via the flag drops the spec's blackout kwargs
+        # (they would make crash_stop unconstructible) but keeps its barrier
+        # policy fields.
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 4,
+            "epochs": 1, "max_iterations_per_epoch": 4, "batch_size": 8,
+            "num_train": 128, "num_test": 32,
+            "faults": {"model": "transient_blackout",
+                       "model_kwargs": {"mean_down_s": 0.02,
+                                        "mean_up_s": 0.03},
+                       "barrier_timeout_s": 0.2},
+            "fault_seed": 9}))
+        assert main(["run", "--config", str(path),
+                     "--fault-model", "crash_stop"]) == 0
+        out = capsys.readouterr().out
+        assert "faults (crash_stop, seed 9)" in out
+
+    def test_fault_report_rides_in_output_json(self, capsys, tmp_path):
+        output = tmp_path / "result.json"
+        assert main(self.BASE + ["--fault-model", "crash_stop",
+                                 "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        fault = payload["sim"]["fault"]
+        assert fault["model"] == "crash_stop"
+        assert sum(fault["down_transitions_per_rank"]) == 1
+
+    def test_metrics_csv_flag_writes_fault_columns(self, capsys, tmp_path):
+        csv_path = tmp_path / "metrics.csv"
+        assert main(self.BASE + ["--sync", "async_ps", "--fault-model",
+                                 "message_loss", "--metrics-csv",
+                                 str(csv_path)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.endswith("rejected_pushes,mean_staleness")
+
+    def test_components_lists_fault_models(self, capsys):
+        assert main(["components", "--registry", "fault-models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("crash_stop", "transient_blackout", "message_loss",
+                     "slow_node"):
+            assert name in out
+
+    def test_validate_prints_faults_line(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "algorithm": "dense", "world_size": 4,
+            "epochs": 1, "max_iterations_per_epoch": 4, "batch_size": 8,
+            "num_train": 128, "num_test": 32,
+            "faults": {"model": "message_loss", "model_kwargs": {"p": 0.1}}}))
+        assert main(["validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "faults: model=message_loss" in out
+
+    def test_validate_pins_malformed_fault_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "model": "fnn3", "world_size": 2,
+            "faults": {"model": "transient_blackout",
+                       "model_kwargs": {"mean_down_s": -1}}}))
+        assert main(["validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert ("fault model 'transient_blackout' cannot be constructed with "
+                "{'mean_down_s': -1}: mean_down_s must be > 0, got -1.0") in err
