@@ -1,0 +1,128 @@
+"""Execution backends: who actually runs the replicas' forward/backward.
+
+The trainer's fused pipeline is written against two objects — a
+:class:`~repro.core.flat_buffer.WorldFlatBuffers` holding the ``(P, n)``
+parameter/gradient matrices and an executor with
+``forward_backward(inputs, targets) -> losses`` — but nothing in the
+algorithm code cares *where* those live.  An :class:`ExecutionBackend`
+supplies both:
+
+* ``inprocess`` (the default, and the reference semantics) builds the plain
+  in-memory world and the batched/taped executors of
+  :mod:`repro.core.batched_replicas`, exactly as every PR before this one
+  ran.
+* ``multiprocessing`` (:mod:`repro.backends.multiprocess`) puts the matrices
+  in shared memory and fans the forward/backward out to long-lived worker
+  processes — bit-identical numerics, real cores.
+
+Backends are the 12th component registry (``repro components`` lists them;
+unknown names get did-you-mean errors), and each backend declares which
+feature combinations it cannot run via :meth:`compatibility_problems`, which
+``ExperimentSpec.validate()`` and the trainer's bind-time check both call —
+the exact same pinned error text in both places.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.batched_replicas import build_replica_executor
+from repro.core.flat_buffer import WorldFlatBuffers
+from repro.nn.module import Module
+from repro.registry import Registry
+
+#: The execution-backend registry (12th public registry; see
+#: ``repro components --registry backends``).
+EXECUTION_BACKENDS = Registry("execution backend", expose="backends")
+
+
+class ExecutionBackend:
+    """Where a training run's forward/backward passes execute.
+
+    Subclasses provide the flat world (whose storage they may place wherever
+    they like) and the executor the trainer calls each iteration; everything
+    else — data loading, the synchronization strategy's exchange, the fused
+    optimizer step, evaluation, checkpointing — stays in the parent process
+    regardless of backend, which is what keeps the backends bit-identical.
+    """
+
+    #: Canonical registry name (set by subclasses).
+    name = "abstract"
+
+    def compatibility_problems(self, *, world_size: Optional[int] = None,
+                               task: Optional[str] = None,
+                               sync_strategy: Optional[str] = None,
+                               is_async: bool = False,
+                               faults_active: bool = False,
+                               fused_pipeline: bool = True) -> List[str]:
+        """Pinned error messages for feature combinations this backend
+        cannot run; empty when the configuration is supported."""
+        return []
+
+    def create_world(self, replicas: Sequence[Module]) -> WorldFlatBuffers:
+        """Build the ``(P, n)`` flat world the trainer operates on."""
+        raise NotImplementedError
+
+    def create_executor(self, trainer):
+        """Build the executor whose ``forward_backward`` runs each iteration."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; the default has none)."""
+
+
+@EXECUTION_BACKENDS.register(
+    "inprocess",
+    description="single-process batched/taped executors (the default; "
+                "reference semantics every other backend must match)")
+class InProcessBackend(ExecutionBackend):
+    """The seed execution model: everything runs in the trainer's process."""
+
+    name = "inprocess"
+
+    def create_world(self, replicas: Sequence[Module]) -> WorldFlatBuffers:
+        return WorldFlatBuffers(replicas)
+
+    def create_executor(self, trainer):
+        return build_replica_executor(trainer.replicas, trainer.flat_world,
+                                      trainer.spec.task,
+                                      taped=trainer.config.taped)
+
+
+def backend_spec_problems(backend: object, backend_kwargs: object, *,
+                          world_size: Optional[int] = None,
+                          task: Optional[str] = None,
+                          sync_strategy: Optional[str] = None,
+                          is_async: bool = False,
+                          faults_active: bool = False,
+                          fused_pipeline: bool = True) -> List[str]:
+    """Validation messages for a spec's ``backend`` / ``backend_kwargs``.
+
+    Shared by ``ExperimentSpec.validate()`` and the trainer's constructor so
+    a bad combination fails with identical text whichever entry point hits it
+    first.  Checks, in order: the name resolves in the registry (did-you-mean
+    on typos), the backend is constructible with the kwargs, and the backend
+    accepts the feature combination.
+    """
+    from repro.registry import RegistryKeyError
+
+    problems: List[str] = []
+    if not isinstance(backend, str):
+        return [f"backend must be a registered name, got {type(backend).__name__}"]
+    if not isinstance(backend_kwargs, dict):
+        return [f"backend_kwargs must be a dict, got {type(backend_kwargs).__name__}"]
+    try:
+        canonical = EXECUTION_BACKENDS.canonical(backend)
+    except RegistryKeyError as error:
+        return [str(error)]
+    try:
+        instance = EXECUTION_BACKENDS.create(canonical, **backend_kwargs)
+    except Exception as error:
+        return [f"backend {canonical!r} cannot be constructed with "
+                f"{backend_kwargs!r}: {error}"]
+    problems.extend(instance.compatibility_problems(
+        world_size=world_size, task=task, sync_strategy=sync_strategy,
+        is_async=is_async, faults_active=faults_active,
+        fused_pipeline=fused_pipeline))
+    instance.close()
+    return problems

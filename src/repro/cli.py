@@ -28,6 +28,9 @@ Commands
     measured kernel time, compression error).
 ``bench-pipeline``
     Time the fused gradient pipeline against the seed path.
+``bench-backend``
+    Time the multiprocessing execution backend against the in-process one
+    at several worker-process counts.
 
 Dispatch uses ``set_defaults(handler=...)`` — each subparser binds its
 implementation, so adding a command is one ``sub.add_parser`` block with no
@@ -46,6 +49,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.reporting import format_figure_series, format_table
+from repro.backends import EXECUTION_BACKENDS
 from repro.analysis.sweeps import DEFAULT_ALGORITHMS, convergence_sweep, cost_sweep
 from repro.compress import get_compressor, list_compressors
 from repro.core.callbacks import CALLBACKS
@@ -87,6 +91,7 @@ RUN_FLAG_FIELDS: Dict[str, str] = {
     "compute_model": "compute_model",
     "seed_clock": "clock_seed",
     "seed_faults": "fault_seed",
+    "backend": "backend",
 }
 
 #: argparse dest -> SyncSpec field, merged into the spec's ``sync`` section.
@@ -226,6 +231,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="seed for the fault timeline (independent of "
                                    "--seed/--seed-clock; identical seeds "
                                    "reproduce outages and message loss exactly)")
+    train_parent.add_argument("--backend", default=argparse.SUPPRESS,
+                              type=_registry_name(EXECUTION_BACKENDS),
+                              metavar=f"{{{','.join(EXECUTION_BACKENDS.list())}}}",
+                              help="execution backend (default: inprocess; "
+                                   "multiprocessing runs rank shards as worker "
+                                   "processes over shared memory, bit-identical)")
+    train_parent.add_argument("--backend-workers", dest="backend_workers",
+                              type=int, default=argparse.SUPPRESS, metavar="K",
+                              help="multiprocessing backend: number of worker "
+                                   "processes (contiguous rank shards; default: "
+                                   "one per rank)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
@@ -309,6 +325,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="JSON file the run is appended to")
     bench.set_defaults(handler=cmd_bench_pipeline)
 
+    bench_backend = sub.add_parser(
+        "bench-backend",
+        help="time the multiprocessing backend against inprocess")
+    bench_backend.add_argument("--model", default="resnet20", choices=list_models())
+    bench_backend.add_argument("--algorithm", default="a2sgd",
+                               choices=list_compressors())
+    bench_backend.add_argument("--workers", type=int, default=4,
+                               help="world size P (ranks)")
+    bench_backend.add_argument("--backend-workers", dest="backend_workers",
+                               type=int, nargs="+", default=[1, 2, 4],
+                               metavar="K",
+                               help="multiprocessing worker-process counts to "
+                                    "benchmark (default: 1 2 4)")
+    bench_backend.add_argument("--iterations", type=int, default=20)
+    bench_backend.add_argument("--repeats", type=int, default=3)
+    bench_backend.add_argument("--taped", dest="taped",
+                               action=argparse.BooleanOptionalAction, default=True,
+                               help="benchmark the taped executors "
+                                    "(--no-taped for eager batched)")
+    bench_backend.add_argument("--output", default="BENCH_backend.json",
+                               help="JSON file the run is appended to")
+    bench_backend.set_defaults(handler=cmd_bench_backend)
+
     return parser
 
 
@@ -391,6 +430,16 @@ def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
                 {"model": args.fault_model})
         except ValueError as error:
             raise SpecError(str(error).splitlines()) from None
+    # Same switch-and-reset policy as sync: --backend switching away from
+    # the spec's backend drops that backend's kwargs (they were written for
+    # it), while --backend-workers merges into whatever kwargs remain.
+    base_kwargs = dict(spec.backend_kwargs)
+    if overrides.get("backend", spec.backend) != spec.backend:
+        base_kwargs = {}
+        overrides["backend_kwargs"] = base_kwargs
+    if hasattr(args, "backend_workers"):
+        overrides["backend_kwargs"] = {**base_kwargs,
+                                       "num_workers": args.backend_workers}
     if args.callback:
         overrides["callbacks"] = [*spec.callbacks, *args.callback]
     return spec.replace(**overrides) if overrides else spec
@@ -554,6 +603,26 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> str:
                                     world_size=args.workers,
                                     iterations=args.iterations, repeats=args.repeats,
                                     sync=sync or None, taped=args.taped)
+    text = format_benchmark(result)
+    print(text)
+    if args.output:
+        path = write_benchmark_json(result, args.output)
+        print(f"appended run to {path}")
+    return text
+
+
+def cmd_bench_backend(args: argparse.Namespace) -> str:
+    from repro.analysis.perf_backend import (
+        format_benchmark,
+        run_backend_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_backend_benchmark(model=args.model, algorithm=args.algorithm,
+                                   world_size=args.workers,
+                                   workers=args.backend_workers,
+                                   iterations=args.iterations,
+                                   repeats=args.repeats, taped=args.taped)
     text = format_benchmark(result)
     print(text)
     if args.output:

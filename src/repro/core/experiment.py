@@ -81,7 +81,12 @@ def run_experiment(config: ExperimentSpec,
     start = time.perf_counter()
     all_callbacks = [*config.callbacks, *(callbacks or [])]
     trainer = DistributedTrainer(config.to_trainer_config(), callbacks=all_callbacks)
-    metrics = trainer.train()
+    try:
+        metrics = trainer.train()
+    finally:
+        # Backends with external resources (worker processes, shared-memory
+        # segments) must release them even when training raises.
+        trainer.close()
     wall = time.perf_counter() - start
     sim = None
     if trainer.sim_report is not None:

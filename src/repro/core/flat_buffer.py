@@ -94,11 +94,18 @@ class ModelFlatBuffers:
         Optional preallocated float32 vectors of length ``layout.total_size``
         (typically rows of a :class:`WorldFlatBuffers` matrix).  Allocated
         when omitted.
+    adopt_values:
+        When ``True`` (the default) the model's current parameter values are
+        copied into the flat vector before re-pointing.  ``False`` re-points
+        without copying — a worker process attaching to parameter storage the
+        parent already initialized (e.g. a shared-memory segment) must adopt
+        the *storage's* values, not overwrite them with its own.
     """
 
     def __init__(self, model: Module, layout: Optional[FlatLayout] = None,
                  param_store: Optional[np.ndarray] = None,
-                 grad_store: Optional[np.ndarray] = None):
+                 grad_store: Optional[np.ndarray] = None,
+                 adopt_values: bool = True):
         self.model = model
         self.layout = layout if layout is not None else FlatLayout.from_model(model)
         if not self.layout.matches(model):
@@ -114,7 +121,8 @@ class ModelFlatBuffers:
         self._param_views = _segment_views(self.params, self.layout)
         self._grad_views = _segment_views(self.grads, self.layout)
         for param, pview, gview in zip(self.parameters, self._param_views, self._grad_views):
-            pview[...] = param.data            # adopt current values
+            if adopt_values:
+                pview[...] = param.data        # adopt current values
             param.data = pview                 # re-point at flat storage
             param.pin_grad(gview)              # autograd writes into flat storage
         # Let core.flatten recognise adopted models and skip the copy loops.
@@ -172,19 +180,39 @@ class WorldFlatBuffers:
     compressor kernels and the fused optimizer step consume, so one training
     iteration moves gradients from backward pass to optimizer update without
     a single flatten/unflatten copy.
+
+    ``param_matrix`` / ``grad_matrix`` optionally supply externally-owned
+    float32 ``(P, n)`` storage (e.g. views of a shared-memory segment, so
+    parent and worker processes operate on the same physical buffers); they
+    are allocated when omitted.  ``adopt_values=False`` re-points the
+    replicas at the matrices without copying their current values in — the
+    attach-side of a shared world, where the storage already holds the
+    initialized parameters.
     """
 
-    def __init__(self, replicas: Sequence[Module]):
+    def __init__(self, replicas: Sequence[Module], *,
+                 param_matrix: Optional[np.ndarray] = None,
+                 grad_matrix: Optional[np.ndarray] = None,
+                 adopt_values: bool = True):
         if not replicas:
             raise ValueError("need at least one replica")
         self.layout = FlatLayout.from_model(replicas[0])
         P, n = len(replicas), self.layout.total_size
-        self.param_matrix = np.empty((P, n), dtype=np.float32)
-        self.grad_matrix = np.zeros((P, n), dtype=np.float32)
+        if param_matrix is None:
+            param_matrix = np.empty((P, n), dtype=np.float32)
+        if grad_matrix is None:
+            grad_matrix = np.zeros((P, n), dtype=np.float32)
+        for matrix in (param_matrix, grad_matrix):
+            if matrix.shape != (P, n) or matrix.dtype != np.float32:
+                raise ValueError(f"world matrices must be float32 of shape "
+                                 f"{(P, n)}, got {matrix.dtype} {matrix.shape}")
+        self.param_matrix = param_matrix
+        self.grad_matrix = grad_matrix
         self.replica_buffers: List[ModelFlatBuffers] = [
             ModelFlatBuffers(model, self.layout,
                              param_store=self.param_matrix[p],
-                             grad_store=self.grad_matrix[p])
+                             grad_store=self.grad_matrix[p],
+                             adopt_values=adopt_values)
             for p, model in enumerate(replicas)
         ]
 
@@ -216,3 +244,31 @@ class WorldFlatBuffers:
         """Gradient ``index`` of every replica as one ``(P, *shape)`` view."""
         offset, size, shape = list(self.layout.segments())[index]
         return self.grad_matrix[:, offset:offset + size].reshape((self.world_size,) + shape)
+
+
+def adopt_module_buffers(model: Module, views, *, adopt_values: bool = True) -> None:
+    """Re-point a model's registered buffers at externally-owned views.
+
+    ``views`` maps dotted buffer names (as yielded by
+    :meth:`~repro.nn.module.Module.named_buffers`) to arrays of the same
+    shape and dtype — typically slots of a shared-memory segment, so
+    BatchNorm's in-place running-stat updates in a worker process become
+    visible to the parent (which needs them at evaluation time).  The same
+    adoption rule as parameters applies: ``adopt_values=True`` copies the
+    model's current buffer values into the views first (the owning side);
+    ``False`` adopts the views' values as-is (the attaching side).
+    """
+    for name, view in views.items():
+        parts = name.split(".")
+        module = model
+        for part in parts[:-1]:
+            module = module._modules[part]
+        leaf = parts[-1]
+        current = module._buffers[leaf]
+        if view.shape != current.shape or view.dtype != current.dtype:
+            raise ValueError(f"buffer {name!r} expects {current.dtype} "
+                             f"{current.shape}, got {view.dtype} {view.shape}")
+        if adopt_values:
+            view[...] = current
+        module._buffers[leaf] = view
+        object.__setattr__(module, leaf, view)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.backends import backend_spec_problems
 from repro.comm.network_model import NETWORKS, NetworkModel
 from repro.compress.registry import COMPRESSORS
 from repro.core.callbacks import CALLBACKS, Callback
@@ -47,7 +48,7 @@ from repro.faults import FaultSpec
 from repro.models.registry import MODELS, list_models, list_presets
 from repro.registry import RegistryKeyError, unknown_field_problems
 from repro.sim.compute import compute_model_problems
-from repro.sync import SyncSpec
+from repro.sync import SYNC_STRATEGIES, SyncSpec
 from repro.utils.serialization import to_jsonable
 
 
@@ -112,6 +113,14 @@ class ExperimentSpec:
     #: ``clock_seed`` so injected faults never perturb training numerics
     #: or healthy-run timing).
     fault_seed: int = 0
+    #: Execution backend: ``"inprocess"`` (the default single-process
+    #: executors) or ``"multiprocessing"`` (worker processes over
+    #: shared-memory flat buffers, bit-identical numerics).  Validated
+    #: against the ``EXECUTION_BACKENDS`` registry.
+    backend: str = "inprocess"
+    #: Extra kwargs forwarded to the backend constructor, e.g.
+    #: ``{"num_workers": 4}``.
+    backend_kwargs: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -145,6 +154,7 @@ class ExperimentSpec:
         kwargs = {f.name: getattr(self, f.name)
                   for f in dataclasses.fields(TrainerConfig)}
         kwargs["compressor_kwargs"] = copy.deepcopy(dict(self.compressor_kwargs))
+        kwargs["backend_kwargs"] = copy.deepcopy(dict(self.backend_kwargs))
         kwargs["network"] = self.resolved_network()
         # Deep-copied so one trainer run cannot leak sync state into the spec
         # (or a sibling run produced by replace()).
@@ -301,6 +311,31 @@ class ExperimentSpec:
                             f"FaultSpec, got {type(self.faults).__name__}")
         if not isinstance(self.fault_seed, int) or isinstance(self.fault_seed, bool):
             problems.append(f"fault_seed must be an integer, got {self.fault_seed!r}")
+
+        # Backend name, kwargs and feature compatibility — the exact pinned
+        # messages the trainer raises at bind time, so a bad combination
+        # fails identically from `repro validate` and `repro run`.
+        task = MODELS.get(f"{self.model}/{self.preset}").task \
+            if f"{self.model}/{self.preset}" in MODELS else None
+        sync_strategy, is_async = None, False
+        try:
+            sync_strategy = SyncSpec.resolve(self.sync).strategy
+            if sync_strategy in SYNC_STRATEGIES:
+                is_async = bool(getattr(SYNC_STRATEGIES.get(sync_strategy),
+                                        "is_async", False))
+        except (TypeError, ValueError):
+            pass                       # already reported by the sync block
+        try:
+            faults_active = FaultSpec.resolve(self.faults).active
+        except (TypeError, ValueError):
+            faults_active = False      # already reported by the faults block
+        problems.extend(backend_spec_problems(
+            self.backend, self.backend_kwargs,
+            world_size=self.world_size if isinstance(self.world_size, int) else None,
+            task=task, sync_strategy=sync_strategy, is_async=is_async,
+            faults_active=faults_active,
+            fused_pipeline=self.fused_pipeline
+            if isinstance(self.fused_pipeline, bool) else True))
 
         for entry in self.callbacks:
             if isinstance(entry, Callback):

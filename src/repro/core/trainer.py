@@ -39,14 +39,11 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import EXECUTION_BACKENDS, backend_spec_problems
 from repro.comm.inprocess import InProcessWorld
 from repro.comm.network_model import NetworkModel
 from repro.compress.registry import get_compressor
-from repro.core.batched_replicas import (
-    BatchedLanguageModelExecutor,
-    BatchedReplicaExecutor,
-    build_replica_executor,
-)
+from repro.core.batched_replicas import BatchedLanguageModelExecutor
 from repro.core.callbacks import (
     Callback,
     CallbackList,
@@ -81,7 +78,7 @@ from repro.sim.compute import resolve_compute_model
 from repro.sim.engine import LockstepSimulator, SimulationEngine
 from repro.sync import SyncSpec, merge_reports
 from repro.tensor import Tensor, functional as F
-from repro.utils.rng import SeedSequenceFactory
+from repro.utils.rng import SeedSequenceFactory, replica_init_seed
 
 
 @dataclass
@@ -152,6 +149,15 @@ class TrainerConfig:
     #: ``seed`` and ``clock_seed`` so the same fault timeline can replay
     #: against different training/timing randomness.
     fault_seed: int = 0
+    #: Execution backend: where forward/backward passes run.  ``"inprocess"``
+    #: (the default) is the single-process batched/taped executor;
+    #: ``"multiprocessing"`` fans rank shards out to worker processes over
+    #: shared-memory flat buffers, bit-identical to inprocess.  See
+    #: :mod:`repro.backends`.
+    backend: str = "inprocess"
+    #: Extra kwargs forwarded to the backend constructor (e.g.
+    #: ``{"num_workers": 4}`` for multiprocessing).
+    backend_kwargs: dict = field(default_factory=dict)
 
 
 class DistributedTrainer:
@@ -172,9 +178,13 @@ class DistributedTrainer:
         self.seeds = SeedSequenceFactory(config.seed)
         self.world = InProcessWorld(config.world_size, network=config.network)
 
-        # Replicas: identical initialization on every worker (same seed).
-        self.replicas: List[Module] = [self.spec.build(seed=config.seed)
-                                       for _ in range(config.world_size)]
+        # Replicas: identical initialization on every worker (Algorithm 1
+        # line 1).  The seed derivation is centralized in replica_init_seed so
+        # out-of-process backends rebuilding a rank's replica stay
+        # bit-identical by construction.
+        self.replicas: List[Module] = [
+            self.spec.build(seed=replica_init_seed(config.seed, rank))
+            for rank in range(config.world_size)]
         self.num_parameters = self.replicas[0].num_parameters()
 
         # Compressors: independent instances so error feedback stays local.
@@ -187,6 +197,23 @@ class DistributedTrainer:
         self.sync_strategy = self.sync_spec.build(self.world, self.compressors)
         #: Whether the bound strategy trains on the virtual-clock event loop.
         self.is_async = bool(getattr(self.sync_strategy, "is_async", False))
+
+        # Execution backend: where the forward/backward passes run.  Resolved
+        # early (faults too, which the compatibility check needs) and checked
+        # with the same pinned messages ExperimentSpec.validate() emits, so a
+        # bad combination fails identically from either entry point.
+        self.fault_spec = FaultSpec.resolve(config.faults)
+        backend_problems = backend_spec_problems(
+            config.backend, config.backend_kwargs,
+            world_size=config.world_size, task=self.spec.task,
+            sync_strategy=self.sync_spec.strategy, is_async=self.is_async,
+            faults_active=self.fault_spec.active,
+            fused_pipeline=config.fused_pipeline)
+        if backend_problems:
+            raise ValueError("; ".join(backend_problems))
+        self.backend = EXECUTION_BACKENDS.create(
+            EXECUTION_BACKENDS.canonical(config.backend),
+            **config.backend_kwargs)
         # Deprecated alias kept for callbacks/benchmarks written against the
         # pre-strategy API; delegates to an allreduce+mean strategy.
         self.synchronizer = GradientSynchronizer(self.world, self.compressors)
@@ -211,7 +238,7 @@ class DistributedTrainer:
             # Async strategies operate directly on the flat (P, n) rows (one
             # rank's gradient/update per event), so they require the flat
             # world even when the lockstep fused pipeline is off.
-            self.flat_world = WorldFlatBuffers(self.replicas)
+            self.flat_world = self.backend.create_world(self.replicas)
             self._velocity_matrix = np.zeros_like(self.flat_world.param_matrix)
             self._step_scratch = np.empty_like(self.flat_world.param_matrix)
             for rank, optimizer in enumerate(self.optimizers):
@@ -220,9 +247,7 @@ class DistributedTrainer:
             if not self.is_async:
                 # The batched executor stacks all ranks into one graph — the
                 # event loop computes one rank at a time, eagerly.
-                self.executor = build_replica_executor(self.replicas, self.flat_world,
-                                                       self.spec.task,
-                                                       taped=config.taped)
+                self.executor = self.backend.create_executor(self)
 
         self._setup_data()
         # The stacked LM executor needs every rank to contribute equally-shaped
@@ -243,7 +268,6 @@ class DistributedTrainer:
         # attach a LockstepSimulator that prices each iteration.
         self.sim_engine: Optional[SimulationEngine] = None
         self.lockstep_sim: Optional[LockstepSimulator] = None
-        self.fault_spec = FaultSpec.resolve(config.faults)
         compute_model = resolve_compute_model(config.compute_model)
         if self.is_async:
             if compute_model is None:
@@ -648,6 +672,24 @@ class DistributedTrainer:
             unflatten_into_parameters(replica, flat)
         self.callbacks.on_train_end(state)
         return self.metrics
+
+    def close(self) -> None:
+        """Release execution-backend resources (idempotent).
+
+        The in-process backend has none; the multiprocessing backend shuts
+        its worker processes down and unlinks the shared-memory segments.
+        Training results (metrics, replicas, checkpoints) remain usable
+        after closing.
+        """
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "DistributedTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _begin_iteration(self, state: TrainState, epoch: int, iteration: int) -> float:
         state.epoch = epoch

@@ -57,6 +57,19 @@ def new_rng(*components: object, seed: int | None = None) -> np.random.Generator
     return np.random.default_rng(derive_seed(*components, base=seed))
 
 
+def replica_init_seed(experiment_seed: int, rank: int) -> int:
+    """The weight-initialization seed for replica ``rank``.
+
+    Algorithm 1 line 1: every worker starts from the *same* initial model, so
+    the derivation is rank-independent — but it is centralized here so the
+    trainer and any out-of-process execution backend rebuilding a rank's
+    replica (e.g. :mod:`repro.backends.multiprocess` workers) share one
+    definition and stay bit-identical by construction.
+    """
+    del rank  # identical initialization on every rank, by design
+    return int(experiment_seed)
+
+
 class SeedSequenceFactory:
     """Hands out per-worker, per-purpose generators for a distributed run.
 

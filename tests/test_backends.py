@@ -1,0 +1,297 @@
+"""Execution backends: registry, validation, bit-identity, lifecycle.
+
+The headline guarantee: ``backend="multiprocessing"`` is **bit-identical** to
+``backend="inprocess"`` — final parameters, per-epoch losses and metrics —
+because the workers run the same executors on the same shared storage with
+the same centrally-derived seeds.  Everything else (registry exposure,
+pinned incompatibility messages, dead-worker reporting, segment reaping) is
+the supporting contract.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    EXECUTION_BACKENDS,
+    InProcessBackend,
+    MultiprocessingBackend,
+    WorkerDiedError,
+    backend_spec_problems,
+    leaked_segments,
+)
+from repro.core.spec import ExperimentSpec, SpecError
+from repro.core.trainer import DistributedTrainer, TrainerConfig
+from repro.registry import public_registries
+from repro.utils.rng import replica_init_seed
+
+
+def train_params_and_metrics(backend, *, model="fnn3", world_size=2, taped=True,
+                             iterations=3, **backend_kwargs):
+    config = TrainerConfig(model=model, preset="tiny", algorithm="a2sgd",
+                           world_size=world_size, epochs=1, seed=0,
+                           max_iterations_per_epoch=iterations, taped=taped,
+                           backend=backend, backend_kwargs=backend_kwargs)
+    trainer = DistributedTrainer(config)
+    try:
+        metrics = trainer.train()
+        params = trainer.flat_world.param_matrix.copy()
+    finally:
+        trainer.close()
+    payload = metrics.as_dict()
+    payload.pop("wall_compute_time_s", None)   # measured wall clock differs
+    payload.pop("simulated_time_s", None)      # NaN-filled when untimed
+    return params, payload, metrics.final_metric
+
+
+# --------------------------------------------------------------------------- #
+# registry (the 12th component registry)
+# --------------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert EXECUTION_BACKENDS.list() == ["inprocess", "multiprocessing"]
+        assert isinstance(EXECUTION_BACKENDS.create("inprocess"), InProcessBackend)
+        backend = EXECUTION_BACKENDS.create("multiprocessing", num_workers=2)
+        assert isinstance(backend, MultiprocessingBackend)
+        backend.close()
+
+    def test_exposed_as_public_registry(self):
+        assert "backends" in public_registries()
+
+    def test_did_you_mean_on_typo(self):
+        problems = backend_spec_problems("multiprocesing", {})
+        assert len(problems) == 1
+        assert "did you mean" in problems[0]
+        assert "multiprocessing" in problems[0]
+
+    def test_components_cli_lists_backends(self, capsys):
+        from repro.cli import main
+        assert main(["components", "--registry", "backends"]) == 0
+        out = capsys.readouterr().out
+        assert "inprocess" in out and "multiprocessing" in out
+
+
+# --------------------------------------------------------------------------- #
+# spec validation: pinned incompatibility messages
+# --------------------------------------------------------------------------- #
+class TestBackendValidation:
+    def test_async_strategy_rejected_with_pinned_text(self):
+        spec = ExperimentSpec(backend="multiprocessing",
+                              sync={"strategy": "async_ps"})
+        with pytest.raises(SpecError) as excinfo:
+            spec.validate()
+        assert ("backend 'multiprocessing' cannot run sync strategy "
+                "'async_ps': the event-driven virtual clock executes one rank "
+                "at a time; use backend 'inprocess'") in excinfo.value.problems
+
+    def test_faults_rejected_with_pinned_text(self):
+        spec = ExperimentSpec(backend="multiprocessing", faults="crash_stop")
+        with pytest.raises(SpecError) as excinfo:
+            spec.validate()
+        assert ('backend \'multiprocessing\' does not support fault injection; '
+                'remove the "faults" section or use backend \'inprocess\''
+                ) in excinfo.value.problems
+
+    def test_unfused_rejected(self):
+        spec = ExperimentSpec(backend="multiprocessing", fused_pipeline=False)
+        with pytest.raises(SpecError, match="requires the fused pipeline"):
+            spec.validate()
+
+    def test_language_model_rejected(self):
+        spec = ExperimentSpec(backend="multiprocessing", model="lstm_ptb")
+        with pytest.raises(SpecError, match="does not support language models"):
+            spec.validate()
+
+    def test_num_workers_cannot_exceed_world_size(self):
+        spec = ExperimentSpec(backend="multiprocessing", world_size=4,
+                              backend_kwargs={"num_workers": 8})
+        with pytest.raises(SpecError,
+                           match=r"num_workers \(8\) cannot exceed world_size \(4\)"):
+            spec.validate()
+
+    def test_bad_kwargs_fail_constructibility(self):
+        spec = ExperimentSpec(backend="multiprocessing",
+                              backend_kwargs={"num_workers": 0})
+        with pytest.raises(SpecError, match="cannot be constructed with"):
+            spec.validate()
+
+    def test_trainer_bind_time_raises_same_text(self):
+        config = TrainerConfig(model="fnn3", world_size=2,
+                               backend="multiprocessing",
+                               sync={"strategy": "async_ps"})
+        with pytest.raises(ValueError, match="cannot run sync strategy 'async_ps'"):
+            DistributedTrainer(config)
+
+    def test_valid_spec_passes_and_roundtrips(self, tmp_path):
+        spec = ExperimentSpec(backend="multiprocessing", world_size=2,
+                              backend_kwargs={"num_workers": 2}).validate()
+        path = spec.to_file(tmp_path / "spec.json")
+        again = ExperimentSpec.from_file(path)
+        assert again.backend == "multiprocessing"
+        assert again.backend_kwargs == {"num_workers": 2}
+        assert again.to_trainer_config().backend == "multiprocessing"
+
+    def test_backend_kwargs_deep_copied_into_trainer_config(self):
+        spec = ExperimentSpec(backend="multiprocessing",
+                              backend_kwargs={"num_workers": 2})
+        config = spec.to_trainer_config()
+        config.backend_kwargs["num_workers"] = 99
+        assert spec.backend_kwargs == {"num_workers": 2}
+
+    def test_inprocess_accepts_everything(self):
+        ExperimentSpec(backend="inprocess", sync={"strategy": "async_ps"}).validate()
+        ExperimentSpec(backend="inprocess", faults="crash_stop").validate()
+        ExperimentSpec(backend="inprocess", fused_pipeline=False).validate()
+
+
+# --------------------------------------------------------------------------- #
+# seed derivation
+# --------------------------------------------------------------------------- #
+class TestSeedDerivation:
+    def test_replica_init_seed_is_rank_independent(self):
+        # Algorithm 1 line 1: identical initialization on every rank.
+        assert replica_init_seed(7, 0) == replica_init_seed(7, 3) == 7
+
+    def test_distinct_experiments_get_distinct_seeds(self):
+        assert replica_init_seed(1, 0) != replica_init_seed(2, 0)
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity: the acceptance criterion
+# --------------------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.mark.parametrize("model", ["fnn3", "resnet20"])
+    @pytest.mark.parametrize("world_size", [2, 4])
+    def test_taped_run_bit_identical(self, model, world_size):
+        p_in, m_in, f_in = train_params_and_metrics(
+            "inprocess", model=model, world_size=world_size, taped=True)
+        p_mp, m_mp, f_mp = train_params_and_metrics(
+            "multiprocessing", model=model, world_size=world_size, taped=True,
+            num_workers=2)
+        assert np.array_equal(p_in, p_mp)
+        assert m_in == m_mp
+        assert f_in == f_mp
+
+    def test_eager_fused_run_bit_identical(self):
+        p_in, m_in, _ = train_params_and_metrics("inprocess",
+                                                 model="fnn3", taped=False)
+        p_mp, m_mp, _ = train_params_and_metrics("multiprocessing",
+                                                 model="fnn3", taped=False,
+                                                 num_workers=2)
+        assert np.array_equal(p_in, p_mp)
+        assert m_in == m_mp
+
+    def test_one_worker_per_rank_bit_identical(self):
+        p_in, _, _ = train_params_and_metrics("inprocess", world_size=3)
+        p_mp, _, _ = train_params_and_metrics("multiprocessing", world_size=3)
+        assert np.array_equal(p_in, p_mp)
+
+    def test_uneven_shards_bit_identical(self):
+        # 3 ranks over 2 workers: shards of 2 and 1.
+        p_in, _, _ = train_params_and_metrics("inprocess", world_size=3)
+        p_mp, _, _ = train_params_and_metrics("multiprocessing", world_size=3,
+                                              num_workers=2)
+        assert np.array_equal(p_in, p_mp)
+
+    def test_no_segments_leak_after_runs(self):
+        assert leaked_segments() == []
+
+
+# --------------------------------------------------------------------------- #
+# worker lifecycle
+# --------------------------------------------------------------------------- #
+class TestWorkerLifecycle:
+    def _spawned_trainer(self):
+        config = TrainerConfig(model="fnn3", preset="tiny", world_size=2,
+                               epochs=1, max_iterations_per_epoch=2, seed=0,
+                               backend="multiprocessing",
+                               backend_kwargs={"num_workers": 2})
+        trainer = DistributedTrainer(config)
+        batches = [next(iter(loader)) for loader in trainer.loaders]
+        trainer._classification_gradients_fused(batches)    # spawns workers
+        return trainer, batches
+
+    def test_sigkilled_worker_raises_naming_the_rank(self):
+        trainer, batches = self._spawned_trainer()
+        try:
+            process, ranks = trainer.backend._processes[1]
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=30.0)
+            with pytest.raises(WorkerDiedError, match=r"worker 1 \(ranks 1\.\.1\)"):
+                trainer._classification_gradients_fused(batches)
+        finally:
+            trainer.close()
+        assert leaked_segments() == []
+
+    def test_close_reaps_workers_and_segments(self):
+        trainer, _ = self._spawned_trainer()
+        processes = [p for p, _ in trainer.backend._processes]
+        trainer.close()
+        assert all(not p.is_alive() for p in processes)
+        assert leaked_segments() == []
+
+    def test_close_is_idempotent(self):
+        trainer, _ = self._spawned_trainer()
+        trainer.close()
+        trainer.close()
+        assert leaked_segments() == []
+
+    def test_close_before_spawn_is_safe(self):
+        config = TrainerConfig(model="fnn3", world_size=2,
+                               backend="multiprocessing")
+        trainer = DistributedTrainer(config)
+        trainer.close()             # workers never spawned; arenas reclaimed
+        assert leaked_segments() == []
+
+    def test_batch_shape_change_rejected(self):
+        trainer, batches = self._spawned_trainer()
+        try:
+            bad = [(b[0][: max(1, len(b[0]) // 2)],
+                    b[1][: max(1, len(b[1]) // 2)]) for b in batches]
+            with pytest.raises(ValueError, match="batch shape changed"):
+                trainer._classification_gradients_fused(bad)
+        finally:
+            trainer.close()
+
+
+# --------------------------------------------------------------------------- #
+# CLI integration
+# --------------------------------------------------------------------------- #
+class TestBackendCli:
+    def test_run_with_multiprocessing_backend(self, capsys):
+        from repro.cli import main
+        code = main(["run", "--model", "fnn3", "--workers", "2",
+                     "--epochs", "1", "--iterations", "2",
+                     "--backend", "multiprocessing", "--backend-workers", "2"])
+        assert code == 0
+        assert "fnn3" in capsys.readouterr().out
+        assert leaked_segments() == []
+
+    def test_backend_flag_canonicalizes(self):
+        from repro.cli import _spec_from_run_args, _build_parser
+        args = _build_parser().parse_args(
+            ["run", "--backend", "multiprocessing", "--backend-workers", "3"])
+        spec = _spec_from_run_args(args)
+        assert spec.backend == "multiprocessing"
+        assert spec.backend_kwargs == {"num_workers": 3}
+
+    def test_backend_switch_resets_spec_backend_kwargs(self, tmp_path):
+        # --backend inprocess on a multiprocessing spec must drop the spec's
+        # num_workers (written for the other backend), same policy as sync.
+        from repro.cli import _build_parser, _spec_from_run_args
+        path = ExperimentSpec(backend="multiprocessing", world_size=2,
+                              backend_kwargs={"num_workers": 2}
+                              ).to_file(tmp_path / "spec.json")
+        args = _build_parser().parse_args(
+            ["run", "--config", str(path), "--backend", "inprocess"])
+        spec = _spec_from_run_args(args)
+        assert spec.backend == "inprocess"
+        assert spec.backend_kwargs == {}
+        spec.validate()
+
+    def test_example_spec_is_valid(self):
+        spec = ExperimentSpec.from_file("examples/spec_multiprocessing.json")
+        spec.validate()
+        assert spec.backend == "multiprocessing"

@@ -1,0 +1,288 @@
+"""Shared-memory substrate: arena lifecycle, barrier, communicator.
+
+The lifecycle tests are the hard guarantees of the multiprocessing backend:
+no ``/dev/shm`` segment may outlive its owner after a clean exit, a mid-run
+exception, or a SIGKILLed attached worker.  The communicator tests exercise
+:class:`~repro.backends.shm.ShmCommunicator` — the second implementation of
+the ``Communicator`` interface — across *real* processes.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.shm import (
+    BarrierTimeout,
+    SharedMemoryArena,
+    ShmBarrier,
+    ShmCommunicator,
+    communicator_slots,
+    leaked_segments,
+)
+from repro.comm.backend import CollectiveOp
+
+SLOTS = {"a": ((4, 3), np.float32), "b": ((5,), np.int64), "c": ((2,), np.float64)}
+
+
+# --------------------------------------------------------------------------- #
+# arena basics
+# --------------------------------------------------------------------------- #
+class TestArena:
+    def test_slots_are_typed_views(self):
+        with SharedMemoryArena(SLOTS) as arena:
+            assert arena["a"].shape == (4, 3) and arena["a"].dtype == np.float32
+            assert arena["b"].shape == (5,) and arena["b"].dtype == np.int64
+            arena["a"][...] = 7.5
+            assert float(arena["a"].sum()) == 7.5 * 12
+
+    def test_views_are_cached(self):
+        with SharedMemoryArena(SLOTS) as arena:
+            assert arena["a"] is arena["a"]
+
+    def test_slots_are_aligned_and_independent(self):
+        with SharedMemoryArena(SLOTS) as arena:
+            arena["a"][...] = np.nan
+            arena["b"][...] = -1
+            arena["c"][...] = 3.25
+            # Writing one slot never bleeds into a neighbour.
+            assert np.all(arena["b"] == -1)
+            assert np.all(arena["c"] == 3.25)
+
+    def test_attach_sees_owner_writes(self):
+        with SharedMemoryArena(SLOTS) as owner:
+            owner["a"][...] = 42.0
+            attached = SharedMemoryArena(SLOTS, name=owner.name, create=False)
+            assert np.all(attached["a"] == 42.0)
+            attached["b"][...] = 9
+            assert np.all(owner["b"] == 9)
+            attached.close()
+
+    def test_contains(self):
+        with SharedMemoryArena(SLOTS) as arena:
+            assert "a" in arena and "missing" not in arena
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle hardening: /dev/shm must never leak
+# --------------------------------------------------------------------------- #
+class TestArenaLifecycle:
+    def test_clean_close_unlinks(self):
+        arena = SharedMemoryArena(SLOTS)
+        name = arena.name
+        assert name in leaked_segments()
+        arena.close()
+        assert name not in leaked_segments()
+
+    def test_close_is_idempotent(self):
+        arena = SharedMemoryArena(SLOTS)
+        arena.close()
+        arena.close()
+
+    def test_midrun_exception_unlinks_via_context_manager(self):
+        with pytest.raises(RuntimeError):
+            with SharedMemoryArena(SLOTS) as arena:
+                name = arena.name
+                raise RuntimeError("mid-run failure")
+        assert name not in leaked_segments()
+
+    def test_close_with_live_views_still_unlinks(self):
+        arena = SharedMemoryArena(SLOTS)
+        name = arena.name
+        view = arena["a"]          # exported pointer keeps the mapping alive
+        arena.close()
+        assert name not in leaked_segments()
+        view[...] = 1.0            # the mapping itself stays valid
+
+    def test_sigkilled_attached_child_does_not_unlink(self):
+        """A SIGKILLed worker must not tear the segment down under the owner."""
+        arena = SharedMemoryArena(SLOTS)
+        name = arena.name
+        context = multiprocessing.get_context("fork")
+
+        def child():
+            attached = SharedMemoryArena(SLOTS, name=name, create=False)
+            attached["b"][...] = 5
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        process = context.Process(target=child)
+        process.start()
+        process.join(timeout=30.0)
+        assert process.exitcode == -signal.SIGKILL
+        # Owner still sees the segment (and the child's write), then reclaims.
+        assert name in leaked_segments()
+        assert np.all(arena["b"] == 5)
+        arena.close()
+        assert name not in leaked_segments()
+
+    def test_cleanly_exited_child_does_not_unlink(self):
+        arena = SharedMemoryArena(SLOTS)
+        name = arena.name
+        context = multiprocessing.get_context("fork")
+
+        def child():
+            attached = SharedMemoryArena(SLOTS, name=name, create=False)
+            attached.close()
+
+        process = context.Process(target=child)
+        process.start()
+        process.join(timeout=30.0)
+        assert process.exitcode == 0
+        assert name in leaked_segments()
+        arena.close()
+        assert name not in leaked_segments()
+
+    def test_attached_side_close_never_unlinks(self):
+        owner = SharedMemoryArena(SLOTS)
+        attached = SharedMemoryArena(SLOTS, name=owner.name, create=False)
+        attached.close()
+        assert owner.name in leaked_segments()
+        owner.close()
+        assert owner.name not in leaked_segments()
+
+
+# --------------------------------------------------------------------------- #
+# barrier
+# --------------------------------------------------------------------------- #
+class TestShmBarrier:
+    def test_single_party_passes_immediately(self):
+        arrive = np.zeros(1, dtype=np.int64)
+        barrier = ShmBarrier(arrive, index=0)
+        assert barrier.wait() == 1
+        assert barrier.wait() == 2
+
+    def test_timeout_raises_naming_arrivals(self):
+        arrive = np.zeros(2, dtype=np.int64)
+        barrier = ShmBarrier(arrive, index=0)
+        with pytest.raises(BarrierTimeout, match="generation 1"):
+            barrier.wait(timeout=0.05)
+
+    def test_poll_callback_may_abort(self):
+        arrive = np.zeros(2, dtype=np.int64)
+        barrier = ShmBarrier(arrive, index=0)
+
+        def poll():
+            raise RuntimeError("peer died")
+
+        with pytest.raises(RuntimeError, match="peer died"):
+            barrier.wait(poll=poll)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            ShmBarrier(np.zeros(2, dtype=np.int32), index=0)
+
+    def test_two_processes_rendezvous(self):
+        arena = SharedMemoryArena({"arrive": ((2,), np.int64),
+                                   "value": ((1,), np.int64)})
+        context = multiprocessing.get_context("fork")
+
+        def child():
+            attached = SharedMemoryArena(arena.slots, name=arena.name,
+                                         create=False)
+            barrier = ShmBarrier(attached["arrive"], index=1)
+            attached["value"][0] = 17
+            barrier.wait(timeout=30.0)     # publish
+            barrier.wait(timeout=30.0)     # parent has read
+            attached.close()
+
+        process = context.Process(target=child)
+        process.start()
+        barrier = ShmBarrier(arena["arrive"], index=0)
+        barrier.wait(timeout=30.0)
+        assert int(arena["value"][0]) == 17
+        barrier.wait(timeout=30.0)
+        process.join(timeout=30.0)
+        assert process.exitcode == 0
+        arena.close()
+
+
+# --------------------------------------------------------------------------- #
+# communicator across real processes
+# --------------------------------------------------------------------------- #
+def _comm_worker(rank, world_size, name, slots, out_name, out_slots):
+    arena = SharedMemoryArena(slots, name=name, create=False)
+    out = SharedMemoryArena(out_slots, name=out_name, create=False)
+    comm = ShmCommunicator(arena, rank, world_size, timeout=60.0)
+    payload = np.full(3, float(rank + 1), dtype=np.float64)
+
+    gathered = comm.allgather(payload)
+    out["gather"][rank] = np.stack(gathered).sum()
+
+    reduced = comm.allreduce(payload, op=CollectiveOp.SUM)
+    out["reduce"][rank] = reduced
+
+    mean = comm.allreduce(payload, op=CollectiveOp.MEAN)
+    out["mean"][rank] = mean
+
+    root_value = comm.broadcast(np.arange(4, dtype=np.int64) if rank == 0
+                                else np.zeros(4, dtype=np.int64), root=0)
+    out["bcast"][rank] = root_value
+
+    comm.barrier()
+    arena.close()
+    out.close()
+
+
+class TestShmCommunicator:
+    def test_collectives_across_processes(self):
+        P = 3
+        slots = communicator_slots(P, capacity_bytes=1024)
+        arena = SharedMemoryArena(slots)
+        out_slots = {"gather": ((P,), np.float64),
+                     "reduce": ((P, 3), np.float64),
+                     "mean": ((P, 3), np.float64),
+                     "bcast": ((P, 4), np.int64)}
+        out = SharedMemoryArena(out_slots)
+        context = multiprocessing.get_context("fork")
+        processes = [context.Process(
+            target=_comm_worker,
+            args=(rank, P, arena.name, arena.slots, out.name, out.slots))
+            for rank in range(P)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120.0)
+            assert process.exitcode == 0
+
+        # allgather: sum over ranks of (rank+1) * 3 elements = (1+2+3)*3.
+        assert np.all(out["gather"] == 18.0)
+        # allreduce SUM: every element is 1+2+3; identical on every rank.
+        assert np.all(out["reduce"] == 6.0)
+        assert np.all(out["mean"] == 2.0)
+        assert np.all(out["bcast"] == np.arange(4))
+        arena.close()
+        out.close()
+        assert leaked_segments() == []
+
+    def test_interface_properties(self):
+        P = 2
+        arena = SharedMemoryArena(communicator_slots(P, capacity_bytes=64))
+        comm = ShmCommunicator(arena, 0, P)
+        assert comm.rank == 0 and comm.world_size == 2
+        arena.close()
+
+    def test_oversized_payload_rejected(self):
+        arena = SharedMemoryArena(communicator_slots(1, capacity_bytes=16))
+        comm = ShmCommunicator(arena, 0, 1)
+        with pytest.raises(ValueError, match="exceeds the staging capacity"):
+            comm.allgather(np.zeros(100, dtype=np.float64))
+        arena.close()
+
+    def test_unsupported_dtype_rejected(self):
+        arena = SharedMemoryArena(communicator_slots(1, capacity_bytes=64))
+        comm = ShmCommunicator(arena, 0, 1)
+        with pytest.raises(TypeError, match="unsupported dtype"):
+            comm.allgather(np.zeros(2, dtype=np.complex128))
+        arena.close()
+
+    def test_single_rank_roundtrip_preserves_dtype_and_shape(self):
+        arena = SharedMemoryArena(communicator_slots(1, capacity_bytes=256))
+        comm = ShmCommunicator(arena, 0, 1)
+        payload = np.arange(6, dtype=np.float32).reshape(2, 3)
+        [result] = comm.allgather(payload)
+        assert result.dtype == payload.dtype and result.shape == payload.shape
+        assert np.array_equal(result, payload)
+        arena.close()
