@@ -69,6 +69,8 @@ from repro.models.registry import (
 )
 from repro.optim.registry import LR_SCHEDULES, OPTIMIZERS
 from repro.faults import FAULT_MODELS, FaultSpec
+from repro.federated import CLIENT_SAMPLERS, ClientSpec
+from repro.data.partition import PARTITION_POLICIES
 from repro.registry import public_registries
 from repro.sim.compute import COMPUTE_MODELS
 from repro.sync import AGGREGATORS, SYNC_STRATEGIES, SyncSpec
@@ -101,6 +103,15 @@ SYNC_FLAG_FIELDS: Dict[str, str] = {
     "aggregator": "aggregator",
     "topology": "topology",
     "param_compression": "parameter_compression",
+}
+
+#: argparse dest -> ClientSpec field, merged into the spec's ``clients``
+#: section.
+CLIENT_FLAG_FIELDS: Dict[str, str] = {
+    "num_clients": "num_clients",
+    "cohort_size": "cohort_size",
+    "client_sampler": "sampler",
+    "data_skew": "data_skew",
 }
 
 #: Flag-mode baseline for ``repro run`` (historical CLI defaults; the
@@ -242,6 +253,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="multiprocessing backend: number of worker "
                                    "processes (contiguous rank shards; default: "
                                    "one per rank)")
+    train_parent.add_argument("--num-clients", dest="num_clients", type=int,
+                              default=argparse.SUPPRESS, metavar="N",
+                              help="federated: logical client population size "
+                                   "(enables the clients layer; requires "
+                                   "--sync fedavg)")
+    train_parent.add_argument("--cohort-size", dest="cohort_size", type=int,
+                              default=argparse.SUPPRESS, metavar="K",
+                              help="federated: clients materialized per round "
+                                   "(must equal --workers; default: the world "
+                                   "size)")
+    train_parent.add_argument("--client-sampler", dest="client_sampler",
+                              default=argparse.SUPPRESS,
+                              type=_registry_name(CLIENT_SAMPLERS),
+                              metavar=f"{{{','.join(CLIENT_SAMPLERS.list())}}}",
+                              help="federated: per-round cohort sampler "
+                                   "(default: uniform_without_replacement)")
+    train_parent.add_argument("--data-skew", dest="data_skew",
+                              default=argparse.SUPPRESS,
+                              choices=list(PARTITION_POLICIES),
+                              help="federated: per-client partition policy "
+                                   "(default: iid; dirichlet parameters go in "
+                                   "the spec's \"clients\" section)")
 
     info = sub.add_parser("info",
                           help="list models, compressors, datasets, callbacks and "
@@ -266,7 +299,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-csv", dest="metrics_csv", default=None,
                      metavar="PATH",
                      help="write the per-epoch metrics (loss, metric, simulated "
-                          "time, rejected pushes, mean staleness) as CSV")
+                          "time, rejected pushes, mean staleness, client "
+                          "participation) as CSV")
     run.set_defaults(handler=cmd_run)
 
     validate = sub.add_parser("validate",
@@ -430,6 +464,17 @@ def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
                 {"model": args.fault_model})
         except ValueError as error:
             raise SpecError(str(error).splitlines()) from None
+    client_overrides = {field: getattr(args, dest)
+                        for dest, field in CLIENT_FLAG_FIELDS.items()
+                        if hasattr(args, dest)}
+    if client_overrides:
+        try:
+            # merged_with resets data_skew_kwargs when --data-skew actually
+            # switches policy (a dirichlet alpha means nothing to shards).
+            overrides["clients"] = ClientSpec.resolve(spec.clients).merged_with(
+                client_overrides)
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
     # Same switch-and-reset policy as sync: --backend switching away from
     # the spec's backend drops that backend's kwargs (they were written for
     # it), while --backend-workers merges into whatever kwargs remain.
@@ -466,6 +511,13 @@ def cmd_run(args: argparse.Namespace):
         title=(f"{spec.model} / {spec.algorithm} / {spec.world_size} workers — "
                f"{result.wire_bits_per_iteration:,.0f} peak bits/worker/iteration, "
                f"{result.wall_time_s:.1f}s wall time{sync_note}"))
+    if result.clients is not None:
+        clients = result.clients
+        text += (f"\nclients: {clients['num_clients']} total, cohort "
+                 f"{clients['cohort_size']} "
+                 f"({100 * clients['cohort_fraction']:.0f}%), "
+                 f"{clients['rounds']} round(s), "
+                 f"unique clients seen {clients['unique_clients_seen']}")
     if result.sim is not None:
         sim = result.sim
         line = (f"simulated time: {sim['simulated_time_s']:.4f}s "
@@ -515,6 +567,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(f"note: {note}")
     faults = spec.resolved_faults()
     print(f"faults: {faults.describe()}")
+    clients = spec.resolved_clients()
+    print(f"clients: {clients.describe()}")
     return 0
 
 

@@ -214,6 +214,60 @@ class FullyConnectedTopology(CommTopology):
         return tuple(r for r in range(world_size) if r != rank)
 
 
+@TOPOLOGIES.register("hierarchical", aliases=("two_level", "edge"),
+                     description="two-level tree: clients -> edge "
+                                 "aggregators -> server")
+class HierarchicalTopology(CommTopology):
+    """Two-level aggregation tree: clients → edge aggregators → server.
+
+    The active cohort's slots are split into ``num_edges`` contiguous
+    groups, each served by one edge aggregator; the edges feed one central
+    server.  The fedavg strategy prices its parameter averaging over this
+    tree's edges only — ``K`` client uplinks, ``num_edges`` edge→server
+    links, and the same links again for the broadcast back — so inactive
+    clients never appear on the wire.
+
+    As a gossip graph, :meth:`neighbors` connects the members of one edge
+    group to each other (the set of slots whose updates the edge aggregator
+    combines), which keeps the graph valid for degree-based pricing.
+    """
+
+    name = "hierarchical"
+
+    def __init__(self, num_edges: int = 2):
+        if num_edges < 1:
+            raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+        self.num_edges = int(num_edges)
+
+    def edge_groups(self, world_size: int) -> Tuple[Tuple[int, ...], ...]:
+        """Contiguous slot groups, one per edge aggregator (non-empty)."""
+        self.validate(world_size)
+        edges = min(self.num_edges, world_size)
+        bounds = [world_size * e // edges for e in range(edges + 1)]
+        return tuple(tuple(range(bounds[e], bounds[e + 1]))
+                     for e in range(edges))
+
+    def edge_of(self, rank: int, world_size: int) -> int:
+        """The edge aggregator serving ``rank``."""
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world size "
+                             f"{world_size}")
+        for edge, group in enumerate(self.edge_groups(world_size)):
+            if rank in group:
+                return edge
+        raise AssertionError("edge groups must cover every rank")
+
+    def max_group_size(self, world_size: int) -> int:
+        return max(len(group) for group in self.edge_groups(world_size))
+
+    def neighbors(self, rank: int, world_size: int) -> Tuple[int, ...]:
+        group = self.edge_groups(world_size)[self.edge_of(rank, world_size)]
+        return tuple(r for r in group if r != rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HierarchicalTopology(num_edges={self.num_edges})"
+
+
 def get_topology(name: str) -> CommTopology:
     """Construct a registered communication graph, e.g. ``get_topology("ring")``."""
     return TOPOLOGIES.create(name)

@@ -228,13 +228,27 @@ class MetricsCallback(Callback):
         # whether a run was interrupted and resumed or ran straight through.
         rejected = sim_report.rejected_pushes if sim_report is not None else 0
         staleness = sim_report.mean_staleness() if sim_report is not None else 0.0
+        population = getattr(trainer, "population", None)
+        if population is not None:
+            summary = population.summary()
+            active = summary["active_clients"]
+            fraction = summary["cohort_fraction"]
+            unique_seen = summary["unique_clients_seen"]
+        else:
+            # Every rank is a client: full participation of a population P.
+            active = state.world_size
+            fraction = 1.0
+            unique_seen = state.world_size
         state.metrics.record_epoch(
             state.epoch, state.epoch_loss, state.metric_value,
             comm_time=trainer.world.simulated_comm_time,
             compute_time=state.timeline.compute_s,
             simulated_time=sim_time,
             rejected_pushes=rejected,
-            mean_staleness=staleness)
+            mean_staleness=staleness,
+            active_clients=active,
+            cohort_fraction=fraction,
+            unique_clients_seen=unique_seen)
 
 
 @CALLBACKS.register("progress", description="log loss/metric once per epoch")

@@ -71,6 +71,14 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
         for key, value in trainer.fault_injector.state_arrays().items():
             arrays[f"fault_{key}"] = value
 
+    # Client-population state: round counters, the current slot assignment,
+    # the seen-clients mask and every swapped-out client's parked slot state
+    # (velocity, compressor residuals, codec reference).  The sampler itself
+    # is stateless per round, so the counters fully determine future cohorts.
+    if trainer.population is not None:
+        for key, value in trainer.population.state_arrays().items():
+            arrays[f"clients_{key}"] = value
+
     arrays["progress"] = np.array([trainer._global_iteration, len(trainer.metrics.epochs)],
                                   dtype=np.int64)
     arrays["metric_history"] = np.array(trainer.metrics.metric, dtype=np.float64)
@@ -82,6 +90,12 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Path:
                                           dtype=np.int64)
     arrays["metrics_staleness"] = np.array(trainer.metrics.mean_staleness,
                                            dtype=np.float64)
+    arrays["metrics_active_clients"] = np.array(trainer.metrics.active_clients,
+                                                dtype=np.int64)
+    arrays["metrics_cohort_fraction"] = np.array(trainer.metrics.cohort_fraction,
+                                                 dtype=np.float64)
+    arrays["metrics_unique_clients"] = np.array(trainer.metrics.unique_clients_seen,
+                                                dtype=np.int64)
     np.savez_compressed(path, **arrays)
     return path
 
@@ -145,6 +159,11 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
     if fault_state and trainer.fault_injector is not None:
         trainer.fault_injector.load_state_arrays(fault_state)
 
+    clients_state = {name[len("clients_"):]: data[name]
+                     for name in data.files if name.startswith("clients_")}
+    if clients_state and trainer.population is not None:
+        trainer.population.load_state_arrays(clients_state)
+
     progress = data["progress"]
     trainer._global_iteration = int(progress[0])
     # Keep the sync strategy's period phase (local-SGD's every-H schedule)
@@ -158,4 +177,10 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | Path) -> Distribute
     if "metrics_rejected" in data:
         trainer.metrics.rejected_pushes = [int(v) for v in data["metrics_rejected"]]
         trainer.metrics.mean_staleness = [float(v) for v in data["metrics_staleness"]]
+    if "metrics_active_clients" in data:
+        trainer.metrics.active_clients = [int(v) for v in data["metrics_active_clients"]]
+        trainer.metrics.cohort_fraction = [float(v)
+                                           for v in data["metrics_cohort_fraction"]]
+        trainer.metrics.unique_clients_seen = [int(v)
+                                               for v in data["metrics_unique_clients"]]
     return trainer

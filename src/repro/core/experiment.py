@@ -50,6 +50,10 @@ class ExperimentResult:
     #: Virtual-clock summary (``SimReport.as_dict()`` minus the raw event
     #: log) when the run tracked simulated time; None otherwise.
     sim: Optional[Dict[str, object]] = None
+    #: Client-participation summary (the population's ``summary()`` dict)
+    #: when the spec configured a federated client population; None
+    #: otherwise.
+    clients: Optional[Dict[str, object]] = None
 
     @property
     def final_metric(self) -> float:
@@ -68,6 +72,7 @@ class ExperimentResult:
             "wire_bits_per_iteration": self.wire_bits_per_iteration,
             "wall_time_s": self.wall_time_s,
             "sim": self.sim,
+            "clients": self.clients,
         })
 
 
@@ -100,6 +105,8 @@ def run_experiment(config: ExperimentSpec,
         wire_bits_per_iteration=trainer.wire_bits_per_iteration,
         wall_time_s=wall,
         sim=sim,
+        clients=trainer.population.summary()
+        if trainer.population is not None else None,
     )
 
 

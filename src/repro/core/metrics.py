@@ -91,12 +91,22 @@ class TrainingMetrics:
     #: from the CSV alone instead of being trapped in the SimReport.
     rejected_pushes: List[int] = field(default_factory=list)
     mean_staleness: List[float] = field(default_factory=list)
+    #: Federated participation per epoch row: clients materialized in the
+    #: current round, the cohort fraction K/N, and the cumulative count of
+    #: distinct clients sampled so far.  Without a client population these
+    #: degenerate to (world_size, 1.0, world_size) — every rank is a client.
+    active_clients: List[int] = field(default_factory=list)
+    cohort_fraction: List[float] = field(default_factory=list)
+    unique_clients_seen: List[int] = field(default_factory=list)
 
     def record_epoch(self, epoch: int, train_loss: float, metric_value: float,
                      comm_time: float, compute_time: float,
                      simulated_time: float = float("nan"),
                      rejected_pushes: int = 0,
-                     mean_staleness: float = 0.0) -> None:
+                     mean_staleness: float = 0.0,
+                     active_clients: int = 0,
+                     cohort_fraction: float = 1.0,
+                     unique_clients_seen: int = 0) -> None:
         self.epochs.append(int(epoch))
         self.train_loss.append(float(train_loss))
         self.metric.append(float(metric_value))
@@ -105,6 +115,9 @@ class TrainingMetrics:
         self.simulated_time_s.append(float(simulated_time))
         self.rejected_pushes.append(int(rejected_pushes))
         self.mean_staleness.append(float(mean_staleness))
+        self.active_clients.append(int(active_clients))
+        self.cohort_fraction.append(float(cohort_fraction))
+        self.unique_clients_seen.append(int(unique_clients_seen))
 
     @property
     def final_metric(self) -> float:
@@ -129,6 +142,9 @@ class TrainingMetrics:
             "simulated_time_s": list(self.simulated_time_s),
             "rejected_pushes": list(self.rejected_pushes),
             "mean_staleness": list(self.mean_staleness),
+            "active_clients": list(self.active_clients),
+            "cohort_fraction": list(self.cohort_fraction),
+            "unique_clients_seen": list(self.unique_clients_seen),
         }
 
     #: Column header -> row-attribute name, in CSV column order.
@@ -141,6 +157,9 @@ class TrainingMetrics:
         ("simulated_time_s", "simulated_time_s"),
         ("rejected_pushes", "rejected_pushes"),
         ("mean_staleness", "mean_staleness"),
+        ("active_clients", "active_clients"),
+        ("cohort_fraction", "cohort_fraction"),
+        ("unique_clients_seen", "unique_clients_seen"),
     )
 
     def to_csv(self, path) -> Path:

@@ -45,6 +45,7 @@ from repro.compress.registry import COMPRESSORS
 from repro.core.callbacks import CALLBACKS, Callback
 from repro.core.trainer import TrainerConfig
 from repro.faults import FaultSpec
+from repro.federated import ClientSpec
 from repro.models.registry import MODELS, list_models, list_presets
 from repro.registry import RegistryKeyError, unknown_field_problems
 from repro.sim.compute import compute_model_problems
@@ -121,6 +122,13 @@ class ExperimentSpec:
     #: Extra kwargs forwarded to the backend constructor, e.g.
     #: ``{"num_workers": 4}``.
     backend_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Client-population section: None (every rank is a client — the
+    #: pre-federated behaviour), an int (``num_clients`` with full
+    #: participation), a :class:`repro.federated.ClientSpec`, or its dict
+    #: form (``{"num_clients": 64, "cohort_size": 8,
+    #: "sampler": "uniform_without_replacement", "data_skew": "dirichlet",
+    #: "data_skew_kwargs": {"alpha": 0.3}}``).
+    clients: Union[None, int, dict, "ClientSpec"] = None
 
     # ------------------------------------------------------------------ #
     # derivation
@@ -161,6 +169,7 @@ class ExperimentSpec:
         kwargs["sync"] = copy.deepcopy(self.resolved_sync())
         kwargs["compute_model"] = copy.deepcopy(self.compute_model)
         kwargs["faults"] = copy.deepcopy(self.resolved_faults())
+        kwargs["clients"] = copy.deepcopy(self.resolved_clients())
         return TrainerConfig(**kwargs)
 
     def resolved_faults(self) -> FaultSpec:
@@ -168,6 +177,14 @@ class ExperimentSpec:
         None)."""
         try:
             return FaultSpec.resolve(self.faults)
+        except ValueError as error:
+            raise SpecError(str(error).splitlines()) from None
+
+    def resolved_clients(self) -> ClientSpec:
+        """The spec's clients section as a :class:`ClientSpec` (defaults
+        when None)."""
+        try:
+            return ClientSpec.resolve(self.clients)
         except ValueError as error:
             raise SpecError(str(error).splitlines()) from None
 
@@ -336,6 +353,31 @@ class ExperimentSpec:
             faults_active=faults_active,
             fused_pipeline=self.fused_pipeline
             if isinstance(self.fused_pipeline, bool) else True))
+
+        # Client-population section — the same pinned messages the trainer
+        # raises at construction, so `repro validate` and `repro run` fail
+        # identically on a bad combination.
+        if isinstance(self.clients, (int, dict, ClientSpec)) \
+                and not isinstance(self.clients, bool) or self.clients is None:
+            try:
+                clients = ClientSpec.resolve(self.clients)
+            except ValueError as error:
+                problems.extend(str(error).splitlines())
+            else:
+                try:
+                    sync_period = SyncSpec.resolve(self.sync).period
+                except (TypeError, ValueError):
+                    sync_period = None  # already reported by the sync block
+                problems.extend(clients.problems(
+                    world_size=self.world_size
+                    if isinstance(self.world_size, int) else None,
+                    task=task, sync_strategy=sync_strategy,
+                    sync_period=sync_period, faults_active=faults_active,
+                    fused_pipeline=self.fused_pipeline
+                    if isinstance(self.fused_pipeline, bool) else True))
+        else:
+            problems.append(f"clients must be None, an int, a dict or a "
+                            f"ClientSpec, got {type(self.clients).__name__}")
 
         for entry in self.callbacks:
             if isinstance(entry, Callback):

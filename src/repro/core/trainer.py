@@ -65,8 +65,10 @@ from repro.core.metrics import TrainingMetrics, evaluate_classifier, evaluate_la
 from repro.core.synchronizer import GradientSynchronizer
 from repro.core.timeline import IterationTimeline
 from repro.data.dataloader import DataLoader, shard_dataset
+from repro.data.partition import partition_clients
 from repro.data.registry import get_dataset
 from repro.faults import FaultSpec
+from repro.federated import ClientPopulation, ClientSpec
 from repro.data.synthetic_text import LanguageModelBatcher
 from repro.models.registry import ModelSpec, get_model_spec
 from repro.nn.module import Module
@@ -158,6 +160,11 @@ class TrainerConfig:
     #: Extra kwargs forwarded to the backend constructor (e.g.
     #: ``{"num_workers": 4}`` for multiprocessing).
     backend_kwargs: dict = field(default_factory=dict)
+    #: Client-population setup: None (every rank is a client — the
+    #: pre-federated behaviour), an int (``num_clients``), a
+    #: :class:`repro.federated.ClientSpec`, or its dict form (the experiment
+    #: spec's ``clients`` section).
+    clients: Optional[object] = None
 
 
 class DistributedTrainer:
@@ -214,6 +221,21 @@ class DistributedTrainer:
         self.backend = EXECUTION_BACKENDS.create(
             EXECUTION_BACKENDS.canonical(config.backend),
             **config.backend_kwargs)
+        # Client-population layer: a logical population of N clients mapped
+        # lazily onto the P replica slots, checked with the same pinned
+        # messages ExperimentSpec.validate() emits.
+        self.clients_spec = ClientSpec.resolve(config.clients)
+        client_problems = self.clients_spec.problems(
+            world_size=config.world_size, task=self.spec.task,
+            sync_strategy=self.sync_spec.strategy,
+            sync_period=self.sync_spec.period,
+            faults_active=self.fault_spec.active,
+            fused_pipeline=config.fused_pipeline)
+        if client_problems:
+            raise ValueError("; ".join(client_problems))
+        self.population: Optional[ClientPopulation] = \
+            ClientPopulation(self.clients_spec, config.world_size) \
+            if self.clients_spec.enabled else None
         # Deprecated alias kept for callbacks/benchmarks written against the
         # pre-strategy API; delegates to an allreduce+mean strategy.
         self.synchronizer = GradientSynchronizer(self.world, self.compressors)
@@ -325,13 +347,16 @@ class DistributedTrainer:
                                       num_train=config.num_train, num_test=config.num_test)
             self.test_dataset = test
             per_worker_batch = config.batch_size or max(1, self.spec.batch_size // config.world_size)
-            self.loaders = []
-            for rank in range(config.world_size):
-                shard = shard_dataset(train, rank, config.world_size, shuffle_seed=config.seed)
-                loader = DataLoader(shard, batch_size=per_worker_batch, shuffle=True,
-                                    drop_last=True, rng=self.seeds.for_worker(rank, "batching"))
-                self.loaders.append(loader)
-            self.iterations_per_epoch = min(len(loader) for loader in self.loaders)
+            if self.population is not None:
+                self._setup_federated_data(train, per_worker_batch)
+            else:
+                self.loaders = []
+                for rank in range(config.world_size):
+                    shard = shard_dataset(train, rank, config.world_size, shuffle_seed=config.seed)
+                    loader = DataLoader(shard, batch_size=per_worker_batch, shuffle=True,
+                                        drop_last=True, rng=self.seeds.for_worker(rank, "batching"))
+                    self.loaders.append(loader)
+                self.iterations_per_epoch = min(len(loader) for loader in self.loaders)
         elif self.spec.task == "language_model":
             train_tokens, test_tokens, vocab = get_dataset(self.spec.dataset, seed=config.seed,
                                                            num_train=config.num_train,
@@ -353,6 +378,38 @@ class DistributedTrainer:
                                             config.max_iterations_per_epoch)
         if self.iterations_per_epoch < 1:
             raise ValueError("dataset too small for the requested batch size / world size")
+
+    def _setup_federated_data(self, train, per_worker_batch: int) -> None:
+        """Partition the training set across the logical client population.
+
+        Identity mode (``full`` sampler, N == P) keeps the trainer's
+        stateful per-rank DataLoaders over the per-client shards — with the
+        default iid policy those shards are bit-identical to
+        :func:`shard_dataset`, preserving the fedavg ≡ local_sgd
+        equivalence.  Sampled-cohort mode binds the N shards to the
+        population instead and draws batches statelessly per
+        ``(client, iteration)``, so only the cohort's data is ever touched
+        and checkpoint resume needs no shuffle replay.
+        """
+        config = self.config
+        population = self.population
+        shards = partition_clients(train, population.num_clients,
+                                   policy=self.clients_spec.data_skew,
+                                   seed=config.seed,
+                                   **self.clients_spec.data_skew_kwargs)
+        if population.identity_assignment:
+            self.loaders = []
+            for client in range(config.world_size):
+                loader = DataLoader(shards[client], batch_size=per_worker_batch,
+                                    shuffle=True, drop_last=True,
+                                    rng=self.seeds.for_worker(client, "batching"))
+                self.loaders.append(loader)
+            self.iterations_per_epoch = min(len(loader) for loader in self.loaders)
+        else:
+            population.bind_data(shards, per_worker_batch, seed=config.seed)
+            self.loaders = []
+            self.iterations_per_epoch = max(
+                1, len(train) // (population.cohort_size * per_worker_batch))
 
     # ------------------------------------------------------------------ #
     # single-iteration step
@@ -670,6 +727,8 @@ class DistributedTrainer:
             [flatten_parameters(m) for m in self.replicas])
         for replica, flat in zip(self.replicas, averaged):
             unflatten_into_parameters(replica, flat)
+        if self.population is not None and self.sim_report is not None:
+            self.sim_report.participation = self.population.summary()
         self.callbacks.on_train_end(state)
         return self.metrics
 
@@ -747,6 +806,18 @@ class DistributedTrainer:
                 loader._epoch += 1
         return completed
 
+    def _next_batches(self, iterators: List) -> List:
+        """One slot-ordered batch list for the iteration.
+
+        Sampled-cohort mode draws the active clients' batches statelessly
+        from the population's shards; otherwise the per-rank loader streams
+        advance exactly as in the seed trainer.
+        """
+        population = self.population
+        if population is not None and population.shards is not None:
+            return population.draw_batches(self._global_iteration)
+        return [next(it) for it in iterators]
+
     def _train_classification(self, state: TrainState) -> None:
         fused = self.flat_world is not None
         for epoch in range(self._resume_epoch(), self.config.epochs):
@@ -756,10 +827,15 @@ class DistributedTrainer:
             epoch_losses: List[float] = []
             for iteration in range(self.iterations_per_epoch):
                 progress = self._begin_iteration(state, epoch, iteration)
+                if self.population is not None:
+                    # Round boundaries sit right after the previous round's
+                    # parameter averaging; the cohort (and its slot state)
+                    # must be in place before the gradients are computed.
+                    self.population.begin_round(self)
                 alive, extra_s = self._fault_phase(state)
                 if state.stop_requested:
                     break
-                batches = [next(it) for it in iterators]
+                batches = self._next_batches(iterators)
                 start = time.perf_counter()
                 if fused:
                     G, loss = self._classification_gradients_fused(batches)

@@ -1,0 +1,43 @@
+"""Federated client population layer: logical clients over physical slots.
+
+Separates a logical population of ``N`` clients from the ``K == P``
+physically materialized replica slots:
+
+* :mod:`repro.federated.sampler` — registry-backed per-round cohort
+  samplers (``full``, ``uniform_without_replacement``), seeded and
+  world-size independent;
+* :mod:`repro.federated.config` — the declarative :class:`ClientSpec`
+  carried by experiment specs under the ``clients`` key;
+* :mod:`repro.federated.population` — :class:`ClientPopulation`, which
+  swaps per-client persistent state (optimizer momentum, error-feedback
+  residuals, codec references) in and out of the slot-indexed flat
+  buffers at round boundaries.
+
+Per-client non-IID sharding lives in :mod:`repro.data.partition`; the
+``fedavg`` strategy in :mod:`repro.sync.strategies`; the two-level
+``hierarchical`` topology in :mod:`repro.comm.topology`.
+"""
+
+from repro.federated.config import ClientSpec
+from repro.federated.population import (
+    ClientPopulation,
+    ClientStateStore,
+    SlotAssignment,
+)
+from repro.federated.sampler import (
+    CLIENT_SAMPLERS,
+    ClientSampler,
+    FullParticipationSampler,
+    UniformWithoutReplacementSampler,
+)
+
+__all__ = [
+    "CLIENT_SAMPLERS",
+    "ClientPopulation",
+    "ClientSampler",
+    "ClientSpec",
+    "ClientStateStore",
+    "FullParticipationSampler",
+    "SlotAssignment",
+    "UniformWithoutReplacementSampler",
+]

@@ -1,0 +1,85 @@
+"""Per-round cohort sampling over the logical client population.
+
+Every round the trainer materializes a cohort of ``K`` clients onto the
+``K`` physical replica slots.  A sampler decides *which* clients: the draw
+is a pure function of ``(sampler_seed, round_index)`` — no internal RNG
+state — so the cohort sequence is reproducible across world sizes, rebuild
+orders, and checkpoint resumes (restoring the round counter restores the
+stream).  ``uniform_without_replacement`` additionally draws cohorts as the
+``K``-prefix of one seeded permutation, so cohorts at different ``K`` under
+the same seed are nested (the property test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.registry import Registry
+from repro.utils.rng import new_rng
+
+CLIENT_SAMPLERS = Registry("client sampler", expose="client-samplers")
+
+
+class ClientSampler:
+    """Base class: stateless, seeded per-round cohort selection."""
+
+    name = "base"
+    #: True when every client participates every round (cohort == population).
+    full_participation = False
+
+    def sample(self, round_index: int, num_clients: int, cohort_size: int,
+               seed: int) -> Tuple[int, ...]:
+        """The sorted client ids forming round ``round_index``'s cohort."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(round_index: int, num_clients: int, cohort_size: int) -> None:
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        if not 1 <= cohort_size <= num_clients:
+            raise ValueError(f"cohort_size must be in [1, {num_clients}], "
+                             f"got {cohort_size}")
+
+
+@CLIENT_SAMPLERS.register("full", aliases=("all", "everyone"),
+                          description="every client participates every round "
+                                      "(requires cohort_size == num_clients)")
+class FullParticipationSampler(ClientSampler):
+    """Degenerate sampler: the cohort is the whole population, every round.
+
+    With ``N == K == P`` the slot assignment is the identity and never
+    changes, which is what pins fedavg bit-identical to local_sgd.
+    """
+
+    name = "full"
+    full_participation = True
+
+    def sample(self, round_index: int, num_clients: int, cohort_size: int,
+               seed: int) -> Tuple[int, ...]:
+        self._check(round_index, num_clients, cohort_size)
+        if cohort_size != num_clients:
+            raise ValueError("the 'full' sampler requires cohort_size == "
+                             f"num_clients, got {cohort_size} != {num_clients}")
+        return tuple(range(num_clients))
+
+
+@CLIENT_SAMPLERS.register("uniform_without_replacement",
+                          aliases=("uniform", "random"),
+                          description="K distinct clients drawn uniformly per "
+                                      "round, seeded and world-size independent")
+class UniformWithoutReplacementSampler(ClientSampler):
+    """K distinct clients per round, uniform over the population.
+
+    The cohort is the first ``K`` entries of a permutation derived from
+    ``(seed, round_index)`` only — never from ``K`` or the world size — so
+    runs at different ``P`` draw nested prefixes of the same stream.
+    """
+
+    name = "uniform_without_replacement"
+
+    def sample(self, round_index: int, num_clients: int, cohort_size: int,
+               seed: int) -> Tuple[int, ...]:
+        self._check(round_index, num_clients, cohort_size)
+        perm = new_rng("client_sampler", int(seed),
+                       int(round_index)).permutation(int(num_clients))
+        return tuple(sorted(int(c) for c in perm[:cohort_size]))

@@ -48,6 +48,10 @@ class SimReport:
     #: Optional :class:`repro.faults.report.FaultReport` attached by the
     #: trainer when a fault model (or the dropout bridge) is active.
     fault: Optional[object] = None
+    #: Optional client-participation counters attached by the trainer when a
+    #: federated client population is configured (the population's
+    #: ``summary()`` dict: num_clients, cohort_size, unique_clients_seen...).
+    participation: Optional[Dict[str, object]] = None
 
     def __post_init__(self):
         if not self.steps_per_rank:
@@ -116,4 +120,6 @@ class SimReport:
         }
         if self.fault is not None:
             payload["fault"] = self.fault.as_dict()
+        if self.participation is not None:
+            payload["participation"] = dict(self.participation)
         return payload

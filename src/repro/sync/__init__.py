@@ -38,7 +38,12 @@ from repro.sync.base import (
     merge_reports,
     validate_compressors,
 )
-from repro.sync.strategies import AllreduceStrategy, GossipStrategy, LocalSGDStrategy
+from repro.sync.strategies import (
+    AllreduceStrategy,
+    FedAvgStrategy,
+    GossipStrategy,
+    LocalSGDStrategy,
+)
 from repro.sync.async_strategies import (
     AsyncParameterServerStrategy,
     AsyncStepReport,
@@ -59,6 +64,7 @@ __all__ = [
     "SyncStrategy",
     "AllreduceStrategy",
     "LocalSGDStrategy",
+    "FedAvgStrategy",
     "GossipStrategy",
     "AsyncStrategy",
     "AsyncStepReport",

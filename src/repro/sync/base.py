@@ -167,6 +167,10 @@ class SyncStrategy:
     name: str = "base"
     #: Whether :meth:`bind` requires a communication topology.
     needs_topology: bool = False
+    #: Whether the strategy can *optionally* use a topology: ``bind`` accepts
+    #: one but runs fine without (fedavg prices its averaging over a
+    #: hierarchical tree when given one, flat otherwise).
+    optional_topology: bool = False
     #: Whether the strategy reads the local-SGD ``period`` knob.
     uses_period: bool = False
     #: Whether the strategy is event-driven: the trainer then routes training

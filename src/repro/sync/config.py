@@ -166,10 +166,14 @@ class SyncSpec:
                 problems.append(f"period={self.period!r} is only used by "
                                 f"period-based strategies (local_sgd); strategy "
                                 f"{self.strategy!r} synchronizes on its own schedule")
-            if not strategy_cls.needs_topology and self.topology != "ring":
+            if not strategy_cls.needs_topology \
+                    and not strategy_cls.optional_topology \
+                    and self.topology != "ring":
                 problems.append(f"topology={self.topology!r} is only used by "
                                 f"graph-based strategies (gossip); strategy "
                                 f"{self.strategy!r} does not exchange over a graph")
+            if strategy_cls.optional_topology:
+                problems.extend(self._optional_topology_problems())
         if not isinstance(self.strategy_kwargs, dict):
             problems.append(f"strategy_kwargs must be a dict, "
                             f"got {type(self.strategy_kwargs).__name__}")
@@ -300,6 +304,37 @@ class SyncSpec:
                     f"period={period} never exchanges parameters")
         return problems
 
+    def _optional_topology_problems(self) -> List[str]:
+        """Checks for strategies where a topology is optional (fedavg).
+
+        The default ``"ring"`` means "no tree — flat server aggregation"
+        (the field's default is never a user intent to gossip); the only
+        other accepted graph is the two-level ``hierarchical`` tree, and
+        its count-weighted partial sums need an elementwise aggregator.
+        Mirrors the strategy's own bind-time checks so a bad combination
+        fails at validate time with the same story.
+        """
+        problems: List[str] = []
+        try:
+            topology = TOPOLOGIES.canonical(str(self.topology))
+        except RegistryKeyError:
+            return problems  # reported by the registry check above
+        if topology == "ring":
+            return problems
+        if topology != "hierarchical":
+            problems.append(
+                f"sync strategy {self.strategy!r} accepts the two-level "
+                f"'hierarchical' topology only (got {self.topology!r}); "
+                f"omit the topology for flat server aggregation")
+        elif self.aggregator in AGGREGATORS \
+                and AGGREGATORS.get(self.aggregator).collective_op is None:
+            problems.append(
+                f"hierarchical fedavg count-weights partial sums through "
+                f"edge aggregators and supports elementwise aggregators "
+                f"only, not {self.aggregator!r}; use flat fedavg "
+                f"(no topology) for robust aggregation")
+        return problems
+
     def notes(self) -> List[str]:
         """Advisory notes: configurations that run but deserve a warning.
 
@@ -367,7 +402,14 @@ class SyncSpec:
         aggregator = AGGREGATORS.create(self.aggregator, **dict(self.aggregator_kwargs))
         strategy: SyncStrategy = SYNC_STRATEGIES.create(
             self.strategy, **dict(self.strategy_kwargs))
-        topology = TOPOLOGIES.create(self.topology) if strategy.needs_topology else None
+        topology = None
+        if strategy.needs_topology:
+            topology = TOPOLOGIES.create(self.topology)
+        elif strategy.optional_topology \
+                and TOPOLOGIES.canonical(str(self.topology)) != "ring":
+            # For optional-topology strategies (fedavg) the field default
+            # "ring" means "flat" — only an explicit non-default graph binds.
+            topology = TOPOLOGIES.create(self.topology)
         corruption = None
         if self.corrupt_ranks:
             corruption = GradientCorruption(self.corrupt_ranks, kind=self.corruption,
@@ -395,7 +437,9 @@ class SyncSpec:
         strategy_cls = self._strategy_class()
         if strategy_cls is not None and strategy_cls.uses_period:
             parts.append(f"period={self.period}")
-        if strategy_cls is not None and strategy_cls.needs_topology:
+        if strategy_cls is not None and (
+                strategy_cls.needs_topology
+                or (strategy_cls.optional_topology and self.topology != "ring")):
             parts.append(f"topology={self.topology}")
         if self.compresses_parameters:
             parts.append(f"param_compression={self.parameter_compression}")

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.topology import HierarchicalTopology
 from repro.compress.base import ExchangeKind
 from repro.core.timeline import SyncReport
 from repro.sync.base import SYNC_STRATEGIES, SyncStrategy
@@ -385,6 +386,110 @@ class LocalSGDStrategy(AllreduceStrategy):
                 continue
             row[...] = result
         return report
+
+
+@SYNC_STRATEGIES.register("fedavg", aliases=("federated_averaging", "fed_avg"),
+                          description="sampled-cohort periodic parameter "
+                                      "averaging (FedAvg), optionally priced "
+                                      "over a hierarchical topology")
+class FedAvgStrategy(LocalSGDStrategy):
+    """Federated averaging: local SGD numerics over a sampled cohort.
+
+    Numerically this *is* :class:`LocalSGDStrategy` — the materialized
+    replica slots run ``H`` local steps and average parameters at every
+    sync point — which pins ``fedavg`` with the ``full`` sampler and
+    ``N = K = P`` bit-identical to ``local_sgd`` on both trainer paths.
+    What changes is who occupies the slots (the trainer's
+    :class:`~repro.federated.population.ClientPopulation` swaps sampled
+    cohort clients in and out at round boundaries) and, optionally, what
+    the averaging costs on the wire: bound to a two-level
+    :class:`~repro.comm.topology.HierarchicalTopology`, the dense
+    parameter exchange is priced as cohort→edge uplinks, count-weighted
+    edge→server partial sums, and the same tree walked back down for the
+    broadcast — only the active cohort's edges, never the population.
+
+    The edge aggregators forward *count-weighted partial sums*, so the
+    two-level combine equals the flat cohort mean mathematically (to
+    float32 summation order); elementwise aggregators only (``mean``) —
+    robust combines do not decompose over a tree.  The compressed
+    parameter path (``parameter_compression``) keeps the flat allgather
+    pricing: compressed payloads are not partial-summable at the edges.
+    """
+
+    name = "fedavg"
+    uses_period = True
+    optional_topology = True
+
+    def _after_bind(self) -> None:
+        super()._after_bind()
+        if self.topology is not None:
+            if not isinstance(self.topology, HierarchicalTopology):
+                raise ValueError(
+                    f"sync strategy 'fedavg' accepts the two-level "
+                    f"'hierarchical' topology only (got {self.topology.name!r}); "
+                    f"omit the topology for flat server aggregation")
+            if self.aggregator.collective_op is None:
+                raise ValueError(
+                    f"hierarchical fedavg count-weights partial sums through "
+                    f"edge aggregators and supports elementwise aggregators "
+                    f"only, not {self.aggregator.name!r}; use flat fedavg "
+                    f"(no topology) for robust aggregation")
+
+    def wire_bits_per_iteration(self, n: int, world_size: int) -> float:
+        """Amortized per-worker traffic; tree-priced when hierarchical.
+
+        The busiest node of the tree is an edge aggregator: it receives its
+        group's uplink payloads and forwards one partial sum (then the same
+        links carry the broadcast back), so ``max_group_size + 1`` payloads
+        per sync point gate the exchange.
+        """
+        if self.period == 1 or self.topology is None:
+            return super().wire_bits_per_iteration(n, world_size)
+        payload_bits = self._parameter_payload_bits(n)
+        busiest = self.topology.max_group_size(world_size) + 1
+        return busiest * payload_bits / self.period
+
+    def _aggregate_global(self, vectors):
+        # Degraded membership falls back to the flat survivors' collective —
+        # re-routing a two-level tree around dead edge aggregators is the
+        # fault injector's job, not the pricing model's.
+        if self.topology is None or self._active_membership() is not None:
+            return super()._aggregate_global(vectors)
+        return self._aggregate_hierarchical(vectors)
+
+    def _aggregate_hierarchical(self, vectors):
+        """Cohort mean priced over the clients → edges → server tree.
+
+        Wire accounting charges only the active cohort's edges: ``K``
+        client→edge uplinks, one count-weighted partial sum per edge to the
+        server, and the mirror-image broadcast — ``2·(K + E)`` α–β messages
+        total, independent of the logical population size.
+        """
+        world, topology = self.world, self.topology
+        cohort = world.world_size
+        stacked = np.stack([np.asarray(v, dtype=np.float32) for v in vectors])
+        nbytes = float(stacked[0].nbytes)
+        groups = topology.edge_groups(cohort)
+        comm_before = world.simulated_comm_time
+        for _ in range(2 * (cohort + len(groups))):
+            world.point_to_point(nbytes)
+        comm_time = world.simulated_comm_time - comm_before
+        start = time.perf_counter()
+        partials = [stacked[list(group)].sum(axis=0, dtype=np.float64)
+                    for group in groups]
+        combined = (np.sum(partials, axis=0) / cohort).astype(np.float32)
+        results = [combined.copy() for _ in range(cohort)]
+        kernel_time = time.perf_counter() - start
+        aggregation_time = self.aggregator.combine_time_s(cohort,
+                                                          stacked.shape[1])
+        report = SyncReport(
+            compression_time_s=float(kernel_time) / cohort,
+            comm_time_s=float(comm_time),
+            wire_bits_per_worker=(topology.max_group_size(cohort) + 1)
+            * 8.0 * nbytes,
+            exchange="hierarchical_parameter_exchange",
+            aggregation_time_s=float(aggregation_time))
+        return results, report
 
 
 @SYNC_STRATEGIES.register("gossip", aliases=("neighbor", "decentralized"),

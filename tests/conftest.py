@@ -10,6 +10,22 @@ import pytest
 from repro.tensor import Tensor
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shared_memory():
+    """Fail the suite if any test leaks a shared-memory segment.
+
+    The multiprocessing backend allocates named ``/dev/shm`` segments; every
+    code path (including error paths) must unlink them.  Runs after the whole
+    session so one noisy test cannot hide behind a later cleanup.
+    """
+    from repro.backends import leaked_segments
+
+    yield
+    leaked = leaked_segments()
+    assert leaked == [], (f"shared-memory segments leaked by the test "
+                          f"session: {leaked}")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

@@ -405,7 +405,9 @@ class TestFaultFlags:
                                  str(csv_path)]) == 0
         assert "metrics written to" in capsys.readouterr().out
         header = csv_path.read_text().splitlines()[0]
-        assert header.endswith("rejected_pushes,mean_staleness")
+        assert "rejected_pushes,mean_staleness" in header
+        assert header.endswith(
+            "active_clients,cohort_fraction,unique_clients_seen")
 
     def test_components_lists_fault_models(self, capsys):
         assert main(["components", "--registry", "fault-models"]) == 0

@@ -16,8 +16,9 @@ from repro.comm.topology import (
 
 
 class TestGraphs:
-    def test_registry_lists_the_three_graphs(self):
-        assert TOPOLOGIES.list() == ["fully_connected", "ring", "star"]
+    def test_registry_lists_the_graphs(self):
+        assert TOPOLOGIES.list() == ["fully_connected", "hierarchical",
+                                     "ring", "star"]
         assert isinstance(get_topology("full"), FullyConnectedTopology)
 
     def test_ring_neighbors(self):
